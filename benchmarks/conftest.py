@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure/table benchmark runs the corresponding canned experiment once
+under pytest-benchmark timing, prints the regenerated rows/series (visible
+with ``-s`` or in captured output) and persists them under
+``benchmarks/results/`` so EXPERIMENTS.md can reference a concrete run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_experiment(results_dir):
+    """Return a callback that prints and saves a rendered experiment."""
+
+    def _record(experiment_id: str, rendered: str) -> None:
+        print()
+        print(rendered)
+        (results_dir / f"{experiment_id}.txt").write_text(rendered + "\n")
+
+    return _record

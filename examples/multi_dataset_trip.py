@@ -1,0 +1,61 @@
+"""Generalised TNN: chains, free visiting order, and round trips.
+
+The paper's future-work roadmap (Section 7) sketches three extensions,
+all implemented in :mod:`repro.extensions`.  A tourist wants to visit an
+ATM, then a pharmacy, then a bakery (a 3-hop chain on 3 channels); decide
+which of two errands to run first (order-free TNN); and get home afterwards
+(round-trip TNN).
+
+Run:  python examples/multi_dataset_trip.py
+"""
+
+import random
+
+from repro import Point, TNNEnvironment
+from repro.datasets import uniform
+from repro.extensions import (
+    ChainEnvironment,
+    ChainTNN,
+    RoundTripTNN,
+    UnorderedTNN,
+)
+from repro.geometry import Rect
+
+REGION = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+
+
+def main() -> None:
+    rng = random.Random(3)
+
+    # --- 1. Chain TNN over three datasets / three channels -------------
+    atms = uniform(400, seed=11, region=REGION)
+    pharmacies = uniform(300, seed=12, region=REGION)
+    bakeries = uniform(500, seed=13, region=REGION)
+    chain_env = ChainEnvironment.build([atms, pharmacies, bakeries])
+    p = Point(5_000.0, 5_000.0)
+    chain = ChainTNN().run(chain_env, p, chain_env.random_phases(rng))
+    print("Chain TNN  (ATM -> pharmacy -> bakery):")
+    print(f"  route length {chain.distance:.0f}, "
+          f"access {chain.access_time:.0f} pages, "
+          f"tune-in {chain.tune_in_time} pages")
+    for label, stop in zip(("ATM", "pharmacy", "bakery"), chain.route):
+        print(f"  {label:<9} at ({stop.x:.0f}, {stop.y:.0f})")
+
+    # --- 2. Order-free TNN over two datasets ---------------------------
+    env = TNNEnvironment.build(
+        uniform(400, seed=21, region=REGION), uniform(400, seed=22, region=REGION)
+    )
+    unordered = UnorderedTNN().run(env, p, *env.random_phases(rng))
+    print("\nOrder-free TNN (visit S and R in either order):")
+    print(f"  best order: {unordered.order}, length {unordered.distance:.0f}")
+
+    # --- 3. Round-trip TNN ---------------------------------------------
+    rt = RoundTripTNN().run(env, p, *env.random_phases(rng))
+    print("\nRound-trip TNN (p -> s -> r -> p):")
+    print(f"  tour length {rt.distance:.0f} "
+          f"(one-way pair would be {unordered.distance:.0f})")
+    print(f"  s = ({rt.s.x:.0f}, {rt.s.y:.0f}), r = ({rt.r.x:.0f}, {rt.r.y:.0f})")
+
+
+if __name__ == "__main__":
+    main()

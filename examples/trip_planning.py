@@ -1,0 +1,66 @@
+"""Trip planning in a skewed city: the paper's motivating scenario.
+
+Mr. Smith is new in town.  He wants to mail postcards at a post office and
+then have dinner at a restaurant, walking as little as possible.  Post
+offices and restaurants are broadcast on two channels; his phone listens to
+both at once.
+
+This example uses *clustered* (CITY-like) data and shows why the
+closed-form Approximate-TNN radius is dangerous off the uniform assumption,
+while Hybrid-NN both stays exact and keeps the energy bill low.
+
+Run:  python examples/trip_planning.py
+"""
+
+import random
+
+from repro import ApproximateTNN, DoubleNN, HybridNN, TNNEnvironment, WindowBasedTNN
+from repro.datasets import city_like, gaussian_clusters
+from repro.geometry import Rect
+from repro.rtree import tnn_oracle
+
+
+def main() -> None:
+    region = Rect(0.0, 0.0, 39_000.0, 39_000.0)
+    post_offices = city_like(n=2_000, seed=7)
+    restaurants = gaussian_clusters(
+        4_000, clusters=18, seed=8, region=region, spread=0.03
+    )
+    env = TNNEnvironment.build(post_offices, restaurants)
+
+    rng = random.Random(99)
+    queries = [env.random_query_point(rng) for _ in range(30)]
+
+    algorithms = {
+        "window-based": WindowBasedTNN(),
+        "approximate-tnn": ApproximateTNN(),
+        "double-nn": DoubleNN(),
+        "hybrid-nn": HybridNN(),
+    }
+
+    print("Clustered city, 2,000 post offices + 4,000 restaurants")
+    print(f"{'algorithm':<16} {'mean access':>12} {'mean tune-in':>13} {'wrong answers':>14}")
+    for name, algo in algorithms.items():
+        access = tunein = wrong = 0.0
+        for p in queries:
+            result = algo.run(env, p, *env.random_phases(rng))
+            _, _, want = tnn_oracle(p, env.s_tree, env.r_tree)
+            access += result.access_time
+            tunein += result.tune_in_time
+            if result.failed or result.distance > want * (1 + 1e-9):
+                wrong += 1
+        n = len(queries)
+        print(
+            f"{name:<16} {access / n:>12.0f} {tunein / n:>13.1f} "
+            f"{int(wrong):>10d}/{n}"
+        )
+
+    print(
+        "\nNote: on clustered data the Approximate-TNN radius (derived for "
+        "uniform points)\ncan miss the true pair entirely — the exact "
+        "algorithms never do."
+    )
+
+
+if __name__ == "__main__":
+    main()

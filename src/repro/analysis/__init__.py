@@ -1,0 +1,26 @@
+"""Analytical cost models for broadcast access.
+
+Closed-form first-order expectations for the quantities the simulator
+measures: root wait, index overhead, the optimal (1, m) replication
+factor, and the uniform-data NN/TNN radius expectations behind
+Approximate-TNN.  The test suite cross-validates each model against the
+simulation — when the two diverge, one of them is wrong.
+"""
+
+from repro.analysis.models import (
+    expected_object_wait,
+    expected_root_wait,
+    expected_search_radius_tnn,
+    index_overhead_ratio,
+    optimal_m_analytic,
+    probe_wait_curve,
+)
+
+__all__ = [
+    "expected_root_wait",
+    "expected_object_wait",
+    "index_overhead_ratio",
+    "optimal_m_analytic",
+    "expected_search_radius_tnn",
+    "probe_wait_curve",
+]

@@ -1,0 +1,27 @@
+"""Wireless broadcast substrate: pages, (1, m) programs and channels.
+
+Models the server side of the paper's system (Figure 1): each channel
+endlessly cycles a broadcast program that interleaves the full R-tree index
+(depth-first preorder, one node per page) with the data pages using the
+(1, m) scheme of Imielinski, Viswanathan and Badrinath.  Time is measured in
+page slots; random access is impossible — a client that misses a page waits
+for its next replica, which is exactly the linearity constraint that shapes
+all the client-side algorithms.
+"""
+
+from repro.broadcast.config import SystemParameters
+from repro.broadcast.program import BroadcastProgram, optimal_m
+from repro.broadcast.channel import BroadcastChannel
+from repro.broadcast.tuner import ChannelTuner
+from repro.broadcast.loss import PageLossModel
+from repro.broadcast.energy import EnergyModel
+
+__all__ = [
+    "SystemParameters",
+    "BroadcastProgram",
+    "BroadcastChannel",
+    "ChannelTuner",
+    "PageLossModel",
+    "EnergyModel",
+    "optimal_m",
+]

@@ -1,0 +1,62 @@
+"""System parameters (Table 2 of the paper) and derived page geometry.
+
+Table 2 settings: index pointer 2 bytes, coordinate 4 bytes, data content
+1 kB, page capacity 64-512 bytes.  From these we derive:
+
+* internal-node fanout: each entry is an MBR (4 coordinates) plus a child
+  arrival-time pointer -> ``capacity // (4*4 + 2)`` — 3 for 64-byte pages,
+  matching the paper's "H = 10 and M = 3" tree for ~100 000 points;
+* leaf capacity: each entry is a point (2 coordinates) plus the data-page
+  pointer -> ``capacity // (2*4 + 2)``;
+* pages per data object: ``ceil(1024 / capacity)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Page capacities evaluated in the paper.
+PAPER_PAGE_CAPACITIES = (64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """Broadcast system parameters, defaulting to Table 2 of the paper."""
+
+    page_capacity: int = 64
+    pointer_size: int = 2
+    coordinate_size: int = 4
+    data_object_size: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.page_capacity < self.mbr_entry_size:
+            raise ValueError(
+                f"page capacity {self.page_capacity} cannot hold even one "
+                f"R-tree entry of {self.mbr_entry_size} bytes"
+            )
+
+    @property
+    def mbr_entry_size(self) -> int:
+        """Bytes per internal-node entry: 4 coordinates + child pointer."""
+        return 4 * self.coordinate_size + self.pointer_size
+
+    @property
+    def point_entry_size(self) -> int:
+        """Bytes per leaf entry: 2 coordinates + data-object pointer."""
+        return 2 * self.coordinate_size + self.pointer_size
+
+    @property
+    def internal_fanout(self) -> int:
+        """Maximum children of an internal index page."""
+        return self.page_capacity // self.mbr_entry_size
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Maximum points in a leaf index page."""
+        return self.page_capacity // self.point_entry_size
+
+    @property
+    def pages_per_object(self) -> int:
+        """Broadcast pages occupied by one data object."""
+        return math.ceil(self.data_object_size / self.page_capacity)

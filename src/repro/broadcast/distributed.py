@@ -1,0 +1,101 @@
+"""Distributed (partial-replication) air indexing.
+
+The (1, m) scheme replicates the **entire** index before every data chunk.
+Imielinski, Viswanathan and Badrinath's *distributed indexing* observes
+that most of an index's bulk is its deep levels, and replicates only the
+top ``t`` levels with every chunk while broadcasting the full index once
+per cycle:
+
+``[ full index | chunk 0 | top index | chunk 1 | ... | top index | chunk m-1 ]``
+
+The cycle shrinks (deep pages appear once), at the price of a longer wait
+when a search misses a deep page.  The ablation benchmark quantifies the
+trade-off against full replication on the same workload.
+
+This class mirrors :class:`~repro.broadcast.program.BroadcastProgram`'s
+interface (``index_page_positions`` / ``data_page_position`` /
+``next_index_arrival``), so channels and tuners work unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.broadcast.config import SystemParameters
+from repro.broadcast.program import BroadcastProgram
+from repro.rtree.tree import RTree
+
+
+class DistributedBroadcastProgram(BroadcastProgram):
+    """A (1, m) program replicating only the top ``replicated_levels``.
+
+    ``replicated_levels = height`` degenerates to the classic (1, m)
+    layout; ``replicated_levels = 1`` replicates only the root.
+    """
+
+    def __init__(
+        self,
+        tree: RTree,
+        params: SystemParameters | None = None,
+        m: int | None = None,
+        replicated_levels: int = 2,
+    ) -> None:
+        if replicated_levels < 1:
+            raise ValueError(
+                f"must replicate at least the root level, got {replicated_levels}"
+            )
+        # Initialise the base layout first (assigns page ids, sizes, m).
+        super().__init__(tree, params, m=m)
+        self.replicated_levels = min(replicated_levels, tree.height)
+        cutoff = tree.root.level - (self.replicated_levels - 1)
+        #: DFS rank among replicated (top) pages, for pages above the cutoff.
+        self._top_rank: Dict[int, int] = {}
+        for node in tree.iter_nodes():
+            if node.level >= cutoff:
+                self._top_rank[node.page_id] = len(self._top_rank)
+        self.top_index_length = len(self._top_rank)
+        #: Length of the leading super-page (full index + chunk).
+        self._full_super = self.index_length + self.chunk_length
+        #: Length of each follower super-page (top index + chunk).
+        self._top_super = self.top_index_length + self.chunk_length
+        self.cycle_length = self._full_super + (self.m - 1) * self._top_super
+
+    # ------------------------------------------------------------------
+    def index_page_positions(self, page_id: int) -> List[int]:
+        if not 0 <= page_id < self.index_length:
+            raise ValueError(f"index page {page_id} out of range")
+        positions = [page_id]  # the full copy, in DFS order at cycle start
+        rank = self._top_rank.get(page_id)
+        if rank is not None:
+            for j in range(1, self.m):
+                positions.append(
+                    self._full_super + (j - 1) * self._top_super + rank
+                )
+        return positions
+
+    def data_page_position(self, data_offset: int) -> int:
+        if not 0 <= data_offset < self.data_length:
+            raise ValueError(f"data offset {data_offset} out of range")
+        if self.chunk_length == 0:
+            raise ValueError("program has no data pages")
+        chunk, within = divmod(data_offset, self.chunk_length)
+        if chunk == 0:
+            return self.index_length + within
+        return (
+            self._full_super
+            + (chunk - 1) * self._top_super
+            + self.top_index_length
+            + within
+        )
+
+    # ------------------------------------------------------------------
+    def replication_overhead(self) -> float:
+        """Index pages per cycle, relative to broadcasting the index once."""
+        total = self.index_length + (self.m - 1) * self.top_index_length
+        return total / self.index_length
+
+    @classmethod
+    def full_replication_overhead(cls, tree: RTree, m: int) -> float:
+        """The (1, m) scheme's overhead, for comparison: exactly ``m``."""
+        return float(m)

@@ -1,0 +1,45 @@
+"""Wireless page-loss model.
+
+Broadcast is an unreliable medium: a client can fail to decode a page
+(fading, interference) and — with no uplink — its only recourse is waiting
+for the page's next replica.  The paper assumes a lossless channel; this
+model makes the assumption explicit and testable, and the loss ablation
+benchmark quantifies how quickly access time degrades.
+
+Losses are deterministic per ``(page slot, seed)``: two clients with the
+same seed observe the same fades, so experiments stay reproducible, and the
+same client asking about the same slot twice gets a consistent answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PageLossModel:
+    """I.i.d. page-loss: every reception attempt fails with ``rate``."""
+
+    rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {self.rate}")
+
+    def lost(self, page_slot: float) -> bool:
+        """Whether the reception attempt at absolute slot ``page_slot`` fails.
+
+        Hashes the slot with the seed so the outcome is a pure function of
+        (slot, seed) — replicas of the same page at different slots fade
+        independently, as on a real channel.
+        """
+        if self.rate == 0.0:
+            return False
+        digest = hashlib.blake2b(
+            struct.pack("<qd", self.seed, float(page_slot)), digest_size=8
+        ).digest()
+        u = int.from_bytes(digest, "little") / 2**64
+        return u < self.rate

@@ -1,0 +1,117 @@
+"""(1, m) broadcast program: index/data layout and cyclic arrival arithmetic.
+
+A broadcast cycle consists of ``m`` super-pages, each carrying the **whole**
+index (R-tree nodes in depth-first preorder — Section 6: "we arrange the
+R-tree in a depth-first order in the broadcast channels") followed by a
+``1/m`` fraction of the data pages:
+
+``[ index | data chunk 0 | index | data chunk 1 | ... | index | chunk m-1 ]``
+
+Pointers in the air index refer to arrival times, which this module computes
+arithmetically — the cycle is never materialised, so 10^6-slot cycles cost
+nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.broadcast.config import SystemParameters
+from repro.rtree.tree import RTree
+
+
+def optimal_m(index_pages: int, data_pages: int) -> int:
+    """The access-time-optimal replication factor for the (1, m) scheme.
+
+    Imielinski et al. show the optimum is ``m* = sqrt(data / index)`` —
+    balancing index-replication overhead against the wait for the next
+    index copy.  Always at least 1.
+    """
+    if index_pages <= 0:
+        raise ValueError("index must contain at least one page")
+    if data_pages <= 0:
+        return 1
+    return max(1, round(math.sqrt(data_pages / index_pages)))
+
+
+class BroadcastProgram:
+    """The per-dataset broadcast layout and its arrival-time arithmetic.
+
+    Building the program assigns ``page_id`` (depth-first preorder rank) to
+    every R-tree node; the id doubles as the node's offset inside the index
+    segment.  Data objects are laid out in leaf order, ``pages_per_object``
+    consecutive pages each, and split into ``m`` equal chunks (the last
+    chunk is padded with filler slots so every super-page has equal length).
+    """
+
+    def __init__(
+        self,
+        tree: RTree,
+        params: SystemParameters | None = None,
+        m: int | None = None,
+    ) -> None:
+        self.tree = tree
+        self.params = params or SystemParameters()
+        tree.assign_page_ids()
+        self.index_length = tree.node_count()
+        self.object_count = tree.size
+        self.data_length = self.object_count * self.params.pages_per_object
+        self.m = m if m is not None else optimal_m(self.index_length, self.data_length)
+        if self.m < 1:
+            raise ValueError(f"m must be >= 1, got {self.m}")
+        self.chunk_length = math.ceil(self.data_length / self.m) if self.data_length else 0
+        #: Length of one [index | chunk] super-page.
+        self.super_page_length = self.index_length + self.chunk_length
+        #: Total cycle length in page slots (includes padding in the last chunk).
+        self.cycle_length = self.m * self.super_page_length
+
+    # ------------------------------------------------------------------
+    # Positions within one cycle
+    # ------------------------------------------------------------------
+    def index_page_positions(self, page_id: int) -> List[int]:
+        """All cycle offsets at which index page ``page_id`` is on air."""
+        if not 0 <= page_id < self.index_length:
+            raise ValueError(f"index page {page_id} out of range")
+        return [j * self.super_page_length + page_id for j in range(self.m)]
+
+    def data_page_position(self, data_offset: int) -> int:
+        """Cycle offset of the data page at stream offset ``data_offset``."""
+        if not 0 <= data_offset < self.data_length:
+            raise ValueError(f"data offset {data_offset} out of range")
+        if self.chunk_length == 0:
+            raise ValueError("program has no data pages")
+        chunk, within = divmod(data_offset, self.chunk_length)
+        return chunk * self.super_page_length + self.index_length + within
+
+    def object_data_offsets(self, object_index: int) -> List[int]:
+        """Data-stream offsets of all pages of object ``object_index``."""
+        if not 0 <= object_index < self.object_count:
+            raise ValueError(f"object {object_index} out of range")
+        ppo = self.params.pages_per_object
+        start = object_index * ppo
+        return list(range(start, start + ppo))
+
+    # ------------------------------------------------------------------
+    # Arrival arithmetic
+    # ------------------------------------------------------------------
+    def next_arrival_at_positions(self, positions: List[int], now: float) -> float:
+        """Earliest slot >= ``now`` whose cycle offset is in ``positions``.
+
+        ``now`` is an absolute time on an un-shifted channel; phase shifts
+        are applied by :class:`~repro.broadcast.channel.BroadcastChannel`.
+        """
+        base = math.ceil(now)
+        phase = base % self.cycle_length
+        best = None
+        for pos in positions:
+            delta = (pos - phase) % self.cycle_length
+            if best is None or delta < best:
+                best = delta
+        if best is None:
+            raise ValueError("no broadcast positions supplied")
+        return base + best
+
+    def next_index_arrival(self, page_id: int, now: float) -> float:
+        """Earliest arrival of index page ``page_id`` at or after ``now``."""
+        return self.next_arrival_at_positions(self.index_page_positions(page_id), now)

@@ -1,0 +1,88 @@
+"""Client-side tuner: the per-channel clock and energy accounting.
+
+The tuner is the client's radio on one channel.  It records every page
+downloaded (tune-in time — the paper's proxy for energy) and the clock
+position reached (access time).  Between downloads the client is dozing, so
+only explicit ``download_*`` calls consume energy.
+
+An optional :class:`~repro.broadcast.loss.PageLossModel` makes receptions
+fallible: a lost page still costs the listening energy (it counts toward
+tune-in) but the client must wait for the page's next replica, stretching
+access time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.broadcast.channel import BroadcastChannel
+from repro.broadcast.loss import PageLossModel
+
+
+@dataclass
+class ChannelTuner:
+    """Tracks time and pages downloaded on one broadcast channel."""
+
+    channel: BroadcastChannel
+    loss: Optional[PageLossModel] = None
+    now: float = 0.0
+    index_pages: int = 0
+    data_pages: int = 0
+    #: Reception attempts that failed (subset of the page counters above).
+    lost_pages: int = 0
+    log: list = field(default_factory=list)
+
+    @property
+    def pages_downloaded(self) -> int:
+        """Total tune-in time on this channel, in pages."""
+        return self.index_pages + self.data_pages
+
+    def advance_to(self, t: float) -> None:
+        """Doze until absolute time ``t`` (no energy cost)."""
+        if t > self.now:
+            self.now = t
+
+    def _receive(self, next_arrival, kind: str, ref: int) -> float:
+        """Attempt receptions until one succeeds; returns attempts made.
+
+        ``next_arrival(t)`` maps a time to the page's next on-air slot.
+        Every attempt (successful or lost) keeps the radio active for one
+        slot, advances the clock past it, and is appended to ``log`` as a
+        ``(kind, ref, arrival, ok)`` event for trace tooling.
+        """
+        attempts = 0
+        while True:
+            arrival = next_arrival(self.now)
+            self.now = arrival + 1.0
+            attempts += 1
+            ok = self.loss is None or not self.loss.lost(arrival)
+            self.log.append((kind, ref, arrival, ok))
+            if ok:
+                return attempts
+            self.lost_pages += 1
+
+    def download_index_page(self, page_id: int) -> float:
+        """Wait for and download one index page; returns the finish time."""
+        attempts = self._receive(
+            lambda t: self.channel.next_index_arrival(page_id, t),
+            "index",
+            page_id,
+        )
+        self.index_pages += attempts
+        return self.now
+
+    def peek_index_arrival(self, page_id: int) -> float:
+        """Arrival time of an index page if requested now (no download)."""
+        return self.channel.next_index_arrival(page_id, self.now)
+
+    def download_object(self, object_index: int) -> float:
+        """Download all pages of a data object; returns the finish time."""
+        for off in self.channel.program.object_data_offsets(object_index):
+            attempts = self._receive(
+                lambda t, off=off: self.channel.next_data_arrival(off, t),
+                "data",
+                object_index,
+            )
+            self.data_pages += attempts
+        return self.now

@@ -1,0 +1,48 @@
+"""Client-side broadcast query processing engine.
+
+Implements the building blocks shared by every TNN algorithm:
+
+* :class:`BroadcastNNSearch` — a *steppable* nearest-neighbor search over an
+  air-indexed R-tree.  The candidate queue is ordered by **arrival time**
+  (not MINDIST), because backtracking on a broadcast medium means waiting a
+  whole index replica (Section 2.2 / Figure 3).  Children are pushed without
+  pruning and filtered at pop time — the paper's *delayed pruning*
+  adjustment (Section 4.2.4) that makes Hybrid-NN's mid-flight re-steering
+  sound.  The search supports the two Hybrid-NN mutations: ``retarget``
+  (Case 2: replace the query point) and ``switch_to_transitive`` (Case 3:
+  hunt for the minimum transitive distance with MinTransDist /
+  MinMaxTransDist).
+* :class:`BroadcastRangeSearch` — the filter-phase circle query.
+* pruning policies — exact search and the ANN approximation of Section 5
+  (Heuristics 1 and 2, static and dynamic alpha).
+* :func:`run_all` — a cooperative scheduler that interleaves steppable
+  searches on multiple channels in simulated-time order.
+"""
+
+from repro.client.policies import (
+    AnnPolicy,
+    ExactPolicy,
+    PruneContext,
+    dynamic_alpha,
+    fixed_alpha,
+)
+from repro.client.search import BroadcastNNSearch, SearchMode
+from repro.client.range_query import BroadcastRangeSearch
+from repro.client.knn import BroadcastKNNSearch
+from repro.client.window import BroadcastWindowSearch
+from repro.client.scheduler import run_all, run_sequential
+
+__all__ = [
+    "BroadcastNNSearch",
+    "BroadcastKNNSearch",
+    "BroadcastRangeSearch",
+    "BroadcastWindowSearch",
+    "SearchMode",
+    "ExactPolicy",
+    "AnnPolicy",
+    "PruneContext",
+    "fixed_alpha",
+    "dynamic_alpha",
+    "run_all",
+    "run_sequential",
+]

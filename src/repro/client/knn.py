@@ -1,0 +1,107 @@
+"""Steppable broadcast k-nearest-neighbor search.
+
+Generalises :class:`~repro.client.search.BroadcastNNSearch` to ``k``
+answers: the pruning bound is the k-th best candidate distance, everything
+else (arrival-order queue, delayed pruning, doze-between-pages accounting)
+is identical.  Not used by the TNN algorithms themselves but part of the
+public client API — a broadcast spatial library without kNN would be
+incomplete, and the generalised TNN variants of future work build on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import List, Tuple
+
+from repro.broadcast.tuner import ChannelTuner
+from repro.geometry import Point, distance
+from repro.rtree.node import RTreeNode
+from repro.rtree.tree import RTree
+
+
+class BroadcastKNNSearch:
+    """Exact k-NN over one broadcast channel, in arrival order."""
+
+    def __init__(
+        self,
+        tree: RTree,
+        tuner: ChannelTuner,
+        query: Point,
+        k: int,
+        start_time: float = 0.0,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.tree = tree
+        self.tuner = tuner
+        self.query = query
+        self.k = k
+        #: Max-heap (negated distances) of the best k candidates so far.
+        self._best: List[Tuple[float, int, Point]] = []
+        self._counter = itertools.count()
+        self._queue: List[Tuple[float, int, RTreeNode]] = []
+        tuner.advance_to(start_time)
+        self._push(tree.root)
+
+    # ------------------------------------------------------------------
+    def _push(self, node: RTreeNode) -> None:
+        arrival = self.tuner.peek_index_arrival(node.page_id)
+        heapq.heappush(self._queue, (arrival, next(self._counter), node))
+
+    def _normalize_head(self) -> None:
+        while self._queue:
+            arrival, seq, node = self._queue[0]
+            true_arrival = self.tuner.peek_index_arrival(node.page_id)
+            if true_arrival <= arrival:
+                return
+            heapq.heapreplace(self._queue, (true_arrival, seq, node))
+
+    @property
+    def bound(self) -> float:
+        """The k-th best candidate distance (inf until k candidates seen)."""
+        if len(self._best) < self.k:
+            return math.inf
+        return -self._best[0][0]
+
+    def _offer(self, pt: Point) -> None:
+        d = distance(self.query, pt)
+        entry = (-d, next(self._counter), pt)
+        if len(self._best) < self.k:
+            heapq.heappush(self._best, entry)
+        elif d < self.bound:
+            heapq.heapreplace(self._best, entry)
+
+    # ------------------------------------------------------------------
+    def finished(self) -> bool:
+        return not self._queue
+
+    def next_event_time(self) -> float:
+        self._normalize_head()
+        return self._queue[0][0] if self._queue else math.inf
+
+    def step(self) -> None:
+        if not self._queue:
+            raise RuntimeError("step() on a finished search")
+        self._normalize_head()
+        _, _, node = heapq.heappop(self._queue)
+        if node.mbr.mindist(self.query) > self.bound:
+            return
+        self.tuner.download_index_page(node.page_id)
+        if node.is_leaf:
+            for pt in node.points:
+                self._offer(pt)
+        else:
+            for child in node.children:
+                self._push(child)
+
+    def run_to_completion(self) -> List[Tuple[Point, float]]:
+        while not self.finished():
+            self.step()
+        return self.results()
+
+    def results(self) -> List[Tuple[Point, float]]:
+        """The (up to) k nearest points, ascending by distance."""
+        ordered = sorted(self._best, key=lambda e: -e[0])
+        return [(pt, -negd) for negd, _, pt in ordered]

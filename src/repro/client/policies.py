@@ -1,0 +1,151 @@
+"""Pruning policies: exact NN and the ANN approximation of Section 5.
+
+The exact policy prunes only nodes that provably cannot improve the answer
+(handled by the search itself via MinDist / MinTransDist).  The ANN policy
+additionally discards nodes whose *probability* of containing the answer is
+small, estimated by the covered-area fraction of the node's MBR:
+
+* Heuristic 1 (plain NN): overlap of ``circle(query, upper_bound)``;
+* Heuristic 2 (Hybrid Case 3): overlap of the ellipse with foci ``(p, r)``
+  and major axis ``upper_bound``.
+
+A node is pruned when the covered fraction is at most ``alpha``.  ``alpha``
+may be fixed or the paper's dynamic value ``node_depth / tree_height *
+factor`` (Equation 4): near the root alpha ~ 0 (prudent, pruning costs
+whole subtrees), near the leaves alpha grows (aggressive, penalty is
+small).  The node currently witnessing the upper bound is never pruned, so
+the search always reaches a real data point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol
+
+from repro.geometry import (
+    Circle,
+    Ellipse,
+    Point,
+    Rect,
+    circle_rect_overlap_ratio,
+    ellipse_rect_overlap_ratio,
+)
+
+#: alpha as a function of (node_depth, tree_height).
+AlphaFunction = Callable[[int, int], float]
+
+
+def fixed_alpha(alpha: float) -> AlphaFunction:
+    """A constant pruning threshold (the static baseline of Lin et al.)."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    return lambda depth, height: alpha
+
+
+def dynamic_alpha(factor: float = 1.0) -> AlphaFunction:
+    """Equation 4: ``alpha = node_depth / tree_height * factor``.
+
+    The paper uses ``factor = 1`` for Double-NN and Window-Based-TNN and
+    ``factor = 1/150`` or ``1/200`` for Hybrid-NN.
+    """
+
+    def alpha(depth: int, height: int) -> float:
+        if height <= 0:
+            return 0.0
+        return min(max(depth / height * factor, 0.0), 1.0)
+
+    return alpha
+
+
+@dataclass(frozen=True)
+class PruneContext:
+    """Everything a policy may inspect when deciding to drop a node."""
+
+    mbr: Rect
+    depth: int
+    tree_height: int
+    upper_bound: float
+    #: Plain-NN query point (None in transitive mode).
+    query: Optional[Point]
+    #: Transitive-mode endpoints (None in plain mode).
+    start: Optional[Point]
+    end: Optional[Point]
+    #: True when this node is the current witness of the upper bound.
+    is_bound_witness: bool
+    #: Data points in the node's subtree (for the probability estimate).
+    point_count: int = 1
+
+
+class PruningPolicy(Protocol):
+    """Decides whether a *not-yet-excluded* node may be skipped anyway."""
+
+    def should_prune(self, ctx: PruneContext) -> bool:  # pragma: no cover
+        ...
+
+
+class ExactPolicy:
+    """Exact NN search: no approximate pruning at all."""
+
+    name = "exact"
+
+    def should_prune(self, ctx: PruneContext) -> bool:
+        return False
+
+
+class AnnPolicy:
+    """Approximate NN pruning via MBR coverage (Heuristics 1 and 2).
+
+    The paper prunes a node when the estimated *probability* that it
+    contains a bound-improving point falls below alpha, with the node's
+    contents assumed uniformly distributed inside its MBR.  Under that very
+    assumption a node holding ``n`` points has
+
+        ``P(some point in overlap) = 1 - (1 - ratio)^n``
+
+    where ``ratio = area(shape ∩ MBR) / area(MBR)``.  For ``n = 1`` this is
+    exactly the paper's overlap ratio; for the large subtrees behind
+    shallow nodes it correctly saturates toward 1 so a top-level node that
+    covers the query region is never discarded on a sliver-thin *relative*
+    overlap — a literal ratio-only test does exactly that and wrecks the
+    answer quality the ANN optimisation relies on (see DESIGN.md).
+    """
+
+    name = "ann"
+
+    def __init__(self, alpha: AlphaFunction | float = 1.0) -> None:
+        if isinstance(alpha, (int, float)):
+            alpha = fixed_alpha(float(alpha))
+        self.alpha = alpha
+
+    def should_prune(self, ctx: PruneContext) -> bool:
+        if ctx.is_bound_witness:
+            # The witness must stay visitable or the search may terminate
+            # without reaching any leaf (Section 5.1).
+            return False
+        if ctx.upper_bound == float("inf"):
+            # No bound yet: the covering shape is the whole plane.
+            return False
+        threshold = self.alpha(ctx.depth, ctx.tree_height)
+        if threshold <= 0.0:
+            return False
+        if ctx.query is not None:
+            shape_ratio = circle_rect_overlap_ratio(
+                Circle(ctx.query, ctx.upper_bound), ctx.mbr
+            )
+        else:
+            assert ctx.start is not None and ctx.end is not None
+            shape_ratio = ellipse_rect_overlap_ratio(
+                Ellipse(ctx.start, ctx.end, ctx.upper_bound), ctx.mbr
+            )
+        return self._containment_probability(shape_ratio, ctx.point_count) <= threshold
+
+    @staticmethod
+    def _containment_probability(ratio: float, count: int) -> float:
+        """``1 - (1 - ratio)^count`` with numerical care at the edges."""
+        if ratio >= 1.0:
+            return 1.0
+        if ratio <= 0.0:
+            return 0.0
+        n = max(count, 1)
+        return -math.expm1(n * math.log1p(-ratio))

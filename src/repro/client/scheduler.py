@@ -1,0 +1,55 @@
+"""Cooperative scheduler for steppable searches on parallel channels.
+
+A mobile device tuned into multiple channels advances each channel's search
+as its pages arrive.  :func:`run_all` interleaves any number of steppable
+searches in simulated-time order, stepping whichever search would download
+the earliest page next — this is what "the two NN queries are processed in
+parallel" (Algorithm 1, line 3) means operationally.  An optional callback
+fires after every step so a coordinator (Hybrid-NN) can react the moment
+one channel finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, Sequence
+
+
+class Steppable(Protocol):
+    """Anything the scheduler can drive (NN and range searches qualify)."""
+
+    def finished(self) -> bool:  # pragma: no cover - protocol
+        ...
+
+    def next_event_time(self) -> float:  # pragma: no cover - protocol
+        ...
+
+    def step(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+def run_all(
+    searches: Sequence[Steppable],
+    after_step: Optional[Callable[[Steppable], None]] = None,
+) -> None:
+    """Drive all searches to completion in simulated-time order.
+
+    At every iteration the unfinished search with the earliest next page
+    arrival is stepped once.  ``after_step(search)`` runs after each step,
+    letting a coordinator mutate the *other* searches (Hybrid-NN's
+    re-steering) before scheduling continues.
+    """
+    while True:
+        pending = [s for s in searches if not s.finished()]
+        if not pending:
+            return
+        nxt = min(pending, key=lambda s: s.next_event_time())
+        nxt.step()
+        if after_step is not None:
+            after_step(nxt)
+
+
+def run_sequential(searches: Sequence[Steppable]) -> None:
+    """Drive searches one after another (single-channel style)."""
+    for s in searches:
+        while not s.finished():
+            s.step()

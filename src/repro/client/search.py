@@ -1,0 +1,258 @@
+"""Steppable broadcast nearest-neighbor search.
+
+The search engine behind the estimate phase of every TNN algorithm.  Its
+queue is a priority queue keyed by *arrival time* on the broadcast channel,
+so pages are consumed in the order they fly by and backtracking never
+happens (Section 2.2).  Children of a visited node are pushed **without**
+pruning; all pruning happens when a node is popped (delayed pruning,
+Section 4.2.4), which is what allows Hybrid-NN to change the query point or
+the distance metric mid-search without having discarded the subtree that
+the *new* query needs.
+
+Two modes exist:
+
+* ``SearchMode.POINT`` — classic NN to a query point ``q``; prunes with
+  MinDist, tightens the upper bound with MinMaxDist (internal nodes) and
+  real point distances (leaves).
+* ``SearchMode.TRANSITIVE`` — Hybrid-NN Case 3; finds the ``s`` minimising
+  ``dis(p,s)+dis(s,r)``, pruning with MinTransDist and tightening with
+  MinMaxTransDist (Algorithm 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import math
+from typing import List, Optional, Tuple
+
+from repro.broadcast.tuner import ChannelTuner
+from repro.client.policies import ExactPolicy, PruneContext, PruningPolicy
+from repro.geometry import Point, distance, min_max_trans_dist, min_trans_dist
+from repro.rtree.node import RTreeNode
+from repro.rtree.tree import RTree
+
+
+class SearchMode(enum.Enum):
+    """What the search minimises."""
+
+    POINT = "point"
+    TRANSITIVE = "transitive"
+
+
+class BroadcastNNSearch:
+    """One NN search over one broadcast channel, advanced step by step."""
+
+    def __init__(
+        self,
+        tree: RTree,
+        tuner: ChannelTuner,
+        query: Point,
+        policy: PruningPolicy | None = None,
+        start_time: float = 0.0,
+    ) -> None:
+        self.tree = tree
+        self.tuner = tuner
+        self.policy = policy or ExactPolicy()
+        self.mode = SearchMode.POINT
+        self.query: Optional[Point] = query
+        self.start: Optional[Point] = None
+        self.end: Optional[Point] = None
+
+        self.upper_bound = math.inf
+        self.best_point: Optional[Point] = None
+        self.best_dist = math.inf
+        #: page_id of the node currently witnessing the upper bound, if the
+        #: bound comes from a MinMaxDist-style guarantee rather than a point.
+        self._witness_page: Optional[int] = None
+
+        self._counter = itertools.count()
+        self._queue: List[Tuple[float, int, RTreeNode]] = []
+        #: Largest queue size reached — the client's memory footprint.
+        #: Section 4.2.4 bounds the delayed-pruning queue by
+        #: ``(H - 1) x (M - 1)`` MBRs for a DFS-ordered broadcast.
+        self.max_queue_size = 0
+        tuner.advance_to(start_time)
+        self._push(tree.root)
+
+    # ------------------------------------------------------------------
+    # Queue plumbing
+    # ------------------------------------------------------------------
+    def _push(self, node: RTreeNode) -> None:
+        arrival = self.tuner.peek_index_arrival(node.page_id)
+        heapq.heappush(self._queue, (arrival, next(self._counter), node))
+        if len(self._queue) > self.max_queue_size:
+            self.max_queue_size = len(self._queue)
+
+    def _normalize_head(self) -> None:
+        """Refresh stale arrival keys so the head is the true next page.
+
+        Arrivals are computed at push time; by pop time the clock may have
+        moved past them, in which case the node's next replica is later.
+        Recomputed keys never decrease, so one sift per displaced head
+        converges.
+        """
+        while self._queue:
+            arrival, seq, node = self._queue[0]
+            true_arrival = self.tuner.peek_index_arrival(node.page_id)
+            if true_arrival <= arrival:
+                return
+            heapq.heapreplace(self._queue, (true_arrival, seq, node))
+
+    # ------------------------------------------------------------------
+    # Introspection for the scheduler
+    # ------------------------------------------------------------------
+    def finished(self) -> bool:
+        return not self._queue
+
+    def next_event_time(self) -> float:
+        """Arrival time of the next page this search would download."""
+        self._normalize_head()
+        return self._queue[0][0] if self._queue else math.inf
+
+    @property
+    def now(self) -> float:
+        return self.tuner.now
+
+    # ------------------------------------------------------------------
+    # Distance metrics for the current mode
+    # ------------------------------------------------------------------
+    def _lower_bound(self, node: RTreeNode) -> float:
+        if self.mode is SearchMode.POINT:
+            return node.mbr.mindist(self.query)
+        return min_trans_dist(self.start, node.mbr, self.end)
+
+    def _guaranteed_bound(self, node: RTreeNode) -> float:
+        if self.mode is SearchMode.POINT:
+            return node.mbr.minmaxdist(self.query)
+        return min_max_trans_dist(self.start, node.mbr, self.end)
+
+    def _point_dist(self, pt: Point) -> float:
+        if self.mode is SearchMode.POINT:
+            return distance(self.query, pt)
+        return distance(self.start, pt) + distance(pt, self.end)
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process one queued node (prune it or download and expand it)."""
+        if not self._queue:
+            raise RuntimeError("step() on a finished search")
+        self._normalize_head()
+        _, _, node = heapq.heappop(self._queue)
+
+        if self._lower_bound(node) > self.upper_bound:
+            return  # exact pruning: provably cannot improve the answer
+        if self.policy.should_prune(self._prune_context(node)):
+            return  # ANN pruning: unlikely to improve the answer
+
+        self.tuner.download_index_page(node.page_id)
+        if node.is_leaf:
+            self._absorb_leaf(node)
+        else:
+            self._absorb_internal(node)
+
+    def run_to_completion(self) -> None:
+        while not self.finished():
+            self.step()
+
+    def _prune_context(self, node: RTreeNode) -> PruneContext:
+        return PruneContext(
+            mbr=node.mbr,
+            depth=self.tree.depth_of(node),
+            tree_height=self.tree.height,
+            upper_bound=self.upper_bound,
+            query=self.query if self.mode is SearchMode.POINT else None,
+            start=self.start,
+            end=self.end,
+            is_bound_witness=(node.page_id == self._witness_page),
+            point_count=node.point_count,
+        )
+
+    def _absorb_leaf(self, node: RTreeNode) -> None:
+        for pt in node.points:
+            d = self._point_dist(pt)
+            if d < self.best_dist:
+                self.best_dist = d
+                self.best_point = pt
+        if self.best_dist < self.upper_bound:
+            self.upper_bound = self.best_dist
+            self._witness_page = None  # a concrete point witnesses the bound
+
+    def _absorb_internal(self, node: RTreeNode) -> None:
+        was_witness = node.page_id == self._witness_page
+        best_child = None
+        best_guarantee = math.inf
+        for child in node.children:
+            z = self._guaranteed_bound(child)
+            if z < best_guarantee:
+                best_guarantee = z
+                best_child = child
+            self._push(child)  # delayed pruning: push everything
+        if best_guarantee < self.upper_bound:
+            self.upper_bound = best_guarantee
+            self._witness_page = best_child.page_id
+        elif was_witness and self._witness_page == node.page_id:
+            # The downloaded node carried the bound's guarantee; hand the
+            # witness role to the child that inherits it so ANN pruning can
+            # never orphan the upper bound.
+            self._witness_page = best_child.page_id
+
+    # ------------------------------------------------------------------
+    # Hybrid-NN mutations
+    # ------------------------------------------------------------------
+    def retarget(self, new_query: Point) -> None:
+        """Case 2: replace the query point, keeping the remaining queue.
+
+        The old best point (found w.r.t. the previous query) seeds the new
+        upper bound after re-evaluation, and every queued MBR's MinMaxDist
+        is scanned for an even tighter initial bound — the paper's "initial
+        upper bound update".
+        """
+        if self.mode is not SearchMode.POINT:
+            raise RuntimeError("retarget() only applies to point mode")
+        self.query = new_query
+        if self.best_point is not None:
+            self.best_dist = distance(new_query, self.best_point)
+        else:
+            self.best_dist = math.inf
+        self.upper_bound = self.best_dist
+        self._witness_page = None
+        self._rescan_queue_bounds()
+
+    def switch_to_transitive(self, start: Point, end: Point) -> None:
+        """Case 3: minimise ``dis(start, s) + dis(s, end)`` from here on."""
+        if self.mode is SearchMode.TRANSITIVE:
+            raise RuntimeError("search is already in transitive mode")
+        self.mode = SearchMode.TRANSITIVE
+        self.start = start
+        self.end = end
+        self.query = None
+        if self.best_point is not None:
+            self.best_dist = distance(start, self.best_point) + distance(
+                self.best_point, end
+            )
+        else:
+            self.best_dist = math.inf
+        self.upper_bound = self.best_dist
+        self._witness_page = None
+        self._rescan_queue_bounds()
+
+    def _rescan_queue_bounds(self) -> None:
+        """Initial upper-bound update over every queued MBR (Section 4.2.3)."""
+        for _, _, node in self._queue:
+            z = self._guaranteed_bound(node)
+            if z < self.upper_bound:
+                self.upper_bound = z
+                self._witness_page = node.page_id
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self) -> Tuple[Point, float]:
+        """The best point found and its distance under the current mode."""
+        if self.best_point is None:
+            raise RuntimeError("search finished without finding any point")
+        return self.best_point, self.best_dist

@@ -1,0 +1,78 @@
+"""Steppable broadcast window (rectangle) query.
+
+Section 2.2 of the paper uses window queries as the canonical example of
+R-tree search; the filter phase's circle query is a special case.  This
+class completes the client API with the rectangular variant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import List, Tuple
+
+from repro.broadcast.tuner import ChannelTuner
+from repro.geometry import Point, Rect
+from repro.rtree.node import RTreeNode
+from repro.rtree.tree import RTree
+
+
+class BroadcastWindowSearch:
+    """Collects every indexed point inside a closed rectangle."""
+
+    def __init__(
+        self,
+        tree: RTree,
+        tuner: ChannelTuner,
+        window: Rect,
+        start_time: float = 0.0,
+    ) -> None:
+        self.tree = tree
+        self.tuner = tuner
+        self.window = window
+        self.results: List[Point] = []
+        self._counter = itertools.count()
+        self._queue: List[Tuple[float, int, RTreeNode]] = []
+        tuner.advance_to(start_time)
+        self._push(tree.root)
+
+    def _push(self, node: RTreeNode) -> None:
+        arrival = self.tuner.peek_index_arrival(node.page_id)
+        heapq.heappush(self._queue, (arrival, next(self._counter), node))
+
+    def _normalize_head(self) -> None:
+        while self._queue:
+            arrival, seq, node = self._queue[0]
+            true_arrival = self.tuner.peek_index_arrival(node.page_id)
+            if true_arrival <= arrival:
+                return
+            heapq.heapreplace(self._queue, (true_arrival, seq, node))
+
+    def finished(self) -> bool:
+        return not self._queue
+
+    def next_event_time(self) -> float:
+        self._normalize_head()
+        return self._queue[0][0] if self._queue else math.inf
+
+    def step(self) -> None:
+        if not self._queue:
+            raise RuntimeError("step() on a finished search")
+        self._normalize_head()
+        _, _, node = heapq.heappop(self._queue)
+        if not self.window.intersects_rect(node.mbr):
+            return
+        self.tuner.download_index_page(node.page_id)
+        if node.is_leaf:
+            self.results.extend(
+                p for p in node.points if self.window.contains_point(p)
+            )
+        else:
+            for child in node.children:
+                self._push(child)
+
+    def run_to_completion(self) -> List[Point]:
+        while not self.finished():
+            self.step()
+        return self.results

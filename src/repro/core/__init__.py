@@ -1,0 +1,43 @@
+"""TNN query processing over multi-channel broadcast — the paper's core.
+
+Five algorithms answer ``p.TNN(S, R)`` where channel 1 broadcasts dataset S
+and channel 2 broadcasts dataset R, both simultaneously accessible:
+
+* :class:`BruteForceTNN` — download everything, join locally (baseline);
+* :class:`WindowBasedTNN` — Zheng/Lee/Lee's sequential two-NN estimate,
+  adapted to run its filter phase on both channels in parallel;
+* :class:`ApproximateTNN` — the closed-form search radius of Equation 1
+  (no estimate traversal; may fail on skewed data);
+* :class:`DoubleNN` — the paper's first new algorithm: both NN queries run
+  from ``p`` in parallel (Algorithm 1);
+* :class:`HybridNN` — the paper's second new algorithm: the first channel
+  to finish re-steers the other (Cases 1-3, Algorithm 2).
+
+The ANN optimisation of Section 5 plugs into any estimate phase through
+:class:`AnnOptimization`.
+"""
+
+from repro.core.environment import TNNEnvironment
+from repro.core.result import TNNResult
+from repro.core.join import transitive_join
+from repro.core.base import TNNAlgorithm
+from repro.core.ann import AnnOptimization
+from repro.core.brute import BruteForceTNN
+from repro.core.window import WindowBasedTNN
+from repro.core.approximate import ApproximateTNN, uniform_knn_radius
+from repro.core.double import DoubleNN
+from repro.core.hybrid import HybridNN
+
+__all__ = [
+    "TNNEnvironment",
+    "TNNResult",
+    "TNNAlgorithm",
+    "AnnOptimization",
+    "transitive_join",
+    "BruteForceTNN",
+    "WindowBasedTNN",
+    "ApproximateTNN",
+    "DoubleNN",
+    "HybridNN",
+    "uniform_knn_radius",
+]

@@ -1,0 +1,43 @@
+"""ANN optimisation plumbing (Section 5 of the paper).
+
+``AnnOptimization`` decides, per channel, which pruning policy the estimate
+phase uses:
+
+* both channels get the dynamic alpha of Equation 4 scaled by ``factor``
+  (1 for Double-NN / Window-Based-TNN, 1/150 or 1/200 for Hybrid-NN);
+* with ``density_aware=True`` (Section 6.2.2) the **sparser** dataset is
+  searched exactly (alpha = 0) — approximating it would inflate the search
+  range and the penalty on the denser dataset's range query would
+  countervail the savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from repro.client.policies import AnnPolicy, ExactPolicy, PruningPolicy, dynamic_alpha
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.environment import TNNEnvironment
+
+
+@dataclass(frozen=True)
+class AnnOptimization:
+    """Configuration of the ANN estimate-phase optimisation."""
+
+    factor: float = 1.0
+    density_aware: bool = True
+
+    def policies(self, env: "TNNEnvironment") -> Tuple[PruningPolicy, PruningPolicy]:
+        """Pruning policies for (channel 1 / S, channel 2 / R)."""
+        ann = AnnPolicy(dynamic_alpha(self.factor))
+        if not self.density_aware:
+            return ann, ann
+        n_s, n_r = len(env.s_points), len(env.r_points)
+        if n_s == n_r:
+            return ann, ann
+        # Both datasets cover the same region, so cardinality orders density.
+        if n_s < n_r:
+            return ExactPolicy(), ann
+        return ann, ExactPolicy()

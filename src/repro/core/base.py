@@ -1,0 +1,148 @@
+"""Shared machinery for TNN algorithms: the estimate-filter skeleton."""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional, Tuple
+
+from repro.broadcast import ChannelTuner
+from repro.client import BroadcastRangeSearch, run_all
+from repro.client.policies import ExactPolicy, PruningPolicy
+from repro.core.ann import AnnOptimization
+from repro.core.environment import TNNEnvironment
+from repro.core.join import transitive_join
+from repro.core.result import TNNResult
+from repro.geometry import Circle, Point
+
+
+class TNNAlgorithm(abc.ABC):
+    """Base class of all TNN query processors.
+
+    Subclasses implement :meth:`_estimate`, returning the search radius
+    (and, for exact algorithms, the seed pair that produced it); the shared
+    filter phase then runs two parallel range queries and the transitive
+    join, and assembles the :class:`TNNResult` with the paper's metrics.
+
+    ``optimization`` plugs the ANN approximation into the estimate phase;
+    ``include_data_retrieval`` additionally downloads the answer pair's
+    data pages at the end (constant across algorithms, hence off by
+    default — the paper measures query processing pages).
+    """
+
+    name: str = "tnn"
+
+    def __init__(
+        self,
+        optimization: Optional[AnnOptimization] = None,
+        include_data_retrieval: bool = False,
+    ) -> None:
+        self.optimization = optimization
+        self.include_data_retrieval = include_data_retrieval
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        env: TNNEnvironment,
+        query: Point,
+        phase_s: float = 0.0,
+        phase_r: float = 0.0,
+    ) -> TNNResult:
+        """Answer one TNN query issued at t=0 with the given channel phases."""
+        tuner_s, tuner_r = env.tuners(phase_s, phase_r)
+        policy_s, policy_r = self._policies(env)
+
+        radius, seed_pair = self._estimate(
+            env, query, tuner_s, tuner_r, policy_s, policy_r
+        )
+        estimate_finish = max(tuner_s.now, tuner_r.now)
+        estimate_pages = tuner_s.pages_downloaded + tuner_r.pages_downloaded
+
+        s, r, dist = self._filter(
+            env, query, radius, seed_pair, tuner_s, tuner_r, estimate_finish
+        )
+        filter_pages = (
+            tuner_s.pages_downloaded + tuner_r.pages_downloaded - estimate_pages
+        )
+
+        data_pages = 0
+        if self.include_data_retrieval and s is not None and r is not None:
+            before = tuner_s.data_pages + tuner_r.data_pages
+            finish = max(tuner_s.now, tuner_r.now)
+            tuner_s.advance_to(finish)
+            tuner_r.advance_to(finish)
+            tuner_s.download_object(env.s_object_of(s))
+            tuner_r.download_object(env.r_object_of(r))
+            data_pages = tuner_s.data_pages + tuner_r.data_pages - before
+
+        return TNNResult(
+            algorithm=self.name,
+            query=query,
+            s=s,
+            r=r,
+            distance=dist,
+            radius=radius,
+            access_time=max(tuner_s.now, tuner_r.now),
+            tune_in_s=tuner_s.pages_downloaded,
+            tune_in_r=tuner_r.pages_downloaded,
+            estimate_pages=estimate_pages,
+            filter_pages=filter_pages,
+            estimate_finish=estimate_finish,
+            data_pages=data_pages,
+            failed=s is None or r is None,
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _policies(
+        self, env: TNNEnvironment
+    ) -> Tuple[PruningPolicy, PruningPolicy]:
+        if self.optimization is None:
+            return ExactPolicy(), ExactPolicy()
+        return self.optimization.policies(env)
+
+    @abc.abstractmethod
+    def _estimate(
+        self,
+        env: TNNEnvironment,
+        query: Point,
+        tuner_s: ChannelTuner,
+        tuner_r: ChannelTuner,
+        policy_s: PruningPolicy,
+        policy_r: PruningPolicy,
+    ) -> Tuple[float, Optional[Tuple[Point, Point]]]:
+        """Phase 1: return ``(search_radius, seed_pair_or_None)``."""
+
+    # ------------------------------------------------------------------
+    # Shared filter phase
+    # ------------------------------------------------------------------
+    def _filter(
+        self,
+        env: TNNEnvironment,
+        query: Point,
+        radius: float,
+        seed_pair: Optional[Tuple[Point, Point]],
+        tuner_s: ChannelTuner,
+        tuner_r: ChannelTuner,
+        start_time: float,
+    ) -> Tuple[Optional[Point], Optional[Point], float]:
+        """Phase 2: parallel range queries on both channels, then the join."""
+        circle = Circle(query, radius)
+        range_s = BroadcastRangeSearch(env.s_tree, tuner_s, circle, start_time)
+        range_r = BroadcastRangeSearch(env.r_tree, tuner_r, circle, start_time)
+        run_all([range_s, range_r])
+
+        seed_bound = math.inf
+        if seed_pair is not None:
+            s0, r0 = seed_pair
+            seed_bound = query.distance_to(s0) + s0.distance_to(r0)
+        return transitive_join(
+            query,
+            range_s.results,
+            range_r.results,
+            initial_bound=seed_bound,
+            initial_pair=seed_pair,
+        )

@@ -1,0 +1,132 @@
+"""The two-channel TNN environment: datasets, air indexes and channels."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.broadcast import (
+    BroadcastChannel,
+    BroadcastProgram,
+    ChannelTuner,
+    SystemParameters,
+)
+from repro.geometry import Point, Rect
+from repro.rtree import RTree, build_rtree
+
+
+@dataclass
+class TNNEnvironment:
+    """Everything a TNN query needs: two indexed datasets on two channels.
+
+    Channel 1 broadcasts dataset **S** (the first hop of the transitive
+    route), channel 2 broadcasts dataset **R** (the second hop).  Build one
+    environment per dataset pair and reuse it across queries — each query
+    draws fresh channel phases via :meth:`tuners`.
+    """
+
+    s_points: List[Point]
+    r_points: List[Point]
+    s_tree: RTree
+    r_tree: RTree
+    s_program: BroadcastProgram
+    r_program: BroadcastProgram
+    params: SystemParameters
+    region: Rect
+    _s_object_index: Dict[Point, int] = field(repr=False, default_factory=dict)
+    _r_object_index: Dict[Point, int] = field(repr=False, default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        s_points: Sequence[Point],
+        r_points: Sequence[Point],
+        params: SystemParameters | None = None,
+        m: int | None = None,
+        packing: str = "str",
+        distributed_levels: int | None = None,
+    ) -> "TNNEnvironment":
+        """Index both datasets and lay them out as broadcast programs.
+
+        Page geometry (leaf capacity, fanout) derives from ``params``
+        (Table 2); the replication factor ``m`` defaults to the
+        access-time-optimal value per channel.  ``distributed_levels``
+        switches both channels from full (1, m) replication to distributed
+        indexing that replicates only that many top tree levels.
+        """
+        params = params or SystemParameters()
+        s_tree = build_rtree(
+            list(s_points), params.leaf_capacity, params.internal_fanout, packing
+        )
+        r_tree = build_rtree(
+            list(r_points), params.leaf_capacity, params.internal_fanout, packing
+        )
+        if distributed_levels is None:
+            s_program = BroadcastProgram(s_tree, params, m=m)
+            r_program = BroadcastProgram(r_tree, params, m=m)
+        else:
+            from repro.broadcast.distributed import DistributedBroadcastProgram
+
+            s_program = DistributedBroadcastProgram(
+                s_tree, params, m=m, replicated_levels=distributed_levels
+            )
+            r_program = DistributedBroadcastProgram(
+                r_tree, params, m=m, replicated_levels=distributed_levels
+            )
+        region = Rect.union_of([s_tree.mbr, r_tree.mbr])
+        env = cls(
+            s_points=list(s_points),
+            r_points=list(r_points),
+            s_tree=s_tree,
+            r_tree=r_tree,
+            s_program=s_program,
+            r_program=r_program,
+            params=params,
+            region=region,
+        )
+        env._s_object_index = {
+            p: i for i, p in enumerate(s_tree.iter_points())
+        }
+        env._r_object_index = {
+            p: i for i, p in enumerate(r_tree.iter_points())
+        }
+        return env
+
+    # ------------------------------------------------------------------
+    # Per-query channel state
+    # ------------------------------------------------------------------
+    def tuners(
+        self, phase_s: float = 0.0, phase_r: float = 0.0
+    ) -> Tuple[ChannelTuner, ChannelTuner]:
+        """Fresh tuners for one query, with the given channel phases."""
+        return (
+            ChannelTuner(BroadcastChannel(self.s_program, phase=phase_s)),
+            ChannelTuner(BroadcastChannel(self.r_program, phase=phase_r)),
+        )
+
+    def random_phases(self, rng: random.Random) -> Tuple[float, float]:
+        """Random phases, one per channel — the paper's random waiting time
+        for the two roots."""
+        return (
+            rng.uniform(0, self.s_program.cycle_length),
+            rng.uniform(0, self.r_program.cycle_length),
+        )
+
+    def random_query_point(self, rng: random.Random) -> Point:
+        """A query point uniform over the datasets' common region."""
+        return Point(
+            rng.uniform(self.region.xmin, self.region.xmax),
+            rng.uniform(self.region.ymin, self.region.ymax),
+        )
+
+    # ------------------------------------------------------------------
+    # Data-object lookup (for final attribute retrieval)
+    # ------------------------------------------------------------------
+    def s_object_of(self, point: Point) -> int:
+        """Broadcast object index of an S point (leaf order)."""
+        return self._s_object_index[point]
+
+    def r_object_of(self, point: Point) -> int:
+        """Broadcast object index of an R point (leaf order)."""
+        return self._r_object_index[point]

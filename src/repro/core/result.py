@@ -1,0 +1,46 @@
+"""The outcome of one TNN query, with the paper's two cost metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geometry import Point
+
+
+@dataclass
+class TNNResult:
+    """Answer and cost accounting for a single TNN query.
+
+    * ``access_time`` — pages elapsed from query issue (t=0) to completion;
+      the larger of the two channels' finish times (Section 6).
+    * ``tune_in_time`` — total pages downloaded on both channels; the
+      paper's energy proxy.
+    * ``failed`` — only Approximate-TNN can fail: its estimated circle may
+      contain no (or only suboptimal) pairs on skewed data (Section 6.3).
+      Exact correctness versus the oracle is asserted separately in tests.
+    """
+
+    algorithm: str
+    query: Point
+    s: Optional[Point]
+    r: Optional[Point]
+    distance: float
+    radius: float
+    access_time: float
+    tune_in_s: int
+    tune_in_r: int
+    estimate_pages: int
+    filter_pages: int
+    estimate_finish: float
+    data_pages: int = 0
+    failed: bool = False
+
+    @property
+    def tune_in_time(self) -> int:
+        """Total tune-in over both channels, in pages."""
+        return self.tune_in_s + self.tune_in_r
+
+    @property
+    def pair(self) -> tuple[Optional[Point], Optional[Point]]:
+        return (self.s, self.r)

@@ -1,0 +1,53 @@
+"""Dataset persistence: write/read point sets as CSV.
+
+Keeps experiment inputs reproducible on disk — generate once, version the
+file, reload anywhere.  The format is two comma-separated floats per line
+with an optional ``#`` comment header; nothing exotic, so files round-trip
+through spreadsheets and other tools.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, List, Union
+
+from repro.geometry import Point
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_points(points: Iterable[Point], path: PathLike, comment: str = "") -> int:
+    """Write points as ``x,y`` lines; returns the number written."""
+    path = pathlib.Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as f:
+        if comment:
+            for line in comment.splitlines():
+                f.write(f"# {line}\n")
+        for p in points:
+            f.write(f"{p.x!r},{p.y!r}\n")
+            count += 1
+    return count
+
+
+def load_points(path: PathLike) -> List[Point]:
+    """Read a point set written by :func:`save_points`.
+
+    Blank lines and ``#`` comments are skipped; malformed lines raise
+    :class:`ValueError` with the offending line number.
+    """
+    path = pathlib.Path(path)
+    out: List[Point] = []
+    with path.open("r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: expected 'x,y', got {line!r}")
+            try:
+                out.append(Point(float(parts[0]), float(parts[1])))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+    return out

@@ -1,0 +1,42 @@
+"""Generalised TNN queries — the paper's future-work roadmap (Section 7).
+
+The conclusion sketches three extensions, all implemented here over the
+same broadcast substrate:
+
+1. :class:`ChainTNN` — more than two datasets, one broadcast channel each,
+   visited in a specified order (``p -> D1 -> D2 -> ... -> Dk``);
+2. :class:`UnorderedTNN` — two datasets with a free visiting order (the
+   trip-planning flavour: whichever of S-then-R / R-then-S is shorter);
+3. :class:`RoundTripTNN` — a complete tour that returns to the starting
+   point (``p -> s -> r -> p``).
+
+Each follows the estimate-filter paradigm: parallel NN searches seed a
+provably sufficient search radius (the Theorem 1 argument extends to every
+variant — each leg of the optimal route upper-bounds the straight-line
+distance from ``p`` to the object), then parallel range queries and a local
+join finish the query.
+"""
+
+from repro.extensions.chain import ChainEnvironment, ChainResult, ChainTNN, chain_oracle
+from repro.extensions.roundtrip import RoundTripResult, RoundTripTNN, roundtrip_oracle
+from repro.extensions.unordered import UnorderedResult, UnorderedTNN, unordered_oracle
+from repro.extensions.topk import TopKResult, TopKTNN, topk_join, topk_oracle
+from repro.extensions.hybrid_chain import HybridChainTNN
+
+__all__ = [
+    "HybridChainTNN",
+    "ChainEnvironment",
+    "ChainTNN",
+    "ChainResult",
+    "chain_oracle",
+    "RoundTripTNN",
+    "RoundTripResult",
+    "roundtrip_oracle",
+    "UnorderedTNN",
+    "UnorderedResult",
+    "unordered_oracle",
+    "TopKTNN",
+    "TopKResult",
+    "topk_join",
+    "topk_oracle",
+]

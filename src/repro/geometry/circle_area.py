@@ -1,0 +1,89 @@
+"""Exact circle-rectangle intersection area.
+
+Computes ``area(disk(center, r) ∩ rect)`` in closed form by integrating the
+vertical extent of the intersection along x:
+
+    A = ∫ max(0, min(y2, g(x)) - max(y1, -g(x))) dx,   g(x) = sqrt(r² - x²)
+
+with the rectangle translated so the disk sits at the origin.  The
+integrand changes branch only where ``g(x)`` crosses ``y1``/``y2`` or 0,
+so splitting at those breakpoints leaves pieces that integrate exactly via
+``∫ sqrt(r²-x²) dx = (x·sqrt(r²-x²) + r²·asin(x/r)) / 2``.
+
+Used by the ANN circle heuristic (Heuristic 1); the ellipse heuristic has
+no comparable closed form and keeps the polygon-clipping approximation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.rect import Rect
+from repro.geometry.point import Point
+
+
+def _antiderivative(x: float, r: float) -> float:
+    """∫ sqrt(r² - t²) dt evaluated at ``t = x`` (x clamped to [-r, r])."""
+    x = max(-r, min(r, x))
+    return 0.5 * (x * math.sqrt(max(r * r - x * x, 0.0)) + r * r * math.asin(x / r))
+
+
+def circle_rect_intersection_area(
+    center: Point, radius: float, rect: Rect
+) -> float:
+    """Exact area of ``disk(center, radius) ∩ rect``.
+
+    Degenerate inputs (zero radius or empty rectangle) have zero area.
+    """
+    r = radius
+    if r <= 0.0 or not rect.is_valid():
+        return 0.0
+    # Translate so the disk is centered at the origin.
+    x1 = rect.xmin - center.x
+    x2 = rect.xmax - center.x
+    y1 = rect.ymin - center.y
+    y2 = rect.ymax - center.y
+
+    # Clip the integration range to the disk's x-extent.
+    a = max(x1, -r)
+    b = min(x2, r)
+    if a >= b or y1 >= y2:
+        return 0.0
+
+    # Branch breakpoints: where g(x) crosses |y1| and |y2|.
+    cuts = {a, b}
+    for y in (y1, y2):
+        if abs(y) < r:
+            x_cross = math.sqrt(r * r - y * y)
+            for cut in (-x_cross, x_cross):
+                if a < cut < b:
+                    cuts.add(cut)
+    xs = sorted(cuts)
+
+    total = 0.0
+    for left, right in zip(xs, xs[1:]):
+        mid = 0.5 * (left + right)
+        g_mid = math.sqrt(max(r * r - mid * mid, 0.0))
+        # Ties go to the circle branch: when the arc is tangent to the edge
+        # at the midpoint it lies (weakly) inside the edge across the whole
+        # sub-interval, so the arc is the true boundary.
+        upper_is_circle = g_mid <= y2
+        lower_is_circle = -g_mid >= y1
+        # Height at the midpoint decides whether the slab contributes.
+        height = min(y2, g_mid) - max(y1, -g_mid)
+        if height <= 0.0:
+            continue
+        width = right - left
+        piece = 0.0
+        # Upper boundary.
+        if upper_is_circle:
+            piece += _antiderivative(right, r) - _antiderivative(left, r)
+        else:
+            piece += y2 * width
+        # Lower boundary (subtract its integral).
+        if lower_is_circle:
+            piece -= -(_antiderivative(right, r) - _antiderivative(left, r))
+        else:
+            piece -= y1 * width
+        total += piece
+    return max(total, 0.0)

@@ -1,0 +1,42 @@
+"""Points and the Euclidean / transitive distance primitives."""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+
+class Point(NamedTuple):
+    """A point in the plane.
+
+    ``Point`` is a :class:`~typing.NamedTuple` so instances are immutable,
+    hashable, cheap to allocate and unpack naturally (``x, y = point``).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` — ``dis(p, s)`` in the paper."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The midpoint of the segment joining this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points (module-level convenience)."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def transitive_distance(p: Point, s: Point, r: Point) -> float:
+    """The transitive distance ``dis(p, s) + dis(s, r)``.
+
+    This is the quantity a TNN query minimises over pairs ``(s, r)``.
+    """
+    return distance(p, s) + distance(s, r)

@@ -1,0 +1,79 @@
+"""Convex-polygon clipping and area, used by the ANN overlap heuristics.
+
+The ANN pruning conditions (Heuristics 1 and 2) need the area of the
+intersection between an MBR and a circle or ellipse.  We approximate the
+curved shape by a fine convex polygon and clip it to the rectangle with
+Sutherland-Hodgman, which is exact for the polygon and converges quickly to
+the true overlap (the relative error of an n-gon inscribed in a circle is
+O(1/n^2); at n=128 it is below 0.05%, far finer than the pruning decision
+needs).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def polygon_area(vertices: Sequence[Point]) -> float:
+    """Absolute area of a simple polygon via the shoelace formula."""
+    n = len(vertices)
+    if n < 3:
+        return 0.0
+    acc = 0.0
+    for i in range(n):
+        x1, y1 = vertices[i]
+        x2, y2 = vertices[(i + 1) % n]
+        acc += x1 * y2 - x2 * y1
+    return abs(acc) / 2.0
+
+
+def _clip_halfplane(
+    vertices: list[Point], inside, intersect
+) -> list[Point]:
+    """One Sutherland-Hodgman pass against a half-plane.
+
+    ``inside(p)`` tests membership; ``intersect(a, b)`` returns the crossing
+    point of edge ``ab`` with the half-plane boundary.
+    """
+    if not vertices:
+        return []
+    result: list[Point] = []
+    prev = vertices[-1]
+    prev_in = inside(prev)
+    for cur in vertices:
+        cur_in = inside(cur)
+        if cur_in:
+            if not prev_in:
+                result.append(intersect(prev, cur))
+            result.append(cur)
+        elif prev_in:
+            result.append(intersect(prev, cur))
+        prev, prev_in = cur, cur_in
+    return result
+
+
+def clip_polygon_to_rect(vertices: Sequence[Point], rect: Rect) -> list[Point]:
+    """Clip a convex polygon to an axis-aligned rectangle.
+
+    Returns the (possibly empty) clipped polygon's vertices.  Correct for
+    convex input; for the inscribed-polygon approximations used here the
+    input is always convex.
+    """
+
+    def x_cross(a: Point, b: Point, x: float) -> Point:
+        t = (x - a.x) / (b.x - a.x)
+        return Point(x, a.y + t * (b.y - a.y))
+
+    def y_cross(a: Point, b: Point, y: float) -> Point:
+        t = (y - a.y) / (b.y - a.y)
+        return Point(a.x + t * (b.x - a.x), y)
+
+    out = list(vertices)
+    out = _clip_halfplane(out, lambda p: p.x >= rect.xmin, lambda a, b: x_cross(a, b, rect.xmin))
+    out = _clip_halfplane(out, lambda p: p.x <= rect.xmax, lambda a, b: x_cross(a, b, rect.xmax))
+    out = _clip_halfplane(out, lambda p: p.y >= rect.ymin, lambda a, b: y_cross(a, b, rect.ymin))
+    out = _clip_halfplane(out, lambda p: p.y <= rect.ymax, lambda a, b: y_cross(a, b, rect.ymax))
+    return out

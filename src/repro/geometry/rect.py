@@ -1,0 +1,156 @@
+"""Axis-aligned rectangles (MBRs) and the classic R-tree distance metrics."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, NamedTuple, Sequence
+
+from repro.geometry.point import Point
+
+
+class Rect(NamedTuple):
+    """An axis-aligned minimum bounding rectangle ``[xmin, xmax] x [ymin, ymax]``.
+
+    Degenerate rectangles (zero width and/or height) are legal: the MBR of a
+    single point is a point-rectangle.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "Rect":
+        """The tight MBR of a non-empty collection of points."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot build an MBR from zero points")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @classmethod
+    def union_of(cls, rects: Iterable["Rect"]) -> "Rect":
+        """The tight MBR enclosing a non-empty collection of rectangles."""
+        rs = list(rects)
+        if not rs:
+            raise ValueError("cannot build an MBR from zero rectangles")
+        return cls(
+            min(r.xmin for r in rs),
+            min(r.ymin for r in rs),
+            max(r.xmax for r in rs),
+            max(r.ymax for r in rs),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic predicates and accessors
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def is_valid(self) -> bool:
+        """True when the rectangle is non-empty (allows degenerate sides)."""
+        return self.xmin <= self.xmax and self.ymin <= self.ymax
+
+    def contains_point(self, p: Point) -> bool:
+        """Closed containment test (boundary counts as inside)."""
+        return self.xmin <= p.x <= self.xmax and self.ymin <= p.y <= self.ymax
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and self.xmax >= other.xmax
+            and self.ymax >= other.ymax
+        )
+
+    def intersects_rect(self, other: "Rect") -> bool:
+        """Closed intersection test with another rectangle."""
+        return not (
+            other.xmin > self.xmax
+            or other.xmax < self.xmin
+            or other.ymin > self.ymax
+            or other.ymax < self.ymin
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """A copy of this rectangle grown by ``margin`` on every side."""
+        return Rect(
+            self.xmin - margin, self.ymin - margin, self.xmax + margin, self.ymax + margin
+        )
+
+    # ------------------------------------------------------------------
+    # Decomposition
+    # ------------------------------------------------------------------
+    def corners(self) -> Sequence[Point]:
+        """The four vertices in counter-clockwise order."""
+        return (
+            Point(self.xmin, self.ymin),
+            Point(self.xmax, self.ymin),
+            Point(self.xmax, self.ymax),
+            Point(self.xmin, self.ymax),
+        )
+
+    def sides(self) -> Iterator[tuple[Point, Point]]:
+        """The four edges as ``(endpoint, endpoint)`` pairs, CCW."""
+        c = self.corners()
+        for i in range(4):
+            yield c[i], c[(i + 1) % 4]
+
+    # ------------------------------------------------------------------
+    # Distance metrics
+    # ------------------------------------------------------------------
+    def mindist(self, p: Point) -> float:
+        """Minimum distance from ``p`` to this rectangle (0 when inside).
+
+        The classic ``MINDIST`` lower bound of Roussopoulos et al.: no point
+        in the rectangle can be closer to ``p``.
+        """
+        dx = max(self.xmin - p.x, 0.0, p.x - self.xmax)
+        dy = max(self.ymin - p.y, 0.0, p.y - self.ymax)
+        return math.hypot(dx, dy)
+
+    def maxdist(self, p: Point) -> float:
+        """Distance from ``p`` to the farthest corner of the rectangle."""
+        dx = max(p.x - self.xmin, self.xmax - p.x)
+        dy = max(p.y - self.ymin, self.ymax - p.y)
+        return math.hypot(dx, dy)
+
+    def minmaxdist(self, p: Point) -> float:
+        """The ``MINMAXDIST`` upper bound of Roussopoulos et al.
+
+        By the MBR face property every face of an R-tree MBR touches at least
+        one data point, so some data point lies within ``minmaxdist`` of
+        ``p``.  Computed as the minimum over dimensions of the distance to
+        the nearer edge in that dimension combined with the farther edge in
+        the other dimension.
+        """
+        cx = (self.xmin + self.xmax) / 2.0
+        cy = (self.ymin + self.ymax) / 2.0
+        # Nearer x edge, farther y corner.
+        rm_x = self.xmin if p.x <= cx else self.xmax
+        rM_y = self.ymin if p.y >= cy else self.ymax
+        d1 = math.hypot(p.x - rm_x, p.y - rM_y)
+        # Nearer y edge, farther x corner.
+        rm_y = self.ymin if p.y <= cy else self.ymax
+        rM_x = self.xmin if p.x >= cx else self.xmax
+        d2 = math.hypot(p.x - rM_x, p.y - rm_y)
+        return min(d1, d2)

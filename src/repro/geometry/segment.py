@@ -1,0 +1,118 @@
+"""Line-segment predicates used by the transitive distance metrics.
+
+``min_trans_dist`` (Definition 1 of the paper) needs three primitives:
+
+* does the segment ``p r`` intersect an MBR;
+* are two points strictly on the same side of the line carrying an edge;
+* the mirror image of a point across that line (the classic "reflect and
+  straighten" shortest-path trick).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class Segment(NamedTuple):
+    """A closed line segment between two points."""
+
+    a: Point
+    b: Point
+
+    @property
+    def length(self) -> float:
+        return self.a.distance_to(self.b)
+
+    def midpoint(self) -> Point:
+        return self.a.midpoint(self.b)
+
+    def point_at(self, t: float) -> Point:
+        """The point ``a + t * (b - a)``; ``t`` in [0, 1] stays on the segment."""
+        return Point(
+            self.a.x + t * (self.b.x - self.a.x),
+            self.a.y + t * (self.b.y - self.a.y),
+        )
+
+
+def orientation(a: Point, b: Point, c: Point) -> float:
+    """Twice the signed area of triangle ``abc``.
+
+    Positive for counter-clockwise, negative for clockwise, zero for
+    collinear points.
+    """
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+
+
+def _on_segment(a: Point, b: Point, c: Point) -> bool:
+    """True when collinear point ``c`` lies on the closed segment ``ab``."""
+    return (
+        min(a.x, b.x) <= c.x <= max(a.x, b.x)
+        and min(a.y, b.y) <= c.y <= max(a.y, b.y)
+    )
+
+
+def segments_intersect(s1: Segment, s2: Segment) -> bool:
+    """Closed intersection test between two segments (touching counts)."""
+    d1 = orientation(s2.a, s2.b, s1.a)
+    d2 = orientation(s2.a, s2.b, s1.b)
+    d3 = orientation(s1.a, s1.b, s2.a)
+    d4 = orientation(s1.a, s1.b, s2.b)
+
+    if ((d1 > 0 and d2 < 0) or (d1 < 0 and d2 > 0)) and (
+        (d3 > 0 and d4 < 0) or (d3 < 0 and d4 > 0)
+    ):
+        return True
+    if d1 == 0 and _on_segment(s2.a, s2.b, s1.a):
+        return True
+    if d2 == 0 and _on_segment(s2.a, s2.b, s1.b):
+        return True
+    if d3 == 0 and _on_segment(s1.a, s1.b, s2.a):
+        return True
+    if d4 == 0 and _on_segment(s1.a, s1.b, s2.b):
+        return True
+    return False
+
+
+def segment_intersects_rect(seg: Segment, rect: Rect) -> bool:
+    """Closed intersection test between a segment and a rectangle.
+
+    True when the segment touches the boundary or passes through the
+    interior, including the case where an endpoint lies inside.
+    """
+    if rect.contains_point(seg.a) or rect.contains_point(seg.b):
+        return True
+    return any(
+        segments_intersect(seg, Segment(u, v)) for u, v in rect.sides()
+    )
+
+
+def same_strict_side(line: Segment, p: Point, q: Point) -> bool:
+    """True when ``p`` and ``q`` lie strictly on the same side of the
+    (infinite) line through ``line``."""
+    sp = orientation(line.a, line.b, p)
+    sq = orientation(line.a, line.b, q)
+    return (sp > 0 and sq > 0) or (sp < 0 and sq < 0)
+
+
+def reflect_point(p: Point, line: Segment) -> Point:
+    """Mirror image of ``p`` across the infinite line through ``line``.
+
+    Raises :class:`ValueError` for a degenerate (zero-length) line, since a
+    reflection axis is then undefined.
+    """
+    ax, ay = line.a
+    bx, by = line.b
+    dx, dy = bx - ax, by - ay
+    length = math.hypot(dx, dy)
+    if length == 0.0:
+        raise ValueError("cannot reflect across a degenerate segment")
+    # Normalise the direction first so subnormal segment lengths cannot
+    # underflow the projection denominator.
+    ux, uy = dx / length, dy / length
+    t = (p.x - ax) * ux + (p.y - ay) * uy
+    proj = Point(ax + t * ux, ay + t * uy)
+    return Point(2.0 * proj.x - p.x, 2.0 * proj.y - p.y)

@@ -1,0 +1,166 @@
+"""Circles and ellipses plus the ANN overlap-ratio heuristics.
+
+Heuristic 1 (circle-rectangle): during an approximate NN search from query
+point ``p`` with current upper bound ``u``, prune an R-tree node when the
+fraction of its MBR covered by ``circle(p, u)`` is at most the threshold
+alpha.
+
+Heuristic 2 (ellipse-rectangle): during Hybrid-NN Case 3, the locus of
+points whose transitive distance ``dis(p,x)+dis(x,r)`` stays within the
+upper bound is the ellipse with foci ``p`` and ``r`` and major-axis length
+equal to the bound; prune when the MBR's covered fraction is at most alpha.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.point import Point, distance
+from repro.geometry.polygon import clip_polygon_to_rect, polygon_area
+from repro.geometry.rect import Rect
+
+#: Number of vertices used to approximate curved shapes for area overlap.
+POLYGON_SEGMENTS = 96
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A circle given by center and radius — ``circle(p, d)`` in the paper."""
+
+    center: Point
+    radius: float
+
+    @property
+    def area(self) -> float:
+        return math.pi * self.radius * self.radius
+
+    def contains_point(self, p: Point) -> bool:
+        """Closed containment test."""
+        return distance(self.center, p) <= self.radius
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True when the circle and rectangle share at least one point."""
+        return rect.mindist(self.center) <= self.radius
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """True when the whole rectangle lies inside the circle."""
+        return all(self.contains_point(c) for c in rect.corners())
+
+    def to_polygon(self, segments: int = POLYGON_SEGMENTS) -> list[Point]:
+        """Inscribed regular polygon approximating the circle."""
+        cx, cy = self.center
+        step = 2.0 * math.pi / segments
+        return [
+            Point(cx + self.radius * math.cos(i * step), cy + self.radius * math.sin(i * step))
+            for i in range(segments)
+        ]
+
+
+@dataclass(frozen=True)
+class Ellipse:
+    """The ellipse of constant transitive distance.
+
+    ``Ellipse(p, r, major)`` is the set of points ``x`` with
+    ``dis(p,x) + dis(x,r) <= major``.  ``major`` is the full major-axis
+    length (the transitive-distance bound itself), not the semi-axis.
+    An ellipse with ``major < dis(p, r)`` is empty.
+    """
+
+    focus1: Point
+    focus2: Point
+    major: float
+
+    @property
+    def is_empty(self) -> bool:
+        return self.major < distance(self.focus1, self.focus2)
+
+    @property
+    def semi_major(self) -> float:
+        return self.major / 2.0
+
+    @property
+    def semi_minor(self) -> float:
+        c = distance(self.focus1, self.focus2) / 2.0
+        a = self.semi_major
+        if a <= c:
+            return 0.0
+        return math.sqrt(a * a - c * c)
+
+    @property
+    def center(self) -> Point:
+        return self.focus1.midpoint(self.focus2)
+
+    @property
+    def area(self) -> float:
+        return math.pi * self.semi_major * self.semi_minor
+
+    def contains_point(self, p: Point) -> bool:
+        """Closed containment via the focal-sum definition."""
+        return distance(self.focus1, p) + distance(p, self.focus2) <= self.major
+
+    def to_polygon(self, segments: int = POLYGON_SEGMENTS) -> list[Point]:
+        """Inscribed polygon; empty list for an empty/degenerate ellipse."""
+        if self.is_empty:
+            return []
+        a = self.semi_major
+        b = self.semi_minor
+        cx, cy = self.center
+        angle = math.atan2(
+            self.focus2.y - self.focus1.y, self.focus2.x - self.focus1.x
+        )
+        cos_t, sin_t = math.cos(angle), math.sin(angle)
+        step = 2.0 * math.pi / segments
+        out: list[Point] = []
+        for i in range(segments):
+            ex = a * math.cos(i * step)
+            ey = b * math.sin(i * step)
+            out.append(Point(cx + ex * cos_t - ey * sin_t, cy + ex * sin_t + ey * cos_t))
+        return out
+
+
+def _overlap_ratio(shape_polygon: list[Point], rect: Rect) -> float:
+    """Area of (polygon ∩ rect) divided by the rectangle's own area.
+
+    Degenerate (zero-area) rectangles are reported as fully covered when
+    their center lies inside the polygonised shape bounding box — for the
+    pruning heuristic a point-MBR behaves like its single point.
+    """
+    if rect.area == 0.0:
+        # A point or segment MBR: covered iff its center is in the shape.
+        poly_rect = Rect.from_points(shape_polygon) if shape_polygon else None
+        if poly_rect is None:
+            return 0.0
+        clipped = clip_polygon_to_rect(shape_polygon, rect.expanded(1e-12))
+        return 1.0 if clipped else 0.0
+    clipped = clip_polygon_to_rect(shape_polygon, rect)
+    return polygon_area(clipped) / rect.area
+
+
+def circle_rect_overlap_ratio(circle: Circle, rect: Rect) -> float:
+    """Heuristic 1 ratio: ``area(circle ∩ rect) / area(rect)`` in [0, 1].
+
+    Uses the exact closed-form intersection area (see
+    :mod:`repro.geometry.circle_area`); degenerate rectangles fall back to
+    point containment.
+    """
+    if circle.radius <= 0.0 or not circle.intersects_rect(rect):
+        return 0.0
+    if circle.contains_rect(rect):
+        return 1.0
+    if rect.area == 0.0:
+        return 1.0 if circle.contains_point(rect.center) else 0.0
+    from repro.geometry.circle_area import circle_rect_intersection_area
+
+    area = circle_rect_intersection_area(circle.center, circle.radius, rect)
+    return min(max(area / rect.area, 0.0), 1.0)
+
+
+def ellipse_rect_overlap_ratio(ellipse: Ellipse, rect: Rect) -> float:
+    """Heuristic 2 ratio: ``area(ellipse ∩ rect) / area(rect)`` in [0, 1]."""
+    if ellipse.is_empty:
+        return 0.0
+    if all(ellipse.contains_point(c) for c in rect.corners()):
+        return 1.0
+    ratio = _overlap_ratio(ellipse.to_polygon(), rect)
+    return min(max(ratio, 0.0), 1.0)

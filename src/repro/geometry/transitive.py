@@ -1,0 +1,87 @@
+"""Transitive-distance metrics over MBRs (Definitions 1-3 of the paper).
+
+Given a start point ``p``, an MBR ``M`` and an end point ``r``:
+
+* :func:`min_trans_dist` is a **lower** bound on ``dis(p,x) + dis(x,r)``
+  over every ``x`` in ``M`` (Definition 1, computed per Lemma 1's
+  three-case method);
+* :func:`max_dist` bounds the transitive distance through any point of a
+  *segment* from above (Definition 2 / Lemma 2);
+* :func:`min_max_trans_dist` is an **upper** bound guaranteed to be attained
+  by some actual data point inside ``M``, by the MBR face property
+  (Definition 3 / Lemma 3).
+
+Hybrid-NN (Case 3) prunes with ``min_trans_dist`` and tightens its upper
+bound with ``min_max_trans_dist``.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point, distance
+from repro.geometry.rect import Rect
+from repro.geometry.segment import (
+    Segment,
+    reflect_point,
+    same_strict_side,
+    segment_intersects_rect,
+    segments_intersect,
+)
+
+
+def min_trans_dist(p: Point, mbr: Rect, r: Point) -> float:
+    """Minimum possible ``dis(p, x) + dis(x, r)`` over points ``x`` in ``mbr``.
+
+    Implements the three cases of Lemma 1:
+
+    1. segment ``pr`` intersects the MBR -> ``dis(p, r)`` (the straight line
+       already touches the rectangle);
+    2. otherwise, for each side with ``p`` and ``r`` strictly on the same
+       side, reflect ``r`` across it; if the straightened segment crosses
+       that side the optimum touches the side's interior;
+    3. otherwise the optimum bends at one of the four vertices.
+
+    The vertex candidates are always evaluated as a safety net, which keeps
+    the function a valid lower bound even in grazing/degenerate
+    configurations where floating-point side tests are ambiguous.
+    """
+    direct = Segment(p, r)
+    if segment_intersects_rect(direct, mbr):
+        return distance(p, r)
+
+    best = min(distance(p, v) + distance(v, r) for v in mbr.corners())
+
+    for u, v in mbr.sides():
+        side = Segment(u, v)
+        if side.length == 0.0:
+            continue
+        if not same_strict_side(side, p, r):
+            continue
+        r_mirror = reflect_point(r, side)
+        if segments_intersect(Segment(p, r_mirror), side):
+            cand = distance(p, r_mirror)
+            if cand < best:
+                best = cand
+    return best
+
+
+def max_dist(p: Point, side: tuple[Point, Point], r: Point) -> float:
+    """Definition 2: tight upper bound of ``dis(p,x)+dis(x,r)`` over a segment.
+
+    The transitive distance is convex along the segment, so its maximum is
+    attained at one of the two endpoints.
+    """
+    u, v = side
+    return max(
+        distance(p, u) + distance(u, r),
+        distance(p, v) + distance(v, r),
+    )
+
+
+def min_max_trans_dist(p: Point, mbr: Rect, r: Point) -> float:
+    """Definition 3: ``min`` over the four MBR sides of :func:`max_dist`.
+
+    By the MBR face property every side of an R-tree MBR touches at least
+    one data point, so some data point ``s`` inside the node satisfies
+    ``dis(p,s) + dis(s,r) <= min_max_trans_dist(p, mbr, r)`` (Lemma 3).
+    """
+    return min(max_dist(p, side, r) for side in mbr.sides())

@@ -1,0 +1,27 @@
+"""On-demand (point-to-point) access — the paper's comparison access mode.
+
+Section 2.1 contrasts two information-access mechanisms: **broadcast**
+(this library's main subject) and **on-demand**, where each client sends
+its query to the server over a dedicated channel and the server answers it
+directly.  On-demand gives unbeatable latency for one client but the
+server's capacity is finite: response time degrades as concurrent clients
+multiply, while broadcast serves an arbitrary audience at constant cost —
+the scalability argument that motivates the whole line of work.
+
+This package models the on-demand side: an exact in-memory TNN server plus
+an M/M/1 queueing model for the load-dependent response time.
+"""
+
+from repro.ondemand.model import (
+    OnDemandParameters,
+    OnDemandResult,
+    OnDemandTNN,
+    mm1_response_time,
+)
+
+__all__ = [
+    "OnDemandParameters",
+    "OnDemandResult",
+    "OnDemandTNN",
+    "mm1_response_time",
+]

@@ -1,0 +1,112 @@
+"""The on-demand TNN server and its queueing-theoretic response time."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.environment import TNNEnvironment
+from repro.geometry import Point
+from repro.rtree import tnn_oracle
+
+
+def mm1_response_time(service_time: float, utilisation: float) -> float:
+    """Expected M/M/1 response time ``service / (1 - rho)``.
+
+    ``utilisation`` is the server load ``rho = lambda * service_time`` in
+    [0, 1); at ``rho -> 1`` the response time diverges — the cliff that
+    broadcast access never hits.
+    """
+    if service_time <= 0:
+        raise ValueError(f"service time must be positive, got {service_time}")
+    if not 0.0 <= utilisation < 1.0:
+        raise ValueError(f"utilisation must be in [0, 1), got {utilisation}")
+    return service_time / (1.0 - utilisation)
+
+
+@dataclass(frozen=True)
+class OnDemandParameters:
+    """Costs of the point-to-point exchange, in page-time units.
+
+    * ``uplink_pages`` — transmitting the query to the server;
+    * ``service_pages`` — the server's per-query processing time;
+    * ``downlink_pages`` — shipping the answer pair back;
+    * ``query_rate`` — each client's query arrival rate, in queries per
+      page-time (drives server utilisation as clients multiply).
+    """
+
+    uplink_pages: float = 1.0
+    service_pages: float = 4.0
+    downlink_pages: float = 2.0
+    query_rate: float = 0.001
+
+    def utilisation(self, n_clients: int) -> float:
+        """Server load with ``n_clients`` independent Poisson clients."""
+        if n_clients < 0:
+            raise ValueError("client count cannot be negative")
+        return n_clients * self.query_rate * self.service_pages
+
+
+@dataclass
+class OnDemandResult:
+    """Answer and cost metrics of one on-demand TNN query."""
+
+    query: Point
+    s: Point
+    r: Point
+    distance: float
+    #: Pages elapsed: uplink + queueing + service + downlink.
+    access_time: float
+    #: Pages the client radio was active: its own uplink + downlink.
+    tune_in_time: float
+    server_utilisation: float
+
+
+class OnDemandTNN:
+    """An exact TNN server reached over a dedicated channel.
+
+    The server holds both R-trees in memory and answers exactly (random
+    access is free server-side); the client's costs are pure
+    communication.  Raises :class:`ValueError` when the requested load
+    saturates the server.
+    """
+
+    name = "on-demand"
+
+    def __init__(
+        self,
+        env: TNNEnvironment,
+        params: Optional[OnDemandParameters] = None,
+    ) -> None:
+        self.env = env
+        self.params = params or OnDemandParameters()
+
+    def run(self, query: Point, n_clients: int = 1) -> OnDemandResult:
+        """Answer one query with ``n_clients`` concurrently active users."""
+        rho = self.params.utilisation(n_clients)
+        if rho >= 1.0:
+            raise ValueError(
+                f"server saturated: utilisation {rho:.2f} with "
+                f"{n_clients} clients"
+            )
+        s, r, dist = tnn_oracle(query, self.env.s_tree, self.env.r_tree)
+        response = mm1_response_time(self.params.service_pages, rho)
+        access = self.params.uplink_pages + response + self.params.downlink_pages
+        tune_in = self.params.uplink_pages + self.params.downlink_pages
+        return OnDemandResult(
+            query=query,
+            s=s,
+            r=r,
+            distance=dist,
+            access_time=access,
+            tune_in_time=tune_in,
+            server_utilisation=rho,
+        )
+
+    def max_clients(self) -> int:
+        """Largest client population the server can sustain (rho < 1)."""
+        per_client = self.params.query_rate * self.params.service_pages
+        if per_client <= 0:
+            return 2**31 - 1
+        return max(0, math.ceil(1.0 / per_client) - 1)

@@ -1,0 +1,41 @@
+"""Packed R-tree substrate.
+
+The paper broadcasts STR-packed R-trees as its air index (Section 6:
+"we use STR packing algorithm to build the R-tree in order to achieve the
+best performance").  This package provides:
+
+* :class:`RTreeNode` / :class:`RTree` — the index structure, one node per
+  broadcast page;
+* bulk loaders: :func:`str_pack` (Leutenegger et al., ICDE'97 — the paper's
+  choice), :func:`hilbert_pack` (Kamel & Faloutsos, CIKM'93) and
+  :func:`nearest_x_pack` (Roussopoulos & Leifker, SIGMOD'85) for ablations;
+* in-memory reference query algorithms (best-first NN, range search,
+  transitive NN) used as correctness oracles by the broadcast-side client.
+"""
+
+from repro.rtree.node import RTreeNode
+from repro.rtree.tree import RTree
+from repro.rtree.packing import build_rtree, hilbert_pack, nearest_x_pack, str_pack
+from repro.rtree.hilbert import hilbert_index
+from repro.rtree.traversal import (
+    best_first_nn,
+    best_first_knn,
+    range_search,
+    transitive_nn,
+    tnn_oracle,
+)
+
+__all__ = [
+    "RTree",
+    "RTreeNode",
+    "build_rtree",
+    "str_pack",
+    "hilbert_pack",
+    "nearest_x_pack",
+    "hilbert_index",
+    "best_first_nn",
+    "best_first_knn",
+    "range_search",
+    "transitive_nn",
+    "tnn_oracle",
+]

@@ -1,0 +1,89 @@
+"""Terminal line charts for experiment series.
+
+The paper presents its evaluation as line figures; this renderer draws the
+same series as an ASCII chart so `tnn-experiments --chart` gives an
+at-a-glance visual in any terminal, no plotting stack required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Glyphs assigned to series in declaration order.
+MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render named series as an ASCII line chart with a legend.
+
+    X positions are equally spaced in input order (the sweeps use
+    categorical / log-spaced axes); Y is linearly scaled between the global
+    min and max of all series.
+    """
+    if not series:
+        raise ValueError("chart needs at least one series")
+    lengths = {len(v) for v in series.values()}
+    if lengths != {len(x_values)}:
+        raise ValueError("all series must match the x-axis length")
+    if len(x_values) < 2:
+        raise ValueError("chart needs at least two x positions")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to draw")
+
+    all_values = [v for vs in series.values() for v in vs]
+    lo, hi = min(all_values), max(all_values)
+    if math.isclose(lo, hi):
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(i: int) -> int:
+        return round(i * (width - 1) / (len(x_values) - 1))
+
+    def to_row(v: float) -> int:
+        frac = (v - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for marker, (name, values) in zip(MARKERS, series.items()):
+        # Connect consecutive points with linear interpolation.
+        for i in range(len(values) - 1):
+            c0, c1 = to_col(i), to_col(i + 1)
+            v0, v1 = values[i], values[i + 1]
+            for c in range(c0, c1 + 1):
+                t = (c - c0) / (c1 - c0) if c1 > c0 else 0.0
+                r = to_row(v0 + t * (v1 - v0))
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for i, v in enumerate(values):
+            grid[to_row(v)][to_col(i)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_labels = [f"{hi:.4g}", f"{(lo + hi) / 2:.4g}", f"{lo:.4g}"]
+    label_w = max(len(s) for s in y_labels)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_labels[0]
+        elif r == height // 2:
+            label = y_labels[1]
+        elif r == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label:>{label_w}} |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_axis = f"{x_values[0]} .. {x_values[-1]}"
+    lines.append(" " * (label_w + 2) + x_axis)
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, series)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)

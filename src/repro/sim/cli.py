@@ -1,0 +1,121 @@
+"""Command-line entry point: regenerate any figure/table of the paper.
+
+Usage::
+
+    tnn-experiments fig9a --scale 0.1 --queries 20
+    tnn-experiments table3
+    tnn-experiments all --scale 0.05 --queries 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.sim import experiments as exp
+
+#: Every regenerable artifact, in the paper's order.
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig9a": exp.fig9a,
+    "fig9b": exp.fig9b,
+    "fig9c": exp.fig9c,
+    "fig9d": exp.fig9d,
+    "fig11a": exp.fig11a,
+    "fig11b": exp.fig11b,
+    "fig11c": exp.fig11c,
+    "fig11d": exp.fig11d,
+    "fig12a": exp.fig12a,
+    "fig12b": exp.fig12b,
+    "fig12c": exp.fig12c,
+    "fig12d": exp.fig12d,
+    "fig13a": exp.fig13a,
+    "fig13b": exp.fig13b,
+    "table3": exp.table3,
+}
+
+
+def _render(name: str, outcome) -> str:
+    if name == "table3":
+        _rates, text = outcome
+        return text
+    return outcome.render()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tnn-experiments",
+        description="Regenerate the evaluation figures/tables of the EDBT'08 "
+        "multi-channel TNN paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "report"],
+        help="which figure/table to regenerate ('all' runs everything; "
+        "'report' writes a markdown report of every experiment)",
+    )
+    parser.add_argument(
+        "--out",
+        default="report.md",
+        help="output path for the 'report' command (default: report.md)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="dataset-size multiplier vs the paper (default: REPRO_SCALE or 0.1)",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="queries per configuration (default: REPRO_QUERIES or 20; paper: 1000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="additionally draw the series as an ASCII line chart",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from repro.sim.report import generate_report
+
+        text = generate_report(
+            scale=args.scale,
+            n_queries=args.queries,
+            seed=args.seed,
+            progress=lambda name, dt: print(f"{name}: {dt:.1f}s"),
+        )
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"report written to {args.out}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        outcome = EXPERIMENTS[name](
+            scale=args.scale, n_queries=args.queries, seed=args.seed
+        )
+        elapsed = time.perf_counter() - started
+        print(_render(name, outcome))
+        if args.chart and name != "table3":
+            from repro.sim.charts import render_chart
+
+            print()
+            print(
+                render_chart(
+                    outcome.x_values,
+                    outcome.series,
+                    title=f"[{outcome.experiment_id}] {outcome.metric}",
+                )
+            )
+        print(f"({name} finished in {elapsed:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

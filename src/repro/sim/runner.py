@@ -1,0 +1,79 @@
+"""Workload generation and the per-configuration experiment runner."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.base import TNNAlgorithm
+from repro.core.environment import TNNEnvironment
+from repro.core.result import TNNResult
+from repro.geometry import Point
+from repro.sim.stats import ResultStats, summarize
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A reproducible batch of queries for one environment.
+
+    Each query consists of a uniform query point plus an independent random
+    phase per channel (Section 6: 1,000 random query points; random waits
+    for the two roots).  Algorithms compared on the same workload see the
+    *same* points and phases, so differences are purely algorithmic.
+    """
+
+    n_queries: int
+    seed: int = 0
+
+    def queries(self, env: TNNEnvironment) -> List[Tuple[Point, float, float]]:
+        rng = random.Random(self.seed)
+        out = []
+        for _ in range(self.n_queries):
+            p = env.random_query_point(rng)
+            phase_s, phase_r = env.random_phases(rng)
+            out.append((p, phase_s, phase_r))
+        return out
+
+
+class ExperimentRunner:
+    """Runs a set of algorithms over one environment and workload."""
+
+    def __init__(self, env: TNNEnvironment, workload: QueryWorkload) -> None:
+        self.env = env
+        self.workload = workload
+        self._queries = workload.queries(env)
+
+    def run_algorithm(self, algorithm: TNNAlgorithm) -> List[TNNResult]:
+        """All per-query results of one algorithm over the workload."""
+        return [
+            algorithm.run(self.env, p, phase_s, phase_r)
+            for p, phase_s, phase_r in self._queries
+        ]
+
+    def run(self, algorithms: Mapping[str, TNNAlgorithm]) -> Dict[str, ResultStats]:
+        """Summary statistics per algorithm name, on the shared workload."""
+        return {
+            name: summarize(self.run_algorithm(algo))
+            for name, algo in algorithms.items()
+        }
+
+    def compare_failures(
+        self,
+        candidate: TNNAlgorithm,
+        reference: TNNAlgorithm,
+        rel_tol: float = 1e-9,
+    ) -> float:
+        """Fraction of queries where ``candidate`` misses the true answer.
+
+        ``reference`` must be an exact algorithm (Double-NN is the cheap
+        choice); a query counts as failed when the candidate returns no
+        pair or a strictly larger transitive distance.
+        """
+        failures = 0
+        for p, phase_s, phase_r in self._queries:
+            got = candidate.run(self.env, p, phase_s, phase_r)
+            want = reference.run(self.env, p, phase_s, phase_r)
+            if got.failed or got.distance > want.distance * (1 + rel_tol):
+                failures += 1
+        return failures / len(self._queries)

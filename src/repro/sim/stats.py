@@ -1,0 +1,62 @@
+"""Aggregation of per-query results into the paper's reported metrics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.core.result import TNNResult
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Summary statistics of one metric over a batch of queries."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MetricStats":
+        if not values:
+            raise ValueError("cannot summarise zero values")
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / n
+        return cls(
+            mean=mean,
+            std=math.sqrt(var),
+            minimum=min(values),
+            maximum=max(values),
+            count=n,
+        )
+
+
+@dataclass(frozen=True)
+class ResultStats:
+    """The paper's two metrics plus phase breakdown, over a query batch."""
+
+    algorithm: str
+    access_time: MetricStats
+    tune_in: MetricStats
+    estimate_pages: MetricStats
+    filter_pages: MetricStats
+    fail_rate: float
+
+
+def summarize(results: Iterable[TNNResult]) -> ResultStats:
+    """Aggregate one algorithm's results over a workload."""
+    batch: List[TNNResult] = list(results)
+    if not batch:
+        raise ValueError("cannot summarise zero results")
+    return ResultStats(
+        algorithm=batch[0].algorithm,
+        access_time=MetricStats.of([r.access_time for r in batch]),
+        tune_in=MetricStats.of([float(r.tune_in_time) for r in batch]),
+        estimate_pages=MetricStats.of([float(r.estimate_pages) for r in batch]),
+        filter_pages=MetricStats.of([float(r.filter_pages) for r in batch]),
+        fail_rate=sum(1 for r in batch if r.failed) / len(batch),
+    )

@@ -1,0 +1,99 @@
+"""Query trace inspection: what did the radio do, and when?
+
+Every :class:`~repro.broadcast.ChannelTuner` logs each reception attempt
+as ``(kind, ref, arrival, ok)``.  This module turns those logs into
+human-readable artifacts:
+
+* :func:`trace_summary` — per-channel totals (pages, losses, active ratio);
+* :func:`render_timeline` — an ASCII strip per channel showing when the
+  radio was active, which makes the doze-mode behaviour of air indexing
+  (short bursts of listening separated by long sleeps) directly visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.broadcast.tuner import ChannelTuner
+
+#: One logged reception attempt.
+TraceEvent = Tuple[str, int, float, bool]
+
+
+@dataclass(frozen=True)
+class ChannelTraceSummary:
+    """Aggregates of one channel's reception log."""
+
+    pages: int
+    index_pages: int
+    data_pages: int
+    lost_pages: int
+    first_event: float
+    last_event: float
+
+    @property
+    def span(self) -> float:
+        """Pages elapsed between first and last reception."""
+        return max(self.last_event - self.first_event, 0.0)
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of the spanned time the radio was active."""
+        if self.span <= 0:
+            return 1.0 if self.pages else 0.0
+        return min(self.pages / (self.span + 1.0), 1.0)
+
+
+def trace_summary(tuner: ChannelTuner) -> ChannelTraceSummary:
+    """Summarise one tuner's reception log."""
+    events: List[TraceEvent] = list(tuner.log)
+    if not events:
+        return ChannelTraceSummary(0, 0, 0, 0, 0.0, 0.0)
+    arrivals = [t for _, _, t, _ in events]
+    return ChannelTraceSummary(
+        pages=len(events),
+        index_pages=sum(1 for k, _, _, _ in events if k == "index"),
+        data_pages=sum(1 for k, _, _, _ in events if k == "data"),
+        lost_pages=sum(1 for _, _, _, ok in events if not ok),
+        first_event=min(arrivals),
+        last_event=max(arrivals),
+    )
+
+
+def render_timeline(
+    tuners: Sequence[ChannelTuner],
+    labels: Sequence[str] | None = None,
+    width: int = 72,
+) -> str:
+    """ASCII activity strips, one per channel, over a shared time axis.
+
+    ``#`` marks slots with a successful reception, ``!`` a lost one and
+    ``.`` dozing.  Multiple events mapping to one cell keep the "worst"
+    glyph (loss beats success beats doze).
+    """
+    if not tuners:
+        raise ValueError("need at least one tuner")
+    if labels is None:
+        labels = [f"ch{i + 1}" for i in range(len(tuners))]
+    if len(labels) != len(tuners):
+        raise ValueError("one label per tuner required")
+    horizon = max((t.now for t in tuners), default=0.0)
+    if horizon <= 0:
+        raise ValueError("tuners have no activity to render")
+
+    lines = []
+    label_w = max(len(l) for l in labels)
+    for label, tuner in zip(labels, tuners):
+        cells = ["."] * width
+        for _, _, arrival, ok in tuner.log:
+            cell = min(int(arrival / horizon * width), width - 1)
+            if not ok:
+                cells[cell] = "!"
+            elif cells[cell] != "!":
+                cells[cell] = "#"
+        lines.append(f"{label:>{label_w}} |{''.join(cells)}|")
+    axis = f"{'':>{label_w}}  0{'':<{width - len(str(round(horizon))) - 1}}{round(horizon)}"
+    lines.append(axis)
+    lines.append(f"{'':>{label_w}}  (# received, ! lost, . dozing; pages)")
+    return "\n".join(lines)

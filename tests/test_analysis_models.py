@@ -1,0 +1,105 @@
+"""Tests cross-validating the analytical models against the simulator."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import (
+    expected_object_wait,
+    expected_root_wait,
+    expected_search_radius_tnn,
+    index_overhead_ratio,
+    optimal_m_analytic,
+    probe_wait_curve,
+)
+from repro.broadcast import (
+    BroadcastChannel,
+    BroadcastProgram,
+    SystemParameters,
+    optimal_m,
+)
+from repro.geometry import Point
+from repro.rtree import str_pack
+
+
+def make_program(n=300, m=4, seed=0):
+    rng = random.Random(seed)
+    pts = [Point(rng.random() * 1000, rng.random() * 1000) for _ in range(n)]
+    params = SystemParameters(page_capacity=64)
+    tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+    return BroadcastProgram(tree, params, m=m)
+
+
+def test_root_wait_matches_simulation():
+    prog = make_program()
+    model = expected_root_wait(prog.index_length, prog.data_length, prog.m)
+    rng = random.Random(1)
+    ch = BroadcastChannel(prog, phase=0.0)
+    waits = []
+    for _ in range(3000):
+        t = rng.uniform(0, prog.cycle_length)
+        waits.append(ch.next_root_arrival(t) - t)
+    empirical = sum(waits) / len(waits)
+    assert abs(empirical - model) / model < 0.05
+
+
+def test_object_wait_matches_simulation():
+    prog = make_program(m=2)
+    model = expected_object_wait(prog.index_length, prog.data_length, prog.m)
+    rng = random.Random(2)
+    ch = BroadcastChannel(prog, phase=0.0)
+    waits = []
+    off = prog.data_length // 3
+    for _ in range(3000):
+        t = rng.uniform(0, prog.cycle_length)
+        waits.append(ch.next_data_arrival(off, t) - t)
+    empirical = sum(waits) / len(waits)
+    assert abs(empirical - model) / model < 0.05
+
+
+def test_index_overhead_monotone_in_m():
+    overheads = [index_overhead_ratio(100, 10_000, m) for m in (1, 2, 4, 8, 16)]
+    assert overheads == sorted(overheads)
+    assert 0 < overheads[0] < overheads[-1] < 1
+
+
+def test_optimal_m_consistent_with_program_default():
+    prog = make_program(m=None and 1)  # just for sizes
+    analytic = optimal_m_analytic(prog.index_length, prog.data_length)
+    rounded = optimal_m(prog.index_length, prog.data_length)
+    assert abs(rounded - analytic) <= 1.0
+
+
+def test_optimal_m_edge_cases():
+    assert optimal_m_analytic(100, 0) == 1.0
+    with pytest.raises(ValueError):
+        optimal_m_analytic(0, 10)
+
+
+def test_probe_wait_curve_is_u_shaped():
+    curve = probe_wait_curve(500, 50_000, [1, 2, 4, 8, 16, 32, 64, 128])
+    values = list(curve.values())
+    best = min(values)
+    assert values[0] > best  # m=1 too few replicas
+    assert values[-1] > best  # m=128 cycle too long
+    best_m = min(curve, key=curve.get)
+    analytic = optimal_m_analytic(500, 50_000)
+    assert best_m / 4 <= analytic <= best_m * 4
+
+
+def test_expected_radius_matches_equation1():
+    from repro.core import uniform_knn_radius
+
+    area = 1000.0 * 1000.0
+    want = uniform_knn_radius(500, area) + uniform_knn_radius(800, area)
+    assert math.isclose(expected_search_radius_tnn(500, 800, area), want)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        expected_root_wait(0, 10, 1)
+    with pytest.raises(ValueError):
+        expected_object_wait(10, 10, 0)
+    with pytest.raises(ValueError):
+        index_overhead_ratio(-1, 10, 1)

@@ -1,0 +1,54 @@
+"""Tests for SystemParameters (Table 2 derivations)."""
+
+import pytest
+
+from repro.broadcast import SystemParameters
+from repro.broadcast.config import PAPER_PAGE_CAPACITIES
+
+
+def test_default_matches_table2():
+    p = SystemParameters()
+    assert p.page_capacity == 64
+    assert p.pointer_size == 2
+    assert p.coordinate_size == 4
+    assert p.data_object_size == 1024
+
+
+def test_entry_sizes():
+    p = SystemParameters()
+    assert p.mbr_entry_size == 18  # 4 coords * 4 bytes + 2-byte pointer
+    assert p.point_entry_size == 10  # 2 coords * 4 bytes + 2-byte pointer
+
+
+def test_fanout_64_bytes_matches_paper():
+    """64-byte pages give fanout 3 — the paper's M = 3."""
+    p = SystemParameters(page_capacity=64)
+    assert p.internal_fanout == 3
+    assert p.leaf_capacity == 6
+
+
+@pytest.mark.parametrize(
+    "capacity,fanout,leaf_cap",
+    [(64, 3, 6), (128, 7, 12), (256, 14, 25), (512, 28, 51)],
+)
+def test_fanout_scaling(capacity, fanout, leaf_cap):
+    p = SystemParameters(page_capacity=capacity)
+    assert p.internal_fanout == fanout
+    assert p.leaf_capacity == leaf_cap
+
+
+@pytest.mark.parametrize("capacity", PAPER_PAGE_CAPACITIES)
+def test_pages_per_object(capacity):
+    p = SystemParameters(page_capacity=capacity)
+    assert p.pages_per_object == -(-1024 // capacity)
+
+
+def test_too_small_page_rejected():
+    with pytest.raises(ValueError):
+        SystemParameters(page_capacity=10)
+
+
+def test_frozen():
+    p = SystemParameters()
+    with pytest.raises(AttributeError):
+        p.page_capacity = 128

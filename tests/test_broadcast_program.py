@@ -1,0 +1,148 @@
+"""Tests for the (1, m) broadcast program layout and arrival arithmetic."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast import BroadcastProgram, SystemParameters, optimal_m
+from repro.geometry import Point
+from repro.rtree import str_pack
+
+
+def make_tree(n=100, seed=0, leaf_cap=6, fanout=3):
+    rng = random.Random(seed)
+    pts = [Point(rng.random() * 1000, rng.random() * 1000) for _ in range(n)]
+    return str_pack(pts, leaf_capacity=leaf_cap, fanout=fanout)
+
+
+def test_optimal_m_formula():
+    assert optimal_m(100, 10_000) == 10
+    assert optimal_m(100, 100) == 1
+    assert optimal_m(100, 0) == 1
+    assert optimal_m(10, 250) == 5
+
+
+def test_optimal_m_invalid():
+    with pytest.raises(ValueError):
+        optimal_m(0, 100)
+
+
+def test_program_lengths():
+    tree = make_tree(100)
+    params = SystemParameters(page_capacity=64)
+    prog = BroadcastProgram(tree, params, m=2)
+    assert prog.index_length == tree.node_count()
+    assert prog.data_length == 100 * params.pages_per_object
+    assert prog.chunk_length == math.ceil(prog.data_length / 2)
+    assert prog.cycle_length == 2 * (prog.index_length + prog.chunk_length)
+
+
+def test_page_ids_assigned_in_preorder():
+    tree = make_tree(60)
+    BroadcastProgram(tree, m=1)
+    ids = [node.page_id for node in tree.iter_nodes()]
+    assert ids == list(range(tree.node_count()))
+    assert tree.root.page_id == 0
+
+
+def test_index_positions_replicated_m_times():
+    tree = make_tree(80)
+    prog = BroadcastProgram(tree, m=3)
+    positions = prog.index_page_positions(5)
+    assert len(positions) == 3
+    sp = prog.super_page_length
+    assert positions == [5, sp + 5, 2 * sp + 5]
+
+
+def test_index_position_out_of_range():
+    prog = BroadcastProgram(make_tree(30), m=1)
+    with pytest.raises(ValueError):
+        prog.index_page_positions(prog.index_length)
+    with pytest.raises(ValueError):
+        prog.index_page_positions(-1)
+
+
+def test_data_page_positions_follow_index():
+    tree = make_tree(50)
+    prog = BroadcastProgram(tree, m=2)
+    # First data page of chunk 0 sits right after the first index copy.
+    assert prog.data_page_position(0) == prog.index_length
+    # First data page of chunk 1 sits after the second index copy.
+    assert (
+        prog.data_page_position(prog.chunk_length)
+        == prog.super_page_length + prog.index_length
+    )
+
+
+def test_object_data_offsets():
+    tree = make_tree(20)
+    params = SystemParameters(page_capacity=64)  # 16 pages per object
+    prog = BroadcastProgram(tree, params, m=1)
+    offs = prog.object_data_offsets(3)
+    assert offs == list(range(48, 64))
+
+
+def test_object_index_out_of_range():
+    prog = BroadcastProgram(make_tree(20), m=1)
+    with pytest.raises(ValueError):
+        prog.object_data_offsets(20)
+
+
+def test_next_arrival_basic():
+    tree = make_tree(40)
+    prog = BroadcastProgram(tree, m=2)
+    # Page 0 (the root) is on air at cycle offsets 0 and super_page_length.
+    assert prog.next_index_arrival(0, 0.0) == 0.0
+    assert prog.next_index_arrival(0, 0.5) == prog.super_page_length
+    assert prog.next_index_arrival(0, 1.0) == prog.super_page_length
+
+
+def test_next_arrival_wraps_cycle():
+    tree = make_tree(40)
+    prog = BroadcastProgram(tree, m=1)
+    last_slot = prog.cycle_length - 1
+    # Just after the final replica, the next arrival is in the next cycle.
+    t = float(prog.index_length)  # past all index pages of the only copy
+    arrival = prog.next_index_arrival(3, t)
+    assert arrival == prog.cycle_length + 3
+    assert arrival > last_slot
+
+
+def test_missed_page_waits_for_next_replica():
+    tree = make_tree(60)
+    prog = BroadcastProgram(tree, m=4)
+    sp = prog.super_page_length
+    # Miss page 10 by one slot -> wait for the replica in the next super page.
+    assert prog.next_index_arrival(10, 11.0) == sp + 10
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    st.integers(min_value=0, max_value=100),
+)
+def test_arrival_properties(m, now, page_id):
+    tree = make_tree(120, seed=9)
+    prog = BroadcastProgram(tree, m=m)
+    page_id = page_id % prog.index_length
+    arrival = prog.next_index_arrival(page_id, now)
+    # Arrival is never in the past and within one cycle of the request.
+    assert arrival >= now - 1e-9
+    assert arrival <= math.ceil(now) + prog.cycle_length
+    # The arrival slot actually carries the page.
+    offset = int(arrival) % prog.cycle_length
+    assert offset in prog.index_page_positions(page_id)
+    # Idempotence: asking again at the arrival returns the same slot.
+    assert prog.next_index_arrival(page_id, arrival) == arrival
+
+
+def test_no_data_pages_program():
+    """A program can be index-only (data retrieval disabled scenario)."""
+    tree = make_tree(10)
+    params = SystemParameters(page_capacity=64, data_object_size=1024)
+    prog = BroadcastProgram(tree, params, m=1)
+    assert prog.data_length == 160

@@ -1,0 +1,140 @@
+"""Tests for the broadcast kNN and window searches."""
+
+import math
+import random
+
+import pytest
+
+from repro.broadcast import (
+    BroadcastChannel,
+    BroadcastProgram,
+    ChannelTuner,
+    SystemParameters,
+)
+from repro.client import BroadcastKNNSearch, BroadcastWindowSearch
+from repro.geometry import Point, Rect, distance
+from repro.rtree import best_first_knn, str_pack
+from repro.rtree.traversal import window_search
+
+
+def make_setup(n=300, seed=0, m=2, phase=0.0):
+    rng = random.Random(seed)
+    pts = [Point(rng.random() * 1000, rng.random() * 1000) for _ in range(n)]
+    params = SystemParameters(page_capacity=64)
+    tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+    program = BroadcastProgram(tree, params, m=m)
+    return pts, tree, ChannelTuner(BroadcastChannel(program, phase=phase))
+
+
+# ----------------------------------------------------------------------
+# kNN
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("k", [1, 3, 10])
+def test_knn_matches_in_memory(k):
+    pts, tree, tuner = make_setup(seed=1)
+    q = Point(420, 530)
+    got = BroadcastKNNSearch(tree, tuner, q, k).run_to_completion()
+    want = best_first_knn(tree, q, k)
+    assert len(got) == k
+    for (gp, gd), (wp, wd) in zip(got, want):
+        assert math.isclose(gd, wd, rel_tol=1e-12)
+
+
+def test_knn_results_sorted():
+    _, tree, tuner = make_setup(seed=2)
+    got = BroadcastKNNSearch(tree, tuner, Point(100, 100), 8).run_to_completion()
+    dists = [d for _, d in got]
+    assert dists == sorted(dists)
+
+
+def test_knn_k_exceeds_dataset():
+    pts, tree, tuner = make_setup(n=5, seed=3)
+    got = BroadcastKNNSearch(tree, tuner, Point(0, 0), 20).run_to_completion()
+    assert len(got) == 5
+
+
+def test_knn_invalid_k():
+    _, tree, tuner = make_setup(n=10, seed=4)
+    with pytest.raises(ValueError):
+        BroadcastKNNSearch(tree, tuner, Point(0, 0), 0)
+
+
+def test_knn_k1_equals_nn():
+    pts, tree, tuner = make_setup(seed=5)
+    q = Point(700, 200)
+    [(pt, d)] = BroadcastKNNSearch(tree, tuner, q, 1).run_to_completion()
+    assert math.isclose(d, min(distance(q, p) for p in pts), rel_tol=1e-12)
+
+
+def test_knn_downloads_fewer_pages_for_smaller_k():
+    _, tree, t1 = make_setup(n=600, seed=6)
+    _, _, t2 = make_setup(n=600, seed=6)
+    q = Point(500, 500)
+    BroadcastKNNSearch(tree, t1, q, 1).run_to_completion()
+    BroadcastKNNSearch(tree, t2, q, 50).run_to_completion()
+    assert t1.index_pages <= t2.index_pages
+
+
+def test_knn_step_on_finished_raises():
+    _, tree, tuner = make_setup(n=10, seed=7)
+    s = BroadcastKNNSearch(tree, tuner, Point(0, 0), 2)
+    s.run_to_completion()
+    with pytest.raises(RuntimeError):
+        s.step()
+
+
+# ----------------------------------------------------------------------
+# Window search
+# ----------------------------------------------------------------------
+def test_window_matches_in_memory():
+    pts, tree, tuner = make_setup(seed=8)
+    win = Rect(200, 300, 600, 700)
+    got = BroadcastWindowSearch(tree, tuner, win).run_to_completion()
+    assert sorted(got) == sorted(window_search(tree, win))
+
+
+def test_window_empty():
+    _, tree, tuner = make_setup(seed=9)
+    got = BroadcastWindowSearch(tree, tuner, Rect(-10, -10, -5, -5)).run_to_completion()
+    assert got == []
+
+
+def test_window_full_region():
+    pts, tree, tuner = make_setup(n=150, seed=10)
+    got = BroadcastWindowSearch(tree, tuner, Rect(-1, -1, 1001, 1001)).run_to_completion()
+    assert len(got) == len(pts)
+    assert tuner.index_pages == tree.node_count()
+
+
+def test_window_boundary_inclusive():
+    pts = [Point(0, 0), Point(5, 5), Point(10, 10)]
+    params = SystemParameters()
+    tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+    program = BroadcastProgram(tree, params, m=1)
+    tuner = ChannelTuner(BroadcastChannel(program))
+    got = BroadcastWindowSearch(tree, tuner, Rect(0, 0, 5, 5)).run_to_completion()
+    assert sorted(got) == [Point(0, 0), Point(5, 5)]
+
+
+def test_window_step_on_finished_raises():
+    _, tree, tuner = make_setup(n=10, seed=11)
+    s = BroadcastWindowSearch(tree, tuner, Rect(0, 0, 1, 1))
+    s.run_to_completion()
+    with pytest.raises(RuntimeError):
+        s.step()
+
+
+# ----------------------------------------------------------------------
+# Queue accounting (Section 4.2.4 memory claim)
+# ----------------------------------------------------------------------
+def test_nn_queue_stays_small():
+    from repro.client import BroadcastNNSearch
+
+    pts, tree, tuner = make_setup(n=800, seed=12)
+    search = BroadcastNNSearch(tree, tuner, Point(500, 500))
+    search.run_to_completion()
+    h, m = tree.height, max(tree.fanout, tree.leaf_capacity)
+    # The delayed-pruning queue is bounded by roughly one fanout's worth of
+    # siblings per level; allow slack for the arrival-order pop schedule.
+    assert search.max_queue_size <= 3 * h * m
+    assert search.max_queue_size >= 1

@@ -1,0 +1,125 @@
+"""Tests for the pruning policies (exact + ANN heuristics)."""
+
+import math
+
+import pytest
+
+from repro.client import AnnPolicy, ExactPolicy, PruneContext, dynamic_alpha, fixed_alpha
+from repro.geometry import Point, Rect
+
+
+def ctx(
+    mbr=Rect(0, 0, 1, 1),
+    depth=1,
+    height=4,
+    ub=10.0,
+    query=Point(0.5, 0.5),
+    start=None,
+    end=None,
+    witness=False,
+):
+    return PruneContext(
+        mbr=mbr,
+        depth=depth,
+        tree_height=height,
+        upper_bound=ub,
+        query=query,
+        start=start,
+        end=end,
+        is_bound_witness=witness,
+    )
+
+
+def test_exact_policy_never_prunes():
+    assert not ExactPolicy().should_prune(ctx())
+    assert not ExactPolicy().should_prune(ctx(ub=0.001))
+
+
+def test_fixed_alpha_validation():
+    with pytest.raises(ValueError):
+        fixed_alpha(-0.1)
+    with pytest.raises(ValueError):
+        fixed_alpha(1.5)
+    assert fixed_alpha(0.3)(2, 10) == 0.3
+
+
+def test_dynamic_alpha_equation4():
+    a = dynamic_alpha(1.0)
+    assert a(0, 10) == 0.0  # the root is never approximated
+    assert a(5, 10) == 0.5
+    assert a(10, 10) == 1.0
+    assert dynamic_alpha(0.5)(5, 10) == 0.25
+
+
+def test_dynamic_alpha_clamped():
+    a = dynamic_alpha(5.0)
+    assert a(9, 10) == 1.0
+    assert dynamic_alpha(1.0)(0, 0) == 0.0
+
+
+def test_ann_accepts_float_alpha():
+    p = AnnPolicy(0.5)
+    assert p.alpha(3, 10) == 0.5
+
+
+def test_ann_no_bound_no_prune():
+    p = AnnPolicy(1.0)
+    assert not p.should_prune(ctx(ub=math.inf))
+
+
+def test_ann_witness_never_pruned():
+    p = AnnPolicy(1.0)
+    # A far-away MBR with tiny overlap would normally be pruned...
+    far = Rect(100, 100, 101, 101)
+    assert p.should_prune(ctx(mbr=far, ub=1.0))
+    # ...but not while it witnesses the upper bound.
+    assert not p.should_prune(ctx(mbr=far, ub=1.0, witness=True))
+
+
+def test_ann_circle_full_overlap_not_pruned():
+    p = AnnPolicy(0.5)
+    inside = Rect(0.4, 0.4, 0.6, 0.6)
+    assert not p.should_prune(ctx(mbr=inside, ub=5.0))
+
+
+def test_ann_circle_partial_overlap_threshold():
+    # MBR [0,1]^2, circle centered at origin radius 1: overlap ~ pi/4 = .785
+    c = ctx(mbr=Rect(0, 0, 1, 1), query=Point(0, 0), ub=1.0)
+    assert not AnnPolicy(0.5).should_prune(c)   # 0.785 > 0.5 -> keep
+    assert AnnPolicy(0.9).should_prune(c)       # 0.785 <= 0.9 -> prune
+
+
+def test_ann_alpha_zero_keeps_everything_overlapping():
+    c = ctx(mbr=Rect(0, 0, 1, 1), query=Point(0, 0), ub=1.0)
+    assert not AnnPolicy(0.0).should_prune(c)
+
+
+def test_ann_ellipse_mode():
+    # Transitive context: ellipse with foci (0,0), (2,0), major 3.
+    c = ctx(
+        mbr=Rect(0.5, -0.5, 1.5, 0.5),
+        query=None,
+        start=Point(0, 0),
+        end=Point(2, 0),
+        ub=3.0,
+    )
+    # The MBR around the segment midpoint is entirely inside the ellipse.
+    assert not AnnPolicy(0.99).should_prune(c)
+    far = ctx(
+        mbr=Rect(50, 50, 51, 51),
+        query=None,
+        start=Point(0, 0),
+        end=Point(2, 0),
+        ub=3.0,
+    )
+    assert AnnPolicy(0.1).should_prune(far)
+
+
+def test_dynamic_alpha_root_vs_leaf_behaviour():
+    """Deep nodes are pruned more aggressively than shallow ones."""
+    policy = AnnPolicy(dynamic_alpha(1.0))
+    half_covered = Rect(0, -0.5, 2, 0.5)  # circle(origin,1) covers ~ 39%
+    shallow = ctx(mbr=half_covered, query=Point(0, 0), ub=1.0, depth=1, height=10)
+    deep = ctx(mbr=half_covered, query=Point(0, 0), ub=1.0, depth=9, height=10)
+    assert not policy.should_prune(shallow)
+    assert policy.should_prune(deep)

@@ -1,0 +1,236 @@
+"""Correctness of all TNN algorithms against the in-memory oracle.
+
+The central invariant of the reproduction: every *exact* algorithm
+(brute force, Window-Based, Double-NN, Hybrid-NN — with or without the ANN
+optimisation) returns a pair whose transitive distance equals the oracle's
+optimum, on every instance, regardless of channel phases.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.broadcast import SystemParameters
+from repro.core import (
+    AnnOptimization,
+    ApproximateTNN,
+    BruteForceTNN,
+    DoubleNN,
+    HybridNN,
+    TNNEnvironment,
+    WindowBasedTNN,
+)
+from repro.core.join import verify_pair
+from repro.geometry import Point
+from repro.rtree import tnn_oracle
+
+
+def small_env(ns=80, nr=60, seed=0, side=1000.0, capacity=64, m=2):
+    rng = random.Random(seed)
+    s_pts = [Point(rng.random() * side, rng.random() * side) for _ in range(ns)]
+    r_pts = [Point(rng.random() * side, rng.random() * side) for _ in range(nr)]
+    params = SystemParameters(page_capacity=capacity)
+    return TNNEnvironment.build(s_pts, r_pts, params, m=m)
+
+
+EXACT_ALGORITHMS = [BruteForceTNN, WindowBasedTNN, DoubleNN, HybridNN]
+
+
+@pytest.fixture(scope="module")
+def env():
+    return small_env(seed=42)
+
+
+@pytest.fixture(scope="module")
+def oracle(env):
+    def lookup(p):
+        return tnn_oracle(p, env.s_tree, env.r_tree)
+
+    return lookup
+
+
+@pytest.mark.parametrize("algo_cls", EXACT_ALGORITHMS)
+def test_exact_algorithms_match_oracle(algo_cls, env, oracle):
+    rng = random.Random(7)
+    algo = algo_cls()
+    for _ in range(8):
+        p = env.random_query_point(rng)
+        phases = env.random_phases(rng)
+        result = algo.run(env, p, *phases)
+        _, _, want = oracle(p)
+        assert not result.failed
+        assert math.isclose(result.distance, want, rel_tol=1e-9), algo.name
+        assert verify_pair(p, result.s, result.r, result.distance)
+
+
+@pytest.mark.parametrize("algo_cls", [WindowBasedTNN, DoubleNN, HybridNN])
+def test_ann_optimized_algorithms_still_exact(algo_cls, env, oracle):
+    """Theorem 1: a larger ANN-derived radius never breaks correctness."""
+    rng = random.Random(8)
+    algo = algo_cls(optimization=AnnOptimization(factor=1.0))
+    for _ in range(8):
+        p = env.random_query_point(rng)
+        phases = env.random_phases(rng)
+        result = algo.run(env, p, *phases)
+        _, _, want = oracle(p)
+        assert math.isclose(result.distance, want, rel_tol=1e-9), algo.name
+
+
+def test_hybrid_ann_small_factor_exact(env, oracle):
+    rng = random.Random(9)
+    algo = HybridNN(optimization=AnnOptimization(factor=1.0 / 150))
+    for _ in range(6):
+        p = env.random_query_point(rng)
+        result = algo.run(env, p, *env.random_phases(rng))
+        _, _, want = oracle(p)
+        assert math.isclose(result.distance, want, rel_tol=1e-9)
+
+
+@pytest.mark.parametrize("capacity", [64, 128, 256])
+def test_exactness_across_page_capacities(capacity):
+    env = small_env(seed=3, capacity=capacity)
+    rng = random.Random(10)
+    p = env.random_query_point(rng)
+    want = tnn_oracle(p, env.s_tree, env.r_tree)[2]
+    for algo_cls in (WindowBasedTNN, DoubleNN, HybridNN):
+        result = algo_cls().run(env, p, *env.random_phases(rng))
+        assert math.isclose(result.distance, want, rel_tol=1e-9)
+
+
+def test_unbalanced_sizes_case2_path():
+    """|S| much smaller than |R| forces Hybrid into Case 2."""
+    env = small_env(ns=10, nr=500, seed=4)
+    rng = random.Random(11)
+    for _ in range(5):
+        p = env.random_query_point(rng)
+        want = tnn_oracle(p, env.s_tree, env.r_tree)[2]
+        result = HybridNN().run(env, p, *env.random_phases(rng))
+        assert math.isclose(result.distance, want, rel_tol=1e-9)
+
+
+def test_unbalanced_sizes_case3_path():
+    """|R| much smaller than |S| forces Hybrid into Case 3."""
+    env = small_env(ns=500, nr=10, seed=5)
+    rng = random.Random(12)
+    for _ in range(5):
+        p = env.random_query_point(rng)
+        want = tnn_oracle(p, env.s_tree, env.r_tree)[2]
+        result = HybridNN().run(env, p, *env.random_phases(rng))
+        assert math.isclose(result.distance, want, rel_tol=1e-9)
+
+
+def test_singleton_datasets():
+    env = TNNEnvironment.build(
+        [Point(10, 0)], [Point(20, 0)], SystemParameters(), m=1
+    )
+    for algo_cls in EXACT_ALGORITHMS:
+        result = algo_cls().run(env, Point(0, 0))
+        assert result.pair == (Point(10, 0), Point(20, 0))
+        assert math.isclose(result.distance, 20.0)
+
+
+def test_query_point_on_data_point(env):
+    p = env.s_points[0]
+    want = tnn_oracle(p, env.s_tree, env.r_tree)[2]
+    for algo_cls in EXACT_ALGORITHMS:
+        result = algo_cls().run(env, p)
+        assert math.isclose(result.distance, want, rel_tol=1e-9)
+
+
+def test_query_far_outside_region(env):
+    p = Point(-5000.0, -5000.0)
+    want = tnn_oracle(p, env.s_tree, env.r_tree)[2]
+    for algo_cls in (WindowBasedTNN, DoubleNN, HybridNN):
+        result = algo_cls().run(env, p)
+        assert math.isclose(result.distance, want, rel_tol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Metric accounting invariants
+# ----------------------------------------------------------------------
+def test_result_accounting_consistency(env):
+    rng = random.Random(13)
+    p = env.random_query_point(rng)
+    result = DoubleNN().run(env, p, *env.random_phases(rng))
+    assert result.tune_in_time == result.tune_in_s + result.tune_in_r
+    assert result.estimate_pages + result.filter_pages == result.tune_in_time
+    assert result.access_time >= result.estimate_finish
+    assert result.radius >= result.distance - 1e-9
+
+
+def test_access_time_positive_and_bounded(env):
+    rng = random.Random(14)
+    p = env.random_query_point(rng)
+    phases = env.random_phases(rng)
+    for algo_cls in (WindowBasedTNN, DoubleNN, HybridNN):
+        result = algo_cls().run(env, p, *phases)
+        assert result.access_time > 0
+        # A query should never need more than a few broadcast cycles.
+        max_cycle = max(env.s_program.cycle_length, env.r_program.cycle_length)
+        assert result.access_time < 5 * max_cycle
+
+
+def test_double_and_hybrid_access_times_close(env):
+    """Section 6.1.1: Double-NN and Hybrid-NN start and finish together.
+
+    Re-steering can slightly change which pages the estimate phase visits,
+    so allow a small tolerance rather than exact equality."""
+    rng = random.Random(15)
+    ratios = []
+    for _ in range(10):
+        p = env.random_query_point(rng)
+        phases = env.random_phases(rng)
+        d = DoubleNN().run(env, p, *phases)
+        h = HybridNN().run(env, p, *phases)
+        ratios.append(h.access_time / d.access_time)
+    mean_ratio = sum(ratios) / len(ratios)
+    assert 0.8 <= mean_ratio <= 1.2
+
+
+def test_brute_force_downloads_whole_index(env):
+    result = BruteForceTNN().run(env, Point(500, 500))
+    assert result.tune_in_time == env.s_tree.node_count() + env.r_tree.node_count()
+
+
+def test_estimate_filter_radius_guarantee(env):
+    """Theorem 1: the answer pair always lies inside circle(p, radius)."""
+    rng = random.Random(16)
+    for algo_cls in (WindowBasedTNN, DoubleNN, HybridNN):
+        p = env.random_query_point(rng)
+        result = algo_cls().run(env, p, *env.random_phases(rng))
+        assert p.distance_to(result.s) <= result.radius + 1e-9
+        assert p.distance_to(result.r) <= result.radius + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Approximate-TNN behaviour
+# ----------------------------------------------------------------------
+def test_approximate_tnn_on_uniform_data_usually_correct():
+    env = small_env(ns=300, nr=300, seed=6)
+    rng = random.Random(17)
+    failures = 0
+    for _ in range(10):
+        p = env.random_query_point(rng)
+        result = ApproximateTNN().run(env, p, *env.random_phases(rng))
+        want = tnn_oracle(p, env.s_tree, env.r_tree)[2]
+        if result.failed or not math.isclose(result.distance, want, rel_tol=1e-9):
+            failures += 1
+    assert failures == 0  # Table 3: uni-uni fail rate 0%
+
+
+def test_approximate_tnn_zero_estimate_pages(env):
+    result = ApproximateTNN().run(env, Point(500, 500))
+    assert result.estimate_pages == 0
+    assert result.estimate_finish == 0.0
+
+
+def test_data_retrieval_accounting(env):
+    rng = random.Random(18)
+    p = env.random_query_point(rng)
+    algo = DoubleNN(include_data_retrieval=True)
+    result = algo.run(env, p)
+    assert result.data_pages == 2 * env.params.pages_per_object
+    no_data = DoubleNN().run(env, p)
+    assert no_data.data_pages == 0
+    assert result.access_time > no_data.access_time

@@ -1,0 +1,54 @@
+"""End-to-end TNN over distributed (partial-replication) air indexes."""
+
+import math
+import random
+
+from repro.broadcast.distributed import DistributedBroadcastProgram
+from repro.core import DoubleNN, HybridNN, TNNEnvironment, WindowBasedTNN
+from repro.datasets import uniform
+from repro.geometry import Rect
+from repro.rtree import tnn_oracle
+
+REGION = Rect(0, 0, 2000, 2000)
+
+
+def make_envs():
+    s_pts = uniform(250, seed=61, region=REGION)
+    r_pts = uniform(250, seed=62, region=REGION)
+    full = TNNEnvironment.build(s_pts, r_pts, m=4)
+    dist = TNNEnvironment.build(s_pts, r_pts, m=4, distributed_levels=2)
+    return full, dist
+
+
+def test_distributed_env_uses_distributed_programs():
+    _, dist = make_envs()
+    assert isinstance(dist.s_program, DistributedBroadcastProgram)
+    assert isinstance(dist.r_program, DistributedBroadcastProgram)
+
+
+def test_distributed_cycle_shorter():
+    full, dist = make_envs()
+    assert dist.s_program.cycle_length < full.s_program.cycle_length
+    assert dist.r_program.cycle_length < full.r_program.cycle_length
+
+
+def test_all_algorithms_exact_on_distributed_index():
+    _, dist = make_envs()
+    rng = random.Random(5)
+    for _ in range(4):
+        p = dist.random_query_point(rng)
+        phases = dist.random_phases(rng)
+        want = tnn_oracle(p, dist.s_tree, dist.r_tree)[2]
+        for algo_cls in (WindowBasedTNN, DoubleNN, HybridNN):
+            got = algo_cls().run(dist, p, *phases)
+            assert math.isclose(got.distance, want, rel_tol=1e-9), algo_cls.__name__
+
+
+def test_answers_identical_across_layouts():
+    """The layout changes cost, never the answer."""
+    full, dist = make_envs()
+    rng = random.Random(6)
+    p = full.random_query_point(rng)
+    a = DoubleNN().run(full, p, 17.0, 29.0)
+    b = DoubleNN().run(dist, p, 17.0, 29.0)
+    assert math.isclose(a.distance, b.distance, rel_tol=1e-12)

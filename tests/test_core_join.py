@@ -1,0 +1,101 @@
+"""Tests for the filter-phase transitive join."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import transitive_join
+from repro.core.join import verify_pair
+from repro.geometry import Point, transitive_distance
+
+
+def test_join_simple():
+    p = Point(0, 0)
+    s, r, d = transitive_join(p, [Point(1, 0), Point(0, 5)], [Point(2, 0)])
+    assert (s, r) == (Point(1, 0), Point(2, 0))
+    assert math.isclose(d, 2.0)
+
+
+def test_join_empty_candidates_no_seed():
+    s, r, d = transitive_join(Point(0, 0), [], [Point(1, 1)])
+    assert (s, r) == (None, None)
+    assert d == math.inf
+    s, r, d = transitive_join(Point(0, 0), [Point(1, 1)], [])
+    assert (s, r) == (None, None)
+
+
+def test_join_empty_candidates_with_seed_returns_seed():
+    seed = (Point(1, 0), Point(2, 0))
+    s, r, d = transitive_join(
+        Point(0, 0), [], [], initial_bound=2.0, initial_pair=seed
+    )
+    assert (s, r) == seed
+    assert d == 2.0
+
+
+def test_join_seed_survives_when_unbeatable():
+    p = Point(0, 0)
+    seed = (Point(1, 0), Point(2, 0))  # d = 2
+    s, r, d = transitive_join(
+        p, [Point(10, 0)], [Point(20, 0)], initial_bound=2.0, initial_pair=seed
+    )
+    assert (s, r) == seed
+    assert d == 2.0
+
+
+def test_join_improves_on_seed():
+    p = Point(0, 0)
+    seed = (Point(5, 0), Point(10, 0))  # d = 10
+    s, r, d = transitive_join(
+        p, [Point(1, 0)], [Point(2, 0)], initial_bound=10.0, initial_pair=seed
+    )
+    assert (s, r) == (Point(1, 0), Point(2, 0))
+    assert math.isclose(d, 2.0)
+
+
+def test_join_first_hop_cutoff():
+    """An s farther than the current best total can never participate."""
+    p = Point(0, 0)
+    s_cands = [Point(1, 0), Point(100, 0)]
+    r_cands = [Point(2, 0)]
+    s, r, d = transitive_join(p, s_cands, r_cands)
+    assert s == Point(1, 0)
+    assert math.isclose(d, 2.0)
+
+
+def test_join_large_candidate_sets_block_logic():
+    """More candidates than one numpy block; matches brute force."""
+    import random
+
+    rng = random.Random(0)
+    p = Point(0.5, 0.5)
+    s_cands = [Point(rng.random(), rng.random()) for _ in range(1500)]
+    r_cands = [Point(rng.random(), rng.random()) for _ in range(700)]
+    s, r, d = transitive_join(p, s_cands, r_cands)
+    want = min(
+        transitive_distance(p, a, b) for a in s_cands for b in r_cands
+    )
+    assert math.isclose(d, want, rel_tol=1e-12)
+
+
+def test_verify_pair():
+    assert verify_pair(Point(0, 0), Point(1, 0), Point(2, 0), 2.0)
+    assert not verify_pair(Point(0, 0), Point(1, 0), Point(2, 0), 3.0)
+
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False)
+pts = st.tuples(coords, coords).map(lambda t: Point(*t))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pts,
+    st.lists(pts, min_size=1, max_size=40),
+    st.lists(pts, min_size=1, max_size=40),
+)
+def test_join_matches_brute_force_property(p, s_cands, r_cands):
+    s, r, d = transitive_join(p, s_cands, r_cands)
+    want = min(transitive_distance(p, a, b) for a in s_cands for b in r_cands)
+    assert math.isclose(d, want, rel_tol=1e-9, abs_tol=1e-9)
+    assert verify_pair(p, s, r, d)

@@ -1,0 +1,40 @@
+"""Hypothesis property test: end-to-end exactness on arbitrary instances."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast import SystemParameters
+from repro.core import DoubleNN, HybridNN, TNNEnvironment, WindowBasedTNN
+from repro.geometry import Point, transitive_distance
+
+coords = st.floats(min_value=0, max_value=500, allow_nan=False)
+pts = st.tuples(coords, coords).map(lambda t: Point(*t))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(pts, min_size=1, max_size=40),
+    st.lists(pts, min_size=1, max_size=40),
+    pts,
+    st.floats(min_value=0, max_value=1, allow_nan=False),
+    st.floats(min_value=0, max_value=1, allow_nan=False),
+)
+def test_all_exact_algorithms_agree_with_brute_force(
+    s_pts, r_pts, query, frac_s, frac_r
+):
+    env = TNNEnvironment.build(
+        s_pts, r_pts, SystemParameters(page_capacity=64), m=1
+    )
+    phase_s = frac_s * env.s_program.cycle_length
+    phase_r = frac_r * env.r_program.cycle_length
+    want = min(
+        transitive_distance(query, s, r) for s in s_pts for r in r_pts
+    )
+    for algo_cls in (WindowBasedTNN, DoubleNN, HybridNN):
+        result = algo_cls().run(env, query, phase_s, phase_r)
+        assert not result.failed
+        assert math.isclose(result.distance, want, rel_tol=1e-9, abs_tol=1e-9), (
+            algo_cls.__name__
+        )

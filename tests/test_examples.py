@@ -1,0 +1,41 @@
+"""Every example script must run clean and produce its expected output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["Channel 1", "Answer: visit s", "hybrid-nn"],
+    "trip_planning.py": ["post offices", "wrong answers", "0/30"],
+    "energy_saving_ann.py": ["estimate", "factor sweep", "exact"],
+    "multi_dataset_trip.py": ["Chain TNN", "Order-free TNN", "Round-trip TNN"],
+    "radio_timeline.py": ["duty cycle", "dozing", "lost"],
+}
+
+
+def run_example(name: str) -> str:
+    script = EXAMPLES_DIR / name
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(name):
+    out = run_example(name)
+    for snippet in EXPECTED_SNIPPETS[name]:
+        assert snippet in out, f"{name} output missing {snippet!r}"
+
+
+def test_all_examples_are_tested():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_SNIPPETS)

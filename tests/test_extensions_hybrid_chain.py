@@ -1,0 +1,66 @@
+"""Tests for the Hybrid-style chain TNN."""
+
+import math
+import random
+
+from repro.datasets import uniform
+from repro.extensions import ChainEnvironment, ChainTNN, HybridChainTNN, chain_oracle
+from repro.geometry import Rect, distance
+
+REGION = Rect(0, 0, 1000, 1000)
+
+
+def make_env(sizes, seed0=0):
+    datasets = [
+        uniform(n, seed=seed0 + i, region=REGION) for i, n in enumerate(sizes)
+    ]
+    return ChainEnvironment.build(datasets)
+
+
+def test_hybrid_chain_matches_oracle_k3():
+    env = make_env([40, 35, 30], seed0=3)
+    rng = random.Random(1)
+    algo = HybridChainTNN()
+    for _ in range(6):
+        p = env.random_query_point(rng)
+        result = algo.run(env, p, env.random_phases(rng))
+        _, want = chain_oracle(p, env.datasets)
+        assert math.isclose(result.distance, want, rel_tol=1e-9)
+
+
+def test_hybrid_chain_matches_oracle_k4_unbalanced():
+    """Very different dataset sizes force actual re-steering."""
+    env = make_env([10, 400, 15, 300], seed0=9)
+    rng = random.Random(2)
+    algo = HybridChainTNN()
+    for _ in range(4):
+        p = env.random_query_point(rng)
+        result = algo.run(env, p, env.random_phases(rng))
+        _, want = chain_oracle(p, env.datasets)
+        assert math.isclose(result.distance, want, rel_tol=1e-9)
+
+
+def test_hybrid_chain_radius_not_worse_than_plain():
+    """Cascade re-steering measures each leg from its predecessor, so the
+    seed route (the radius) is on average no longer than plain ChainTNN's
+    all-from-p route."""
+    env = make_env([25, 500, 500], seed0=13)
+    rng = random.Random(3)
+    plain_r = hybrid_r = 0.0
+    for _ in range(10):
+        p = env.random_query_point(rng)
+        phases = env.random_phases(rng)
+        plain_r += ChainTNN().run(env, p, phases).radius
+        hybrid_r += HybridChainTNN().run(env, p, phases).radius
+    assert hybrid_r <= plain_r * 1.05
+
+
+def test_hybrid_chain_route_consistency():
+    env = make_env([20, 20, 20], seed0=17)
+    p = env.random_query_point(random.Random(4))
+    result = HybridChainTNN().run(env, p)
+    total = distance(p, result.route[0])
+    for a, b in zip(result.route, result.route[1:]):
+        total += distance(a, b)
+    assert math.isclose(total, result.distance, rel_tol=1e-9)
+    assert result.radius >= result.distance - 1e-9

@@ -1,0 +1,86 @@
+"""Tests for the top-k TNN extension."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import TNNEnvironment
+from repro.datasets import uniform
+from repro.extensions import TopKTNN, topk_join, topk_oracle
+from repro.geometry import Point, Rect, transitive_distance
+
+REGION = Rect(0, 0, 1000, 1000)
+
+
+@pytest.fixture(scope="module")
+def env():
+    return TNNEnvironment.build(
+        uniform(70, seed=51, region=REGION), uniform(60, seed=52, region=REGION)
+    )
+
+
+def test_invalid_k():
+    with pytest.raises(ValueError):
+        TopKTNN(0)
+
+
+@pytest.mark.parametrize("k", [1, 3, 7])
+def test_topk_matches_oracle(env, k):
+    rng = random.Random(k)
+    algo = TopKTNN(k)
+    for _ in range(4):
+        p = env.random_query_point(rng)
+        result = algo.run(env, p, *env.random_phases(rng))
+        want = topk_oracle(p, env.s_points, env.r_points, k)
+        got = [d for _, _, d in result.pairs]
+        assert len(got) == k
+        assert all(
+            math.isclose(g, w, rel_tol=1e-9) for g, w in zip(got, want)
+        )
+
+
+def test_topk_pairs_sorted_and_consistent(env):
+    p = Point(500, 500)
+    result = TopKTNN(5).run(env, p)
+    dists = [d for _, _, d in result.pairs]
+    assert dists == sorted(dists)
+    for s, r, d in result.pairs:
+        assert math.isclose(transitive_distance(p, s, r), d, rel_tol=1e-9)
+    assert result.radius >= dists[-1] - 1e-9
+
+
+def test_topk_k1_equals_tnn(env):
+    from repro.core import DoubleNN
+
+    rng = random.Random(9)
+    p = env.random_query_point(rng)
+    topk = TopKTNN(1).run(env, p)
+    tnn = DoubleNN().run(env, p)
+    assert math.isclose(topk.pairs[0][2], tnn.distance, rel_tol=1e-9)
+
+
+def test_topk_pairs_are_distinct(env):
+    p = Point(250, 750)
+    result = TopKTNN(6).run(env, p)
+    pairs = [(s, r) for s, r, _ in result.pairs]
+    assert len(set(pairs)) == len(pairs)
+
+
+def test_topk_join_direct():
+    p = Point(0, 0)
+    s_cands = [Point(1, 0), Point(2, 0), Point(3, 0)]
+    r_cands = [Point(1.5, 0), Point(10, 0)]
+    got = topk_join(p, s_cands, r_cands, 3)
+    want = topk_oracle(p, s_cands, r_cands, 3)
+    assert [d for _, _, d in got] == pytest.approx(want)
+
+
+def test_topk_join_empty():
+    assert topk_join(Point(0, 0), [], [Point(1, 1)], 3) == []
+
+
+def test_topk_k_exceeds_pair_count():
+    p = Point(0, 0)
+    got = topk_join(p, [Point(1, 0)], [Point(2, 0)], 10)
+    assert len(got) == 1

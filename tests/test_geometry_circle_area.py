@@ -1,0 +1,109 @@
+"""Tests for the exact circle-rectangle intersection area."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Circle, Point, Rect, polygon_area
+from repro.geometry.circle_area import circle_rect_intersection_area
+from repro.geometry.polygon import clip_polygon_to_rect
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
+radii = st.floats(min_value=0.01, max_value=60, allow_nan=False)
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(coords)
+    y1 = draw(coords)
+    w = draw(st.floats(min_value=0.01, max_value=80))
+    h = draw(st.floats(min_value=0.01, max_value=80))
+    return Rect(x1, y1, x1 + w, y1 + h)
+
+
+def test_rect_inside_circle():
+    area = circle_rect_intersection_area(Point(0, 0), 10.0, Rect(-1, -1, 1, 1))
+    assert math.isclose(area, 4.0, rel_tol=1e-12)
+
+
+def test_circle_inside_rect():
+    area = circle_rect_intersection_area(Point(0, 0), 2.0, Rect(-10, -10, 10, 10))
+    assert math.isclose(area, math.pi * 4.0, rel_tol=1e-12)
+
+
+def test_disjoint():
+    assert circle_rect_intersection_area(Point(0, 0), 1.0, Rect(5, 5, 6, 6)) == 0.0
+
+
+def test_zero_radius():
+    assert circle_rect_intersection_area(Point(0, 0), 0.0, Rect(-1, -1, 1, 1)) == 0.0
+
+
+def test_half_disk():
+    # Rect covers exactly the right half-plane portion of the disk.
+    area = circle_rect_intersection_area(Point(0, 0), 3.0, Rect(0, -10, 10, 10))
+    assert math.isclose(area, math.pi * 9.0 / 2.0, rel_tol=1e-12)
+
+
+def test_quarter_disk():
+    area = circle_rect_intersection_area(Point(0, 0), 2.0, Rect(0, 0, 10, 10))
+    assert math.isclose(area, math.pi, rel_tol=1e-12)
+
+
+def test_circular_segment():
+    # Strip x >= 1 of a unit-radius-2 disk: closed-form segment area.
+    r, d = 2.0, 1.0
+    expected = r * r * math.acos(d / r) - d * math.sqrt(r * r - d * d)
+    area = circle_rect_intersection_area(Point(0, 0), r, Rect(1, -10, 10, 10))
+    assert math.isclose(area, expected, rel_tol=1e-12)
+
+
+def test_tangent_rect():
+    # Rectangle touching the disk at exactly one boundary point.
+    area = circle_rect_intersection_area(Point(0, 0), 1.0, Rect(1, -1, 3, 1))
+    assert area == 0.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.builds(Point, coords, coords), radii, rects())
+def test_exact_matches_polygon_approximation(center, radius, rect):
+    exact = circle_rect_intersection_area(center, radius, rect)
+    circle = Circle(center, radius)
+    approx = polygon_area(clip_polygon_to_rect(circle.to_polygon(512), rect))
+    # The inscribed 512-gon underestimates by at most one sagitta strip
+    # along the arc inside the rectangle: bound the *absolute* error by the
+    # chord error scale r^2 * (pi/512)^2 * pi, plus a relative fallback.
+    chord_error = math.pi * radius * radius * (math.pi / 512) ** 2 * 8
+    scale = max(exact, approx, 1e-9)
+    assert (
+        abs(exact - approx) / scale < 5e-3
+        or abs(exact - approx) <= chord_error + 1e-6
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.builds(Point, coords, coords), radii, rects())
+def test_exact_matches_monte_carlo(center, radius, rect):
+    exact = circle_rect_intersection_area(center, radius, rect)
+    rng = random.Random(11)
+    n = 5000
+    hits = 0
+    for _ in range(n):
+        p = Point(
+            rect.xmin + rng.random() * rect.width,
+            rect.ymin + rng.random() * rect.height,
+        )
+        if Circle(center, radius).contains_point(p):
+            hits += 1
+    mc = hits / n * rect.area
+    tolerance = 4 * rect.area / math.sqrt(n) + 1e-6
+    assert abs(exact - mc) <= tolerance
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.builds(Point, coords, coords), radii, rects())
+def test_area_bounds(center, radius, rect):
+    area = circle_rect_intersection_area(center, radius, rect)
+    assert 0.0 <= area <= min(rect.area, math.pi * radius * radius) + 1e-9

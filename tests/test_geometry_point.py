@@ -1,0 +1,79 @@
+"""Unit and property tests for repro.geometry.point."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, distance, transitive_distance
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+def test_distance_simple():
+    assert distance(Point(0, 0), Point(3, 4)) == 5.0
+
+
+def test_distance_zero():
+    p = Point(1.5, -2.5)
+    assert distance(p, p) == 0.0
+
+
+def test_distance_method_matches_function():
+    a, b = Point(1, 2), Point(4, 6)
+    assert a.distance_to(b) == distance(a, b)
+
+
+def test_point_unpacking():
+    x, y = Point(3, 7)
+    assert (x, y) == (3, 7)
+
+
+def test_point_is_hashable():
+    assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+
+def test_translated():
+    assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+
+def test_midpoint():
+    assert Point(0, 0).midpoint(Point(4, 6)) == Point(2, 3)
+
+
+def test_transitive_distance_simple():
+    # p -> s -> r along a straight line.
+    assert transitive_distance(Point(0, 0), Point(1, 0), Point(3, 0)) == 3.0
+
+
+def test_transitive_distance_detour_is_longer():
+    p, r = Point(0, 0), Point(2, 0)
+    direct = distance(p, r)
+    assert transitive_distance(p, Point(1, 5), r) > direct
+
+
+@given(points, points)
+def test_distance_symmetry(a, b):
+    assert distance(a, b) == distance(b, a)
+
+
+@given(points, points)
+def test_distance_nonnegative(a, b):
+    assert distance(a, b) >= 0.0
+
+
+@given(points, points, points)
+def test_triangle_inequality(a, b, c):
+    assert distance(a, c) <= distance(a, b) + distance(b, c) + 1e-6
+
+
+@given(points, points, points)
+def test_transitive_distance_lower_bounded_by_direct(p, s, r):
+    assert transitive_distance(p, s, r) >= distance(p, r) - 1e-6
+
+
+@given(points, points)
+def test_midpoint_is_equidistant(a, b):
+    m = a.midpoint(b)
+    assert math.isclose(distance(a, m), distance(m, b), rel_tol=1e-9, abs_tol=1e-6)

@@ -1,0 +1,143 @@
+"""Unit and property tests for repro.geometry.rect."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+def test_from_points():
+    r = Rect.from_points([Point(1, 5), Point(3, 2), Point(2, 4)])
+    assert r == Rect(1, 2, 3, 5)
+
+
+def test_from_points_empty_raises():
+    with pytest.raises(ValueError):
+        Rect.from_points([])
+
+
+def test_union_of():
+    r = Rect.union_of([Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)])
+    assert r == Rect(0, -1, 3, 1)
+
+
+def test_union_of_empty_raises():
+    with pytest.raises(ValueError):
+        Rect.union_of([])
+
+
+def test_basic_accessors():
+    r = Rect(0, 0, 4, 2)
+    assert r.width == 4
+    assert r.height == 2
+    assert r.area == 8
+    assert r.center == Point(2, 1)
+    assert r.is_valid()
+
+
+def test_degenerate_rect_is_valid():
+    assert Rect(1, 1, 1, 1).is_valid()
+    assert Rect(1, 1, 1, 1).area == 0
+
+
+def test_contains_point_boundary():
+    r = Rect(0, 0, 2, 2)
+    assert r.contains_point(Point(0, 0))
+    assert r.contains_point(Point(2, 2))
+    assert r.contains_point(Point(1, 1))
+    assert not r.contains_point(Point(2.001, 1))
+
+
+def test_contains_rect():
+    assert Rect(0, 0, 4, 4).contains_rect(Rect(1, 1, 2, 2))
+    assert Rect(0, 0, 4, 4).contains_rect(Rect(0, 0, 4, 4))
+    assert not Rect(0, 0, 4, 4).contains_rect(Rect(1, 1, 5, 2))
+
+
+def test_intersects_rect():
+    a = Rect(0, 0, 2, 2)
+    assert a.intersects_rect(Rect(1, 1, 3, 3))
+    assert a.intersects_rect(Rect(2, 2, 3, 3))  # corner touch counts
+    assert not a.intersects_rect(Rect(2.1, 2.1, 3, 3))
+
+
+def test_expanded():
+    assert Rect(0, 0, 1, 1).expanded(1) == Rect(-1, -1, 2, 2)
+
+
+def test_corners_and_sides():
+    r = Rect(0, 0, 1, 2)
+    assert len(r.corners()) == 4
+    sides = list(r.sides())
+    assert len(sides) == 4
+    perimeter = sum(u.distance_to(v) for u, v in sides)
+    assert math.isclose(perimeter, 2 * (1 + 2))
+
+
+def test_mindist_inside_is_zero():
+    assert Rect(0, 0, 2, 2).mindist(Point(1, 1)) == 0.0
+
+
+def test_mindist_outside():
+    assert Rect(0, 0, 2, 2).mindist(Point(5, 1)) == 3.0
+    assert math.isclose(Rect(0, 0, 2, 2).mindist(Point(5, 6)), 5.0)
+
+
+def test_maxdist():
+    assert math.isclose(Rect(0, 0, 3, 4).maxdist(Point(0, 0)), 5.0)
+
+
+def test_minmaxdist_unit_square():
+    # From the origin corner of the unit square the minmaxdist is the
+    # distance to the far end of a nearest face = sqrt(1^2 + 0^2)..sqrt(2)?
+    # Nearer x-edge (x=0) combined with farther y corner (y=1) -> dist 1.
+    assert math.isclose(Rect(0, 0, 1, 1).minmaxdist(Point(0, 0)), 1.0)
+
+
+@given(rects(), points)
+def test_mindist_le_minmaxdist_le_maxdist(r, p):
+    assert r.mindist(p) <= r.minmaxdist(p) + 1e-9
+    assert r.minmaxdist(p) <= r.maxdist(p) + 1e-9
+
+
+@given(rects(), points, st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+def test_mindist_is_lower_bound(r, p, tx, ty):
+    inside = Point(r.xmin + tx * r.width, r.ymin + ty * r.height)
+    assert r.mindist(p) <= p.distance_to(inside) + 1e-6
+
+
+@given(rects(), points, st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+def test_maxdist_is_upper_bound(r, p, tx, ty):
+    inside = Point(r.xmin + tx * r.width, r.ymin + ty * r.height)
+    assert p.distance_to(inside) <= r.maxdist(p) + 1e-6
+
+
+@given(rects())
+def test_corners_inside_rect(r):
+    for c in r.corners():
+        assert r.contains_point(c)
+
+
+@given(rects(), rects())
+def test_union_contains_both(a, b):
+    u = Rect.union_of([a, b])
+    assert u.contains_rect(a)
+    assert u.contains_rect(b)
+
+
+@given(rects(), rects())
+def test_intersects_symmetry(a, b):
+    assert a.intersects_rect(b) == b.intersects_rect(a)

@@ -1,0 +1,135 @@
+"""Unit and property tests for repro.geometry.segment."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Rect,
+    Segment,
+    reflect_point,
+    segment_intersects_rect,
+    segments_intersect,
+)
+from repro.geometry.segment import orientation, same_strict_side
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+def test_orientation_signs():
+    assert orientation(Point(0, 0), Point(1, 0), Point(0, 1)) > 0
+    assert orientation(Point(0, 0), Point(1, 0), Point(0, -1)) < 0
+    assert orientation(Point(0, 0), Point(1, 0), Point(2, 0)) == 0
+
+
+def test_segment_length_and_midpoint():
+    s = Segment(Point(0, 0), Point(3, 4))
+    assert s.length == 5.0
+    assert s.midpoint() == Point(1.5, 2)
+    assert s.point_at(0.0) == s.a
+    assert s.point_at(1.0) == s.b
+
+
+def test_segments_crossing():
+    a = Segment(Point(0, 0), Point(2, 2))
+    b = Segment(Point(0, 2), Point(2, 0))
+    assert segments_intersect(a, b)
+
+
+def test_segments_parallel_disjoint():
+    a = Segment(Point(0, 0), Point(2, 0))
+    b = Segment(Point(0, 1), Point(2, 1))
+    assert not segments_intersect(a, b)
+
+
+def test_segments_touching_endpoint():
+    a = Segment(Point(0, 0), Point(1, 1))
+    b = Segment(Point(1, 1), Point(2, 0))
+    assert segments_intersect(a, b)
+
+
+def test_segments_collinear_overlapping():
+    a = Segment(Point(0, 0), Point(2, 0))
+    b = Segment(Point(1, 0), Point(3, 0))
+    assert segments_intersect(a, b)
+
+
+def test_segments_collinear_disjoint():
+    a = Segment(Point(0, 0), Point(1, 0))
+    b = Segment(Point(2, 0), Point(3, 0))
+    assert not segments_intersect(a, b)
+
+
+def test_segment_intersects_rect_endpoint_inside():
+    r = Rect(0, 0, 2, 2)
+    assert segment_intersects_rect(Segment(Point(1, 1), Point(5, 5)), r)
+
+
+def test_segment_intersects_rect_passing_through():
+    r = Rect(0, 0, 2, 2)
+    assert segment_intersects_rect(Segment(Point(-1, 1), Point(3, 1)), r)
+
+
+def test_segment_misses_rect():
+    r = Rect(0, 0, 2, 2)
+    assert not segment_intersects_rect(Segment(Point(-1, 5), Point(3, 5)), r)
+
+
+def test_segment_grazes_rect_corner():
+    r = Rect(0, 0, 2, 2)
+    # The line x + y = 4 touches corner (2, 2).
+    assert segment_intersects_rect(Segment(Point(0, 4), Point(4, 0)), r)
+
+
+def test_same_strict_side():
+    line = Segment(Point(0, 0), Point(1, 0))
+    assert same_strict_side(line, Point(0, 1), Point(5, 2))
+    assert not same_strict_side(line, Point(0, 1), Point(5, -2))
+    assert not same_strict_side(line, Point(0, 1), Point(5, 0))  # on the line
+
+
+def test_reflect_point_across_x_axis():
+    line = Segment(Point(0, 0), Point(1, 0))
+    assert reflect_point(Point(2, 3), line) == Point(2, -3)
+
+
+def test_reflect_point_across_diagonal():
+    line = Segment(Point(0, 0), Point(1, 1))
+    mirrored = reflect_point(Point(1, 0), line)
+    assert math.isclose(mirrored.x, 0, abs_tol=1e-12)
+    assert math.isclose(mirrored.y, 1, abs_tol=1e-12)
+
+
+def test_reflect_degenerate_raises():
+    with pytest.raises(ValueError):
+        reflect_point(Point(1, 1), Segment(Point(0, 0), Point(0, 0)))
+
+
+@given(points, points, points)
+def test_reflection_is_involution(p, a, b):
+    if a == b:
+        return
+    line = Segment(a, b)
+    twice = reflect_point(reflect_point(p, line), line)
+    assert math.isclose(twice.x, p.x, abs_tol=1e-5)
+    assert math.isclose(twice.y, p.y, abs_tol=1e-5)
+
+
+@given(points, points, points)
+def test_reflection_preserves_distance_to_line_points(p, a, b):
+    if a == b:
+        return
+    mirrored = reflect_point(p, Segment(a, b))
+    assert math.isclose(p.distance_to(a), mirrored.distance_to(a), rel_tol=1e-6, abs_tol=1e-5)
+    assert math.isclose(p.distance_to(b), mirrored.distance_to(b), rel_tol=1e-6, abs_tol=1e-5)
+
+
+@given(points, points, points, points)
+def test_segments_intersect_symmetry(a, b, c, d):
+    assert segments_intersect(Segment(a, b), Segment(c, d)) == segments_intersect(
+        Segment(c, d), Segment(a, b)
+    )

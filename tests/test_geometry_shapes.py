@@ -1,0 +1,222 @@
+"""Tests for circles, ellipses, clipping and the ANN overlap heuristics."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Circle,
+    Ellipse,
+    Point,
+    Rect,
+    circle_rect_overlap_ratio,
+    clip_polygon_to_rect,
+    ellipse_rect_overlap_ratio,
+    polygon_area,
+)
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+radii = st.floats(min_value=0.01, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(coords)
+    y1 = draw(coords)
+    w = draw(st.floats(min_value=0.01, max_value=100))
+    h = draw(st.floats(min_value=0.01, max_value=100))
+    return Rect(x1, y1, x1 + w, y1 + h)
+
+
+# ----------------------------------------------------------------------
+# Polygon area / clipping
+# ----------------------------------------------------------------------
+def test_polygon_area_triangle():
+    tri = [Point(0, 0), Point(4, 0), Point(0, 3)]
+    assert polygon_area(tri) == 6.0
+
+
+def test_polygon_area_square_any_orientation():
+    sq = [Point(0, 0), Point(0, 2), Point(2, 2), Point(2, 0)]  # clockwise
+    assert polygon_area(sq) == 4.0
+
+
+def test_polygon_area_degenerate():
+    assert polygon_area([]) == 0.0
+    assert polygon_area([Point(0, 0), Point(1, 1)]) == 0.0
+
+
+def test_clip_polygon_fully_inside():
+    tri = [Point(1, 1), Point(2, 1), Point(1, 2)]
+    clipped = clip_polygon_to_rect(tri, Rect(0, 0, 10, 10))
+    assert math.isclose(polygon_area(clipped), 0.5)
+
+
+def test_clip_polygon_fully_outside():
+    tri = [Point(20, 20), Point(21, 20), Point(20, 21)]
+    assert clip_polygon_to_rect(tri, Rect(0, 0, 10, 10)) == []
+
+
+def test_clip_polygon_half_overlap():
+    sq = [Point(-1, 0), Point(1, 0), Point(1, 2), Point(-1, 2)]
+    clipped = clip_polygon_to_rect(sq, Rect(0, 0, 5, 5))
+    assert math.isclose(polygon_area(clipped), 2.0)
+
+
+# ----------------------------------------------------------------------
+# Circle
+# ----------------------------------------------------------------------
+def test_circle_area():
+    assert math.isclose(Circle(Point(0, 0), 2).area, 4 * math.pi)
+
+
+def test_circle_contains_point():
+    c = Circle(Point(0, 0), 1)
+    assert c.contains_point(Point(1, 0))  # boundary closed
+    assert not c.contains_point(Point(1.001, 0))
+
+
+def test_circle_intersects_rect():
+    c = Circle(Point(0, 0), 1)
+    assert c.intersects_rect(Rect(0.5, 0.5, 2, 2))
+    assert not c.intersects_rect(Rect(2, 2, 3, 3))
+
+
+def test_circle_polygon_area_converges():
+    c = Circle(Point(0, 0), 3)
+    approx = polygon_area(c.to_polygon(256))
+    assert math.isclose(approx, c.area, rel_tol=1e-3)
+
+
+def test_overlap_rect_inside_circle_is_one():
+    c = Circle(Point(0, 0), 10)
+    assert circle_rect_overlap_ratio(c, Rect(-1, -1, 1, 1)) == 1.0
+
+
+def test_overlap_disjoint_is_zero():
+    c = Circle(Point(0, 0), 1)
+    assert circle_rect_overlap_ratio(c, Rect(5, 5, 6, 6)) == 0.0
+
+
+def test_overlap_half_plane_split():
+    # Circle centered on the rect's left edge: about half of a thin slab of
+    # the rect near that edge is covered.  Use a rect that the circle covers
+    # exactly half of: rect occupies x in [0, 1], circle radius 1 centered
+    # at (0, 0.5) with rect [0,1]x[0,1] -> overlap = half disk area inside.
+    c = Circle(Point(0, 0.5), 0.5)
+    ratio = circle_rect_overlap_ratio(c, Rect(0, 0, 1, 1))
+    expected = (math.pi * 0.25 / 2.0) / 1.0
+    assert math.isclose(ratio, expected, rel_tol=2e-2)
+
+
+def test_zero_radius_circle_overlap():
+    assert circle_rect_overlap_ratio(Circle(Point(0, 0), 0.0), Rect(-1, -1, 1, 1)) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(points, radii, rects())
+def test_circle_overlap_matches_monte_carlo(center, radius, rect):
+    c = Circle(center, radius)
+    ratio = circle_rect_overlap_ratio(c, rect)
+    rng = random.Random(42)
+    n = 4000
+    hits = 0
+    for _ in range(n):
+        p = Point(
+            rect.xmin + rng.random() * rect.width,
+            rect.ymin + rng.random() * rect.height,
+        )
+        if c.contains_point(p):
+            hits += 1
+    mc = hits / n
+    assert abs(ratio - mc) < 0.05
+
+
+@settings(max_examples=100, deadline=None)
+@given(points, radii, rects())
+def test_circle_overlap_in_unit_interval(center, radius, rect):
+    r = circle_rect_overlap_ratio(Circle(center, radius), rect)
+    assert 0.0 <= r <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Ellipse
+# ----------------------------------------------------------------------
+def test_ellipse_degenerate_when_major_below_focal_distance():
+    e = Ellipse(Point(0, 0), Point(4, 0), 3.0)
+    assert e.is_empty
+    assert e.to_polygon() == []
+    assert ellipse_rect_overlap_ratio(e, Rect(0, 0, 1, 1)) == 0.0
+
+
+def test_ellipse_circle_special_case():
+    # Coincident foci -> a circle of radius major/2.
+    e = Ellipse(Point(0, 0), Point(0, 0), 4.0)
+    assert math.isclose(e.semi_major, 2.0)
+    assert math.isclose(e.semi_minor, 2.0)
+    assert math.isclose(e.area, math.pi * 4.0)
+
+
+def test_ellipse_axes():
+    e = Ellipse(Point(-3, 0), Point(3, 0), 10.0)
+    assert math.isclose(e.semi_major, 5.0)
+    assert math.isclose(e.semi_minor, 4.0)
+    assert e.center == Point(0, 0)
+
+
+def test_ellipse_contains_foci():
+    e = Ellipse(Point(-1, 2), Point(3, 2), 6.0)
+    assert e.contains_point(Point(-1, 2))
+    assert e.contains_point(Point(3, 2))
+
+
+def test_ellipse_polygon_vertices_satisfy_focal_sum():
+    e = Ellipse(Point(-3, 1), Point(3, -1), 10.0)
+    for v in e.to_polygon(64):
+        focal_sum = v.distance_to(e.focus1) + v.distance_to(e.focus2)
+        assert math.isclose(focal_sum, e.major, rel_tol=1e-9)
+
+
+def test_ellipse_rotated_polygon_area():
+    e = Ellipse(Point(0, 0), Point(6, 6), 12.0)
+    approx = polygon_area(e.to_polygon(256))
+    assert math.isclose(approx, e.area, rel_tol=1e-3)
+
+
+def test_ellipse_overlap_rect_inside():
+    e = Ellipse(Point(-1, 0), Point(1, 0), 10.0)
+    assert ellipse_rect_overlap_ratio(e, Rect(-0.5, -0.5, 0.5, 0.5)) == 1.0
+
+
+def test_ellipse_overlap_disjoint():
+    e = Ellipse(Point(-1, 0), Point(1, 0), 4.0)
+    assert ellipse_rect_overlap_ratio(e, Rect(10, 10, 11, 11)) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(points, points, st.floats(min_value=0.1, max_value=50), rects())
+def test_ellipse_overlap_matches_monte_carlo(f1, f2, extra, rect):
+    e = Ellipse(f1, f2, f1.distance_to(f2) + extra)
+    ratio = ellipse_rect_overlap_ratio(e, rect)
+    rng = random.Random(7)
+    n = 4000
+    hits = 0
+    for _ in range(n):
+        p = Point(
+            rect.xmin + rng.random() * rect.width,
+            rect.ymin + rng.random() * rect.height,
+        )
+        if e.contains_point(p):
+            hits += 1
+    assert abs(ratio - hits / n) < 0.05
+
+
+@settings(max_examples=100, deadline=None)
+@given(points, points, st.floats(min_value=0.0, max_value=100), rects())
+def test_ellipse_overlap_in_unit_interval(f1, f2, major, rect):
+    r = ellipse_rect_overlap_ratio(Ellipse(f1, f2, major), rect)
+    assert 0.0 <= r <= 1.0

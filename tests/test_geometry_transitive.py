@@ -1,0 +1,171 @@
+"""Tests for the paper's transitive distance metrics (Definitions 1-3)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Rect,
+    distance,
+    max_dist,
+    min_max_trans_dist,
+    min_trans_dist,
+    transitive_distance,
+)
+
+coords = st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+unit = st.floats(min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+# ----------------------------------------------------------------------
+# Case 1: the segment pr crosses the MBR.
+# ----------------------------------------------------------------------
+def test_case1_segment_through_mbr():
+    mbr = Rect(1, -1, 2, 1)
+    p, r = Point(0, 0), Point(4, 0)
+    assert min_trans_dist(p, mbr, r) == distance(p, r) == 4.0
+
+
+def test_case1_endpoint_inside_mbr():
+    mbr = Rect(0, 0, 2, 2)
+    p, r = Point(1, 1), Point(5, 1)
+    assert min_trans_dist(p, mbr, r) == 4.0
+
+
+# ----------------------------------------------------------------------
+# Case 2: reflection across a side.
+# ----------------------------------------------------------------------
+def test_case2_reflection():
+    # MBR below both points; shortest path bounces off the top side y=1.
+    mbr = Rect(0, 0, 10, 1)
+    p, r = Point(2, 3), Point(6, 3)
+    # Reflect r across y=1 -> (6, -1); straight distance from (2,3) is
+    # sqrt(16 + 16) = 4*sqrt(2).
+    expected = math.hypot(4, 4)
+    assert math.isclose(min_trans_dist(p, mbr, r), expected, rel_tol=1e-12)
+
+
+def test_case2_matches_brute_force_on_boundary():
+    mbr = Rect(0, 0, 10, 1)
+    p, r = Point(2, 3), Point(6, 3)
+    brute = min(
+        transitive_distance(p, Point(x / 100.0, 1.0), r) for x in range(0, 1001)
+    )
+    assert min_trans_dist(p, mbr, r) <= brute + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Case 3: the optimum bends at a vertex.
+# ----------------------------------------------------------------------
+def test_case3_vertex():
+    # p and r on perpendicular sides of the MBR's corner region such that
+    # neither the direct segment nor any same-side reflection helps.
+    mbr = Rect(0, 0, 1, 1)
+    p, r = Point(2, -1), Point(-1, 2)
+    # The direct segment from (2,-1) to (-1,2) passes through... check: the
+    # line x + y = 1 touches corners (1,0) and (0,1) -> it grazes the MBR
+    # diagonal, so move the points outward to avoid case 1.
+    p, r = Point(3, -2), Point(-2, 3)
+    got = min_trans_dist(p, mbr, r)
+    vertex_best = min(
+        distance(p, v) + distance(v, r) for v in mbr.corners()
+    )
+    assert math.isclose(got, vertex_best, rel_tol=1e-12)
+
+
+def test_degenerate_point_mbr():
+    mbr = Rect(1, 1, 1, 1)
+    p, r = Point(0, 0), Point(2, 0)
+    expected = distance(p, Point(1, 1)) + distance(Point(1, 1), r)
+    assert math.isclose(min_trans_dist(p, mbr, r), expected, rel_tol=1e-12)
+
+
+def test_p_equals_r():
+    mbr = Rect(0, 0, 1, 1)
+    p = Point(3, 0.5)
+    # Shortest out-and-back path touches the nearest rectangle point (1, .5).
+    assert math.isclose(min_trans_dist(p, mbr, p), 4.0, rel_tol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# MaxDist / MinMaxTransDist
+# ----------------------------------------------------------------------
+def test_max_dist_endpoints():
+    p, r = Point(0, 0), Point(4, 0)
+    side = (Point(1, 1), Point(3, 1))
+    expected = max(
+        distance(p, side[0]) + distance(side[0], r),
+        distance(p, side[1]) + distance(side[1], r),
+    )
+    assert max_dist(p, side, r) == expected
+
+
+def test_min_max_trans_dist_square():
+    mbr = Rect(0, 0, 2, 2)
+    p, r = Point(-1, 1), Point(5, 1)
+    value = min_max_trans_dist(p, mbr, r)
+    # Must be at least the unavoidable straight distance and at most the
+    # worst corner detour.
+    assert value >= distance(p, r)
+    assert value <= max(transitive_distance(p, c, r) for c in mbr.corners()) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Property tests: the fundamental sandwich
+#   min_trans_dist <= trans-dist(through any x in MBR)
+#   min_trans_dist <= min_max_trans_dist <= max corner detour
+# ----------------------------------------------------------------------
+@settings(max_examples=200)
+@given(points, rects(), points, unit, unit)
+def test_min_trans_dist_is_lower_bound(p, mbr, r, tx, ty):
+    x = Point(mbr.xmin + tx * mbr.width, mbr.ymin + ty * mbr.height)
+    assert min_trans_dist(p, mbr, r) <= transitive_distance(p, x, r) + 1e-6
+
+
+@settings(max_examples=200)
+@given(points, rects(), points)
+def test_min_le_minmax(p, mbr, r):
+    assert min_trans_dist(p, mbr, r) <= min_max_trans_dist(p, mbr, r) + 1e-6
+
+
+@settings(max_examples=200)
+@given(points, rects(), points)
+def test_min_trans_dist_at_least_direct_minus_eps(p, mbr, r):
+    # Any detour through the MBR is at least the direct distance.
+    assert min_trans_dist(p, mbr, r) >= distance(p, r) - 1e-6
+
+
+@settings(max_examples=200)
+@given(points, rects(), points, unit)
+def test_max_dist_upper_bounds_side_points(p, mbr, r, t):
+    for u, v in mbr.sides():
+        x = Point(u.x + t * (v.x - u.x), u.y + t * (v.y - u.y))
+        assert transitive_distance(p, x, r) <= max_dist(p, (u, v), r) + 1e-6
+
+
+@settings(max_examples=200)
+@given(points, rects(), points)
+def test_min_trans_dist_tightness_via_boundary_scan(p, mbr, r):
+    """min_trans_dist must be attainable: some boundary/interior point gets
+    within a coarse discretisation error of the bound."""
+    lower = min_trans_dist(p, mbr, r)
+    # Sample the boundary densely plus the direct-segment case.
+    best = distance(p, r) if lower == distance(p, r) else math.inf
+    for u, v in mbr.sides():
+        for i in range(33):
+            t = i / 32.0
+            x = Point(u.x + t * (v.x - u.x), u.y + t * (v.y - u.y))
+            best = min(best, transitive_distance(p, x, r))
+    diag = math.hypot(mbr.width, mbr.height)
+    assert best >= lower - 1e-6
+    assert best <= lower + diag / 8.0 + 1e-6

@@ -1,0 +1,94 @@
+"""Tests for the on-demand access baseline (Section 2.1's alternative)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import DoubleNN, TNNEnvironment
+from repro.datasets import uniform
+from repro.geometry import Rect
+from repro.ondemand import (
+    OnDemandParameters,
+    OnDemandTNN,
+    mm1_response_time,
+)
+
+REGION = Rect(0, 0, 2000, 2000)
+
+
+@pytest.fixture(scope="module")
+def env():
+    return TNNEnvironment.build(
+        uniform(150, seed=1, region=REGION), uniform(150, seed=2, region=REGION)
+    )
+
+
+def test_mm1_response_time():
+    assert mm1_response_time(4.0, 0.0) == 4.0
+    assert mm1_response_time(4.0, 0.5) == 8.0
+    assert math.isclose(mm1_response_time(4.0, 0.9), 40.0)
+
+
+def test_mm1_validation():
+    with pytest.raises(ValueError):
+        mm1_response_time(0.0, 0.5)
+    with pytest.raises(ValueError):
+        mm1_response_time(4.0, 1.0)
+    with pytest.raises(ValueError):
+        mm1_response_time(4.0, -0.1)
+
+
+def test_parameters_utilisation():
+    params = OnDemandParameters(service_pages=4.0, query_rate=0.01)
+    assert math.isclose(params.utilisation(10), 0.4)
+    with pytest.raises(ValueError):
+        params.utilisation(-1)
+
+
+def test_ondemand_answer_is_exact(env):
+    rng = random.Random(5)
+    server = OnDemandTNN(env)
+    for _ in range(5):
+        p = env.random_query_point(rng)
+        got = server.run(p)
+        want = DoubleNN().run(env, p)
+        assert math.isclose(got.distance, want.distance, rel_tol=1e-9)
+
+
+def test_ondemand_latency_grows_with_load(env):
+    server = OnDemandTNN(env, OnDemandParameters(query_rate=0.01, service_pages=4.0))
+    p = env.random_query_point(random.Random(6))
+    light = server.run(p, n_clients=1)
+    heavy = server.run(p, n_clients=20)
+    assert heavy.access_time > light.access_time
+    # Tune-in is load-independent (the client only pays its own messages).
+    assert heavy.tune_in_time == light.tune_in_time
+
+
+def test_ondemand_saturation_raises(env):
+    server = OnDemandTNN(env, OnDemandParameters(query_rate=0.01, service_pages=4.0))
+    p = env.random_query_point(random.Random(7))
+    with pytest.raises(ValueError, match="saturated"):
+        server.run(p, n_clients=25)  # rho = 1.0
+
+
+def test_max_clients(env):
+    server = OnDemandTNN(env, OnDemandParameters(query_rate=0.01, service_pages=4.0))
+    limit = server.max_clients()
+    assert limit == 24
+    p = env.random_query_point(random.Random(8))
+    server.run(p, n_clients=limit)  # must not raise
+
+
+def test_broadcast_beats_ondemand_at_scale(env):
+    """The motivating scalability claim: broadcast access time is flat in
+    the client population; on-demand diverges near saturation."""
+    server = OnDemandTNN(env, OnDemandParameters(query_rate=0.01, service_pages=4.0))
+    p = env.random_query_point(random.Random(9))
+    broadcast = DoubleNN().run(env, p)
+    nearly_saturated = server.run(p, n_clients=24)
+    lightly_loaded = server.run(p, n_clients=1)
+    assert lightly_loaded.access_time < broadcast.access_time
+    growth = nearly_saturated.access_time / lightly_loaded.access_time
+    assert growth > 5

@@ -1,0 +1,50 @@
+"""Tests for the Hilbert curve used by the Hilbert packer."""
+
+import pytest
+
+from repro.rtree.hilbert import hilbert_index, hilbert_key_for
+
+
+def test_order1_visits_four_cells():
+    # The order-1 curve visits (0,0), (0,1), (1,1), (1,0).
+    assert hilbert_index(1, 0, 0) == 0
+    assert hilbert_index(1, 0, 1) == 1
+    assert hilbert_index(1, 1, 1) == 2
+    assert hilbert_index(1, 1, 0) == 3
+
+
+def test_bijection_order3():
+    order = 3
+    side = 1 << order
+    seen = {hilbert_index(order, x, y) for x in range(side) for y in range(side)}
+    assert seen == set(range(side * side))
+
+
+def test_curve_is_continuous_order4():
+    """Consecutive Hilbert indices map to 4-adjacent grid cells."""
+    order = 4
+    side = 1 << order
+    by_d = {}
+    for x in range(side):
+        for y in range(side):
+            by_d[hilbert_index(order, x, y)] = (x, y)
+    for d in range(side * side - 1):
+        (x1, y1), (x2, y2) = by_d[d], by_d[d + 1]
+        assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+
+def test_out_of_range_raises():
+    with pytest.raises(ValueError):
+        hilbert_index(2, 4, 0)
+    with pytest.raises(ValueError):
+        hilbert_index(2, 0, -1)
+
+
+def test_key_for_clamps_boundary():
+    # fx == 1.0 must clamp into the last cell instead of overflowing.
+    assert hilbert_key_for(4, 1.0, 1.0) == hilbert_index(4, 15, 15)
+    assert hilbert_key_for(4, 0.0, 0.0) == hilbert_index(4, 0, 0)
+
+
+def test_key_for_negative_clamps():
+    assert hilbert_key_for(4, -0.5, -0.5) == hilbert_index(4, 0, 0)

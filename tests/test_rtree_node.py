@@ -1,0 +1,67 @@
+"""Tests for RTreeNode construction and traversal."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.rtree import RTreeNode
+
+
+def test_leaf_builds_tight_mbr():
+    leaf = RTreeNode.leaf([Point(0, 0), Point(2, 3)])
+    assert leaf.mbr == Rect(0, 0, 2, 3)
+    assert leaf.is_leaf
+    assert leaf.level == 0
+    assert leaf.fanout == 2
+
+
+def test_leaf_empty_raises():
+    with pytest.raises(ValueError):
+        RTreeNode.leaf([])
+
+
+def test_internal_builds_union_mbr():
+    a = RTreeNode.leaf([Point(0, 0)])
+    b = RTreeNode.leaf([Point(5, 5)])
+    parent = RTreeNode.internal([a, b])
+    assert parent.mbr == Rect(0, 0, 5, 5)
+    assert parent.level == 1
+    assert not parent.is_leaf
+    assert parent.fanout == 2
+
+
+def test_internal_empty_raises():
+    with pytest.raises(ValueError):
+        RTreeNode.internal([])
+
+
+def test_internal_mixed_levels_raises():
+    a = RTreeNode.leaf([Point(0, 0)])
+    b = RTreeNode.internal([RTreeNode.leaf([Point(1, 1)])])
+    with pytest.raises(ValueError):
+        RTreeNode.internal([a, b])
+
+
+def test_preorder_traversal_order():
+    l1 = RTreeNode.leaf([Point(0, 0)])
+    l2 = RTreeNode.leaf([Point(1, 1)])
+    root = RTreeNode.internal([l1, l2])
+    order = list(root.iter_preorder())
+    assert order == [root, l1, l2]
+
+
+def test_iter_leaves():
+    l1 = RTreeNode.leaf([Point(0, 0)])
+    l2 = RTreeNode.leaf([Point(1, 1)])
+    l3 = RTreeNode.leaf([Point(2, 2)])
+    root = RTreeNode.internal(
+        [RTreeNode.internal([l1, l2]), RTreeNode.internal([l3])]
+    )
+    assert list(root.iter_leaves()) == [l1, l2, l3]
+
+
+def test_subtree_size():
+    l1 = RTreeNode.leaf([Point(0, 0)])
+    l2 = RTreeNode.leaf([Point(1, 1)])
+    root = RTreeNode.internal([l1, l2])
+    assert root.subtree_size() == 3
+    assert l1.subtree_size() == 1

@@ -1,0 +1,122 @@
+"""Tests for the three bulk-loading algorithms."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.rtree import build_rtree, hilbert_pack, nearest_x_pack, str_pack
+
+
+def random_points(n, seed=0, side=1000.0):
+    rng = random.Random(seed)
+    return [Point(rng.random() * side, rng.random() * side) for _ in range(n)]
+
+
+PACKERS = [str_pack, hilbert_pack, nearest_x_pack]
+
+
+@pytest.mark.parametrize("packer", PACKERS)
+def test_packer_valid_structure(packer):
+    pts = random_points(500, seed=1)
+    tree = packer(pts, leaf_capacity=6, fanout=3)
+    tree.validate()
+    assert tree.size == 500
+
+
+@pytest.mark.parametrize("packer", PACKERS)
+def test_packer_single_point(packer):
+    tree = packer([Point(3, 4)], leaf_capacity=6, fanout=3)
+    tree.validate()
+    assert tree.height == 1
+    assert tree.node_count() == 1
+
+
+@pytest.mark.parametrize("packer", PACKERS)
+def test_packer_exact_capacity(packer):
+    # n == leaf_capacity -> single leaf root.
+    pts = random_points(6, seed=2)
+    tree = packer(pts, leaf_capacity=6, fanout=3)
+    assert tree.height == 1
+
+
+@pytest.mark.parametrize("packer", PACKERS)
+def test_packer_preserves_points(packer):
+    pts = random_points(237, seed=3)
+    tree = packer(pts, leaf_capacity=5, fanout=4)
+    assert sorted(tree.iter_points()) == sorted(pts)
+
+
+@pytest.mark.parametrize("packer", PACKERS)
+def test_packer_duplicate_points(packer):
+    pts = [Point(1, 1)] * 20 + [Point(2, 2)] * 20
+    tree = packer(pts, leaf_capacity=4, fanout=3)
+    tree.validate()
+    assert tree.size == 40
+
+
+def test_tree_height_matches_paper_scale():
+    """With 64-byte pages (leaf cap 6, fanout 3) a ~100k-point tree should
+    be about 10 levels tall, as stated in Section 4.2.4 of the paper."""
+    pts = random_points(100_000, seed=4, side=39_000.0)
+    tree = str_pack(pts, leaf_capacity=6, fanout=3)
+    assert 9 <= tree.height <= 11
+
+
+def test_str_leaf_utilisation_high():
+    pts = random_points(1000, seed=5)
+    tree = str_pack(pts, leaf_capacity=8, fanout=4)
+    leaves = list(tree.root.iter_leaves())
+    mean_fill = sum(len(leaf.points) for leaf in leaves) / len(leaves)
+    assert mean_fill >= 0.6 * 8
+
+
+def test_build_rtree_dispatch():
+    pts = random_points(50, seed=6)
+    for method in ("str", "hilbert", "nearest_x"):
+        tree = build_rtree(pts, 4, 3, method=method)
+        tree.validate()
+
+
+def test_build_rtree_unknown_method():
+    with pytest.raises(ValueError, match="unknown packing method"):
+        build_rtree([Point(0, 0)], 4, 3, method="bogus")
+
+
+def test_empty_dataset_raises():
+    with pytest.raises(ValueError):
+        str_pack([], 4, 3)
+
+
+def test_bad_capacity_raises():
+    with pytest.raises(ValueError):
+        str_pack([Point(0, 0)], 0, 3)
+    with pytest.raises(ValueError):
+        str_pack([Point(0, 0)], 4, 1)
+
+
+def test_str_balanced_tree_depth_formula():
+    pts = random_points(3_000, seed=7)
+    tree = str_pack(pts, leaf_capacity=6, fanout=3)
+    leaves = tree.leaf_count()
+    # Height = 1 (leaf level) + levels needed to reduce leaves to one root.
+    expected = 1 + math.ceil(math.log(leaves, 3))
+    assert abs(tree.height - expected) <= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=400),
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=2, max_value=8),
+    st.randoms(),
+)
+def test_packers_always_valid(n, leaf_cap, fanout, rng):
+    pts = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(n)]
+    for packer in PACKERS:
+        tree = packer(pts, leaf_capacity=leaf_cap, fanout=fanout)
+        tree.validate()
+        assert tree.size == n

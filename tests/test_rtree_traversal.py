@@ -1,0 +1,160 @@
+"""Tests for the in-memory reference queries (NN, range, transitive NN)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Circle, Point, Rect, distance, transitive_distance
+from repro.rtree import (
+    best_first_knn,
+    best_first_nn,
+    str_pack,
+    tnn_oracle,
+    transitive_nn,
+)
+from repro.rtree.traversal import brute_force_tnn, range_search, window_search
+
+
+def random_points(n, seed=0, side=1000.0):
+    rng = random.Random(seed)
+    return [Point(rng.random() * side, rng.random() * side) for _ in range(n)]
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return str_pack(random_points(800, seed=11), leaf_capacity=6, fanout=3)
+
+
+@pytest.fixture(scope="module")
+def tree_points(tree):
+    return list(tree.iter_points())
+
+
+def test_nn_matches_linear_scan(tree, tree_points):
+    rng = random.Random(99)
+    for _ in range(25):
+        q = Point(rng.uniform(-100, 1100), rng.uniform(-100, 1100))
+        got, got_d = best_first_nn(tree, q)
+        want_d = min(distance(q, p) for p in tree_points)
+        assert math.isclose(got_d, want_d, rel_tol=1e-12)
+        assert math.isclose(distance(q, got), want_d, rel_tol=1e-12)
+
+
+def test_nn_query_on_data_point(tree, tree_points):
+    q = tree_points[42]
+    _, d = best_first_nn(tree, q)
+    assert d == 0.0
+
+
+def test_knn_ordering_and_count(tree, tree_points):
+    q = Point(500, 500)
+    result = best_first_knn(tree, q, 10)
+    assert len(result) == 10
+    dists = [d for _, d in result]
+    assert dists == sorted(dists)
+    want = sorted(distance(q, p) for p in tree_points)[:10]
+    assert all(math.isclose(a, b, rel_tol=1e-12) for a, b in zip(dists, want))
+
+
+def test_knn_k_larger_than_dataset():
+    tree = str_pack(random_points(5, seed=1), leaf_capacity=2, fanout=2)
+    assert len(best_first_knn(tree, Point(0, 0), 50)) == 5
+
+
+def test_knn_invalid_k(tree):
+    with pytest.raises(ValueError):
+        best_first_knn(tree, Point(0, 0), 0)
+
+
+def test_range_search_matches_scan(tree, tree_points):
+    circle = Circle(Point(400, 600), 120.0)
+    got = sorted(range_search(tree, circle))
+    want = sorted(p for p in tree_points if circle.contains_point(p))
+    assert got == want
+
+
+def test_range_search_empty(tree):
+    assert range_search(tree, Circle(Point(-5000, -5000), 10.0)) == []
+
+
+def test_range_search_covers_all(tree, tree_points):
+    circle = Circle(Point(500, 500), 1e5)
+    assert len(range_search(tree, circle)) == len(tree_points)
+
+
+def test_window_search_matches_scan(tree, tree_points):
+    win = Rect(100, 100, 400, 300)
+    got = sorted(window_search(tree, win))
+    want = sorted(p for p in tree_points if win.contains_point(p))
+    assert got == want
+
+
+def test_transitive_nn_matches_scan(tree, tree_points):
+    rng = random.Random(5)
+    for _ in range(15):
+        p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+        r = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+        s, d = transitive_nn(tree, p, r)
+        want = min(transitive_distance(p, x, r) for x in tree_points)
+        assert math.isclose(d, want, rel_tol=1e-12)
+        assert math.isclose(transitive_distance(p, s, r), want, rel_tol=1e-12)
+
+
+def test_tnn_oracle_matches_brute_force():
+    rng = random.Random(13)
+    s_pts = random_points(120, seed=21)
+    r_pts = random_points(90, seed=22)
+    s_tree = str_pack(s_pts, leaf_capacity=4, fanout=3)
+    r_tree = str_pack(r_pts, leaf_capacity=4, fanout=3)
+    for _ in range(10):
+        p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+        s1, r1, d1 = tnn_oracle(p, s_tree, r_tree)
+        s2, r2, d2 = brute_force_tnn(p, s_pts, r_pts)
+        assert math.isclose(d1, d2, rel_tol=1e-12)
+        assert math.isclose(transitive_distance(p, s1, r1), d2, rel_tol=1e-12)
+
+
+def test_tnn_oracle_single_points():
+    s_tree = str_pack([Point(1, 0)], 4, 3)
+    r_tree = str_pack([Point(2, 0)], 4, 3)
+    s, r, d = tnn_oracle(Point(0, 0), s_tree, r_tree)
+    assert (s, r) == (Point(1, 0), Point(2, 0))
+    assert d == 2.0
+
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(coords, coords), min_size=1, max_size=60),
+    st.tuples(coords, coords),
+)
+def test_nn_property(raw_pts, raw_q):
+    pts = [Point(x, y) for x, y in raw_pts]
+    q = Point(*raw_q)
+    tree = str_pack(pts, leaf_capacity=3, fanout=3)
+    _, d = best_first_nn(tree, q)
+    assert math.isclose(d, min(distance(q, p) for p in pts), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(coords, coords), min_size=1, max_size=40),
+    st.lists(st.tuples(coords, coords), min_size=1, max_size=40),
+    st.tuples(coords, coords),
+)
+def test_tnn_oracle_property(raw_s, raw_r, raw_p):
+    s_pts = [Point(x, y) for x, y in raw_s]
+    r_pts = [Point(x, y) for x, y in raw_r]
+    p = Point(*raw_p)
+    s_tree = str_pack(s_pts, leaf_capacity=3, fanout=3)
+    r_tree = str_pack(r_pts, leaf_capacity=3, fanout=3)
+    _, _, d = tnn_oracle(p, s_tree, r_tree)
+    want = min(
+        transitive_distance(p, s, r) for s in s_pts for r in r_pts
+    )
+    assert math.isclose(d, want, rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,57 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.sim.charts import render_chart
+
+
+def test_basic_chart_structure():
+    text = render_chart(
+        [1, 2, 3],
+        {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+        width=30,
+        height=8,
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert len(lines) == 1 + 8 + 1 + 1 + 1  # title + grid + axis + x + legend
+    assert "o=a" in lines[-1]
+    assert "x=b" in lines[-1]
+    assert "1 .. 3" in lines[-2]
+
+
+def test_markers_present():
+    text = render_chart([0, 1], {"up": [0.0, 10.0]}, width=20, height=6)
+    assert "o" in text
+
+
+def test_min_max_labels():
+    text = render_chart([0, 1], {"s": [5.0, 25.0]}, width=20, height=6)
+    assert "25" in text
+    assert "5" in text
+
+
+def test_constant_series_does_not_crash():
+    text = render_chart([0, 1, 2], {"flat": [7.0, 7.0, 7.0]}, width=20, height=6)
+    assert "flat" in text
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        render_chart([1, 2], {}, width=20, height=6)
+    with pytest.raises(ValueError):
+        render_chart([1, 2], {"a": [1.0]}, width=20, height=6)
+    with pytest.raises(ValueError):
+        render_chart([1], {"a": [1.0]}, width=20, height=6)
+    with pytest.raises(ValueError):
+        render_chart([1, 2], {"a": [1.0, 2.0]}, width=4, height=2)
+
+
+def test_cli_chart_flag(capsys):
+    from repro.sim.cli import main
+
+    rc = main(["fig9a", "--scale", "0.02", "--queries", "2", "--chart"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "o=window-based" in out

@@ -1,0 +1,144 @@
+"""Tests for trace tooling and dataset I/O."""
+
+import math
+import random
+
+import pytest
+
+from repro.broadcast import (
+    BroadcastChannel,
+    BroadcastProgram,
+    ChannelTuner,
+    PageLossModel,
+    SystemParameters,
+)
+from repro.client import BroadcastNNSearch
+from repro.datasets.io import load_points, save_points
+from repro.geometry import Point
+from repro.rtree import str_pack
+from repro.sim.trace import render_timeline, trace_summary
+
+
+def make_tuner(n=150, seed=0, loss=None, phase=0.0):
+    rng = random.Random(seed)
+    pts = [Point(rng.random() * 1000, rng.random() * 1000) for _ in range(n)]
+    params = SystemParameters()
+    tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+    program = BroadcastProgram(tree, params, m=2)
+    return tree, ChannelTuner(BroadcastChannel(program, phase=phase), loss=loss)
+
+
+# ----------------------------------------------------------------------
+# Trace summary
+# ----------------------------------------------------------------------
+def test_summary_counts_match_tuner():
+    tree, tuner = make_tuner(seed=1)
+    BroadcastNNSearch(tree, tuner, Point(500, 500)).run_to_completion()
+    s = trace_summary(tuner)
+    assert s.pages == tuner.pages_downloaded
+    assert s.index_pages == tuner.index_pages
+    assert s.data_pages == 0
+    assert s.lost_pages == 0
+    assert s.first_event <= s.last_event
+
+
+def test_summary_records_data_pages():
+    tree, tuner = make_tuner(seed=2)
+    tuner.download_object(0)
+    s = trace_summary(tuner)
+    assert s.data_pages == tuner.data_pages > 0
+
+
+def test_summary_records_losses():
+    tree, tuner = make_tuner(seed=3, loss=PageLossModel(rate=0.4, seed=5))
+    BroadcastNNSearch(tree, tuner, Point(200, 800)).run_to_completion()
+    s = trace_summary(tuner)
+    assert s.lost_pages == tuner.lost_pages > 0
+
+
+def test_summary_empty_tuner():
+    _, tuner = make_tuner(seed=4)
+    s = trace_summary(tuner)
+    assert s.pages == 0
+    assert s.duty_cycle == 0.0
+
+
+def test_duty_cycle_below_one_for_real_queries():
+    tree, tuner = make_tuner(n=600, seed=5)
+    BroadcastNNSearch(tree, tuner, Point(500, 500)).run_to_completion()
+    s = trace_summary(tuner)
+    assert 0.0 < s.duty_cycle <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Timeline rendering
+# ----------------------------------------------------------------------
+def test_timeline_structure():
+    tree1, t1 = make_tuner(seed=6)
+    tree2, t2 = make_tuner(seed=7, phase=13.0)
+    BroadcastNNSearch(tree1, t1, Point(100, 100)).run_to_completion()
+    BroadcastNNSearch(tree2, t2, Point(900, 900)).run_to_completion()
+    text = render_timeline([t1, t2], labels=["S", "R"], width=40)
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("S |") or "S |" in lines[0]
+    assert "#" in lines[0]
+    assert "dozing" in lines[-1]
+
+
+def test_timeline_marks_losses():
+    tree, tuner = make_tuner(seed=8, loss=PageLossModel(rate=0.5, seed=9))
+    BroadcastNNSearch(tree, tuner, Point(500, 500)).run_to_completion()
+    text = render_timeline([tuner], width=60)
+    assert "!" in text
+
+
+def test_timeline_validation():
+    with pytest.raises(ValueError):
+        render_timeline([])
+    _, tuner = make_tuner(seed=10)
+    with pytest.raises(ValueError):
+        render_timeline([tuner])  # no activity yet
+    tree, t2 = make_tuner(seed=11)
+    BroadcastNNSearch(tree, t2, Point(1, 1)).run_to_completion()
+    with pytest.raises(ValueError):
+        render_timeline([t2], labels=["a", "b"])
+
+
+# ----------------------------------------------------------------------
+# Dataset I/O
+# ----------------------------------------------------------------------
+def test_save_load_roundtrip(tmp_path):
+    pts = [Point(1.5, -2.25), Point(0.0, 3.125), Point(1e-9, 39_000.0)]
+    path = tmp_path / "pts.csv"
+    assert save_points(pts, path, comment="test set") == 3
+    assert load_points(path) == pts
+
+
+def test_load_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "pts.csv"
+    path.write_text("# header\n\n1.0,2.0\n\n# more\n3.0,4.0\n")
+    assert load_points(path) == [Point(1.0, 2.0), Point(3.0, 4.0)]
+
+
+def test_load_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("1.0,2.0\n3.0\n")
+    with pytest.raises(ValueError, match=":2:"):
+        load_points(path)
+
+
+def test_load_rejects_non_numeric(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n")
+    with pytest.raises(ValueError, match=":1:"):
+        load_points(path)
+
+
+def test_roundtrip_preserves_exact_floats(tmp_path):
+    rng = random.Random(0)
+    pts = [Point(rng.random() * 1e6, rng.random() * 1e-6) for _ in range(100)]
+    path = tmp_path / "precise.csv"
+    save_points(pts, path)
+    loaded = load_points(path)
+    assert all(a == b for a, b in zip(pts, loaded))  # repr() round-trips

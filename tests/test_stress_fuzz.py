@@ -1,0 +1,106 @@
+"""Full-stack fuzzing: random instances, random conditions, one invariant.
+
+Every configuration in this module drives the complete pipeline (dataset ->
+packed R-tree -> broadcast program -> client search -> estimate-filter ->
+join) and asserts the single property everything rests on: the exact
+algorithms return the oracle-optimal answer, no matter the page size,
+replication factor, packing, phases, loss or skew.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.broadcast import (
+    BroadcastChannel,
+    BroadcastProgram,
+    ChannelTuner,
+    PageLossModel,
+    SystemParameters,
+)
+from repro.client import BroadcastNNSearch
+from repro.core import DoubleNN, HybridNN, TNNEnvironment, WindowBasedTNN
+from repro.datasets import gaussian_clusters, uniform
+from repro.geometry import Point, Rect, distance, transitive_distance
+from repro.rtree import build_rtree
+
+
+def random_instance(rng):
+    side = rng.choice([100.0, 1_000.0, 39_000.0])
+    region = Rect(0.0, 0.0, side, side)
+    maker = rng.choice(
+        [
+            lambda n, s: uniform(n, seed=s, region=region),
+            lambda n, s: gaussian_clusters(
+                n, clusters=rng.randint(1, 8), seed=s, region=region, spread=0.05
+            ),
+        ]
+    )
+    ns = rng.randint(1, 120)
+    nr = rng.randint(1, 120)
+    s_pts = maker(ns, rng.randint(0, 10_000))
+    r_pts = maker(nr, rng.randint(0, 10_000))
+    params = SystemParameters(page_capacity=rng.choice([64, 128, 256, 512]))
+    m = rng.choice([None, 1, 2, 5])
+    env = TNNEnvironment.build(s_pts, r_pts, params, m=m)
+    return env, region
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzz_full_stack_exactness(seed):
+    rng = random.Random(seed * 7919)
+    env, region = random_instance(rng)
+    for _ in range(2):
+        p = Point(
+            rng.uniform(-region.width / 4, region.xmax + region.width / 4),
+            rng.uniform(-region.height / 4, region.ymax + region.height / 4),
+        )
+        phases = env.random_phases(rng)
+        want = min(
+            transitive_distance(p, s, r)
+            for s in env.s_points
+            for r in env.r_points
+        )
+        for algo_cls in (WindowBasedTNN, DoubleNN, HybridNN):
+            got = algo_cls().run(env, p, *phases)
+            assert not got.failed
+            assert math.isclose(got.distance, want, rel_tol=1e-9, abs_tol=1e-9), (
+                f"{algo_cls.__name__} seed={seed}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_lossy_broadcast_nn(seed):
+    """NN over a lossy channel is exact for any loss rate < 1."""
+    rng = random.Random(seed * 104729)
+    n = rng.randint(2, 150)
+    pts = uniform(n, seed=seed, region=Rect(0, 0, 500, 500))
+    params = SystemParameters(page_capacity=rng.choice([64, 128]))
+    tree = build_rtree(pts, params.leaf_capacity, params.internal_fanout)
+    program = BroadcastProgram(tree, params, m=rng.choice([1, 3]))
+    loss = PageLossModel(rate=rng.uniform(0.0, 0.6), seed=seed)
+    tuner = ChannelTuner(
+        BroadcastChannel(program, phase=rng.uniform(0, program.cycle_length)),
+        loss=loss,
+    )
+    q = Point(rng.uniform(0, 500), rng.uniform(0, 500))
+    search = BroadcastNNSearch(tree, tuner, q)
+    search.run_to_completion()
+    _, d = search.result()
+    assert math.isclose(d, min(distance(q, p) for p in pts), rel_tol=1e-12)
+
+
+@pytest.mark.parametrize("packing", ["str", "hilbert", "nearest_x"])
+def test_fuzz_packing_independence(packing):
+    """The answer is identical under every packing (only cost differs)."""
+    rng = random.Random(42)
+    s_pts = uniform(60, seed=1, region=Rect(0, 0, 800, 800))
+    r_pts = uniform(60, seed=2, region=Rect(0, 0, 800, 800))
+    env = TNNEnvironment.build(s_pts, r_pts, packing=packing)
+    p = Point(400, 400)
+    want = min(
+        transitive_distance(p, s, r) for s in s_pts for r in r_pts
+    )
+    got = HybridNN().run(env, p, *env.random_phases(rng))
+    assert math.isclose(got.distance, want, rel_tol=1e-9)
