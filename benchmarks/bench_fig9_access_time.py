@@ -6,6 +6,11 @@ Paper claims reproduced here:
 * Double-NN and Hybrid-NN share the same access time and beat
   Window-Based-TNN by ~7-15% when the dataset sizes are comparable;
 * the gap closes as the size ratio grows extreme (Figure 10's analysis).
+
+Each sweep configuration executes through the batched engine
+(:class:`repro.engine.BatchRunner`), so ``REPRO_WORKERS=N`` fans the
+per-configuration workloads out over ``N`` worker processes without
+changing any number in the rendered series.
 """
 
 from repro.sim import experiments as exp

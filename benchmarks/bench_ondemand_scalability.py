@@ -6,8 +6,9 @@ arbitrary number of clients at a constant (higher) latency.  This bench
 finds the crossover population.
 """
 
-from repro.core import DoubleNN, TNNEnvironment
+from repro.core import TNNEnvironment
 from repro.datasets import sized_uniform
+from repro.engine import QueryEngine
 from repro.geometry import Point
 from repro.ondemand import OnDemandParameters, OnDemandTNN
 from repro.sim import format_table
@@ -20,7 +21,8 @@ def _measure():
     n = _scaled(10_000, experiment_scale())
     env = TNNEnvironment.build(sized_uniform(n, seed=1), sized_uniform(n, seed=2))
     p = Point(19_500.0, 19_500.0)
-    broadcast = DoubleNN().run(env, p, 13.0, 29.0)
+    # Broadcast side goes through the engine facade (default: Double-NN).
+    broadcast = QueryEngine(env).tnn(p, phase_s=13.0, phase_r=29.0)
     server = OnDemandTNN(
         env, OnDemandParameters(query_rate=0.000025, service_pages=4.0)
     )

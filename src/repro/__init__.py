@@ -8,13 +8,19 @@ query processors (Window-Based, Approximate, Double-NN, Hybrid-NN) and the
 ANN energy optimisation, plus the experiment harness that regenerates every
 figure and table of the paper's evaluation.
 
+Bulk workloads run through :mod:`repro.engine`: a :class:`QueryEngine`
+facade over NN / kNN / range / TNN queries and a :class:`BatchRunner` that
+executes whole seeded workloads — in-process or fanned out over a process
+pool with bit-identical results — on top of cached broadcast arrival
+tables and vectorised aggregation.
+
 Quickstart::
 
-    from repro import TNNEnvironment, DoubleNN, Point
+    from repro import QueryEngine, TNNEnvironment, Point
     from repro.datasets import uniform
 
     env = TNNEnvironment.build(uniform(2000, seed=1), uniform(2000, seed=2))
-    result = DoubleNN().run(env, Point(19500, 19500))
+    result = QueryEngine(env).tnn(Point(19500, 19500))
     print(result.pair, result.distance, result.access_time, result.tune_in_time)
 """
 
@@ -31,6 +37,7 @@ from repro.core import (
     TNNResult,
     WindowBasedTNN,
 )
+from repro.engine import BatchRunner, QueryEngine, QueryWorkload
 
 __version__ = "1.0.0"
 
@@ -44,6 +51,9 @@ __all__ = [
     "TNNResult",
     "TNNAlgorithm",
     "AnnOptimization",
+    "BatchRunner",
+    "QueryEngine",
+    "QueryWorkload",
     "BruteForceTNN",
     "WindowBasedTNN",
     "ApproximateTNN",

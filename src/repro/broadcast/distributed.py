@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List
 
+import numpy as np
+
 from repro.broadcast.config import SystemParameters
 from repro.broadcast.program import BroadcastProgram
 from repro.rtree.tree import RTree
@@ -60,11 +62,15 @@ class DistributedBroadcastProgram(BroadcastProgram):
         #: Length of each follower super-page (top index + chunk).
         self._top_super = self.top_index_length + self.chunk_length
         self.cycle_length = self._full_super + (self.m - 1) * self._top_super
+        #: Per-page arrival-position tables.  Positions here are irregular
+        #: (one full copy plus ``m - 1`` top-index copies), so unlike the
+        #: base class there is no closed form — cache one offset array per
+        #: page instead.
+        self._position_arrays: List[np.ndarray] = [
+            self._compute_positions(page_id) for page_id in range(self.index_length)
+        ]
 
-    # ------------------------------------------------------------------
-    def index_page_positions(self, page_id: int) -> List[int]:
-        if not 0 <= page_id < self.index_length:
-            raise ValueError(f"index page {page_id} out of range")
+    def _compute_positions(self, page_id: int) -> np.ndarray:
         positions = [page_id]  # the full copy, in DFS order at cycle start
         rank = self._top_rank.get(page_id)
         if rank is not None:
@@ -72,7 +78,28 @@ class DistributedBroadcastProgram(BroadcastProgram):
                 positions.append(
                     self._full_super + (j - 1) * self._top_super + rank
                 )
-        return positions
+        arr = np.asarray(positions, dtype=np.int64)
+        # The cached array itself is handed out by index_position_array;
+        # freeze it so no caller can corrupt the arrival table in place.
+        arr.setflags(write=False)
+        return arr
+
+    # ------------------------------------------------------------------
+    def index_page_positions(self, page_id: int) -> List[int]:
+        return self.index_position_array(page_id).tolist()
+
+    def index_position_array(self, page_id: int) -> np.ndarray:
+        if not 0 <= page_id < self.index_length:
+            raise ValueError(f"index page {page_id} out of range")
+        return self._position_arrays[page_id]
+
+    def next_index_arrival(self, page_id: int, now: float) -> float:
+        """Earliest arrival of index page ``page_id`` at or after ``now``.
+
+        Replica positions are unevenly spaced here, so the base class's
+        O(1) modular shortcut does not apply; scan the cached offset array.
+        """
+        return self.next_arrival_at_positions(self.index_position_array(page_id), now)
 
     def data_page_position(self, data_offset: int) -> int:
         if not 0 <= data_offset < self.data_length:

@@ -15,24 +15,48 @@ nothing.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import List, Sequence
+
+import numpy as np
 
 from repro.broadcast.config import SystemParameters
 from repro.rtree.tree import RTree
 
 
+def expected_access_pages(index_pages: int, data_pages: int, m: int) -> float:
+    """Expected access time (in pages) of a (1, m) layout.
+
+    Half a super-page to reach the next index copy, then half a cycle to
+    reach the wanted data page: ``(m + 1) / 2 * (index + data / m)``.
+    Convex in ``m`` with minimum at ``m* = sqrt(data / index)``.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    return (m + 1) * (index_pages + data_pages / m) / 2
+
+
 def optimal_m(index_pages: int, data_pages: int) -> int:
     """The access-time-optimal replication factor for the (1, m) scheme.
 
-    Imielinski et al. show the optimum is ``m* = sqrt(data / index)`` —
-    balancing index-replication overhead against the wait for the next
-    index copy.  Always at least 1.
+    Imielinski et al. show the continuous optimum is
+    ``m* = sqrt(data / index)`` — balancing index-replication overhead
+    against the wait for the next index copy.  The best *integer* ``m`` is
+    the argmin of the actual expected-access-time cost between ``floor(m*)``
+    and ``ceil(m*)`` (rounding the square root can pick the worse side:
+    e.g. index=4, data=25 has ``m* = 2.5`` where ``m = 3`` wins).  The cost
+    is convex, so the better neighbour is the global integer optimum.
+    Always at least 1.
     """
     if index_pages <= 0:
         raise ValueError("index must contain at least one page")
     if data_pages <= 0:
         return 1
-    return max(1, round(math.sqrt(data_pages / index_pages)))
+    root = math.sqrt(data_pages / index_pages)
+    lo = max(1, math.floor(root))
+    hi = max(1, math.ceil(root))
+    return min(
+        (lo, hi), key=lambda m: (expected_access_pages(index_pages, data_pages, m), m)
+    )
 
 
 class BroadcastProgram:
@@ -65,15 +89,24 @@ class BroadcastProgram:
         self.super_page_length = self.index_length + self.chunk_length
         #: Total cycle length in page slots (includes padding in the last chunk).
         self.cycle_length = self.m * self.super_page_length
+        #: Cycle offsets of the ``m`` index-copy starts — the per-program
+        #: arrival-position table.  Index page ``p`` is on air at offsets
+        #: ``p + _super_offsets``; cached once so the per-query hot path
+        #: never rebuilds position lists.
+        self._super_offsets = np.arange(self.m, dtype=np.int64) * self.super_page_length
 
     # ------------------------------------------------------------------
     # Positions within one cycle
     # ------------------------------------------------------------------
     def index_page_positions(self, page_id: int) -> List[int]:
         """All cycle offsets at which index page ``page_id`` is on air."""
+        return self.index_position_array(page_id).tolist()
+
+    def index_position_array(self, page_id: int) -> np.ndarray:
+        """All cycle offsets of index page ``page_id``, as a numpy array."""
         if not 0 <= page_id < self.index_length:
             raise ValueError(f"index page {page_id} out of range")
-        return [j * self.super_page_length + page_id for j in range(self.m)]
+        return page_id + self._super_offsets
 
     def data_page_position(self, data_offset: int) -> int:
         """Cycle offset of the data page at stream offset ``data_offset``."""
@@ -95,14 +128,21 @@ class BroadcastProgram:
     # ------------------------------------------------------------------
     # Arrival arithmetic
     # ------------------------------------------------------------------
-    def next_arrival_at_positions(self, positions: List[int], now: float) -> float:
+    def next_arrival_at_positions(
+        self, positions: Sequence[int] | np.ndarray, now: float
+    ) -> float:
         """Earliest slot >= ``now`` whose cycle offset is in ``positions``.
 
         ``now`` is an absolute time on an un-shifted channel; phase shifts
         are applied by :class:`~repro.broadcast.channel.BroadcastChannel`.
+        Accepts plain sequences or cached numpy offset arrays.
         """
         base = math.ceil(now)
         phase = base % self.cycle_length
+        if isinstance(positions, np.ndarray):
+            if positions.size == 0:
+                raise ValueError("no broadcast positions supplied")
+            return base + int(((positions - phase) % self.cycle_length).min())
         best = None
         for pos in positions:
             delta = (pos - phase) % self.cycle_length
@@ -113,5 +153,15 @@ class BroadcastProgram:
         return base + best
 
     def next_index_arrival(self, page_id: int, now: float) -> float:
-        """Earliest arrival of index page ``page_id`` at or after ``now``."""
-        return self.next_arrival_at_positions(self.index_page_positions(page_id), now)
+        """Earliest arrival of index page ``page_id`` at or after ``now``.
+
+        The ``m`` replicas of an index page sit exactly one super-page
+        apart, so the earliest one is at delta ``(page_id - now) mod
+        super_page_length`` — O(1), no position list needed.  This is the
+        hottest call in the whole client stack (every queue push, peek and
+        head refresh lands here).
+        """
+        if not 0 <= page_id < self.index_length:
+            raise ValueError(f"index page {page_id} out of range")
+        base = math.ceil(now)
+        return base + (page_id - base) % self.super_page_length

@@ -31,7 +31,8 @@ class ChannelTuner:
     data_pages: int = 0
     #: Reception attempts that failed (subset of the page counters above).
     lost_pages: int = 0
-    log: list = field(default_factory=list)
+    #: ``(kind, ref, arrival, ok)`` reception events for trace tooling.
+    log: list[tuple] = field(default_factory=list)
 
     @property
     def pages_downloaded(self) -> int:
@@ -43,13 +44,15 @@ class ChannelTuner:
         if t > self.now:
             self.now = t
 
-    def _receive(self, next_arrival, kind: str, ref: int) -> float:
-        """Attempt receptions until one succeeds; returns attempts made.
+    def _receive(self, next_arrival, kind: str, ref: int) -> int:
+        """Attempt receptions until one succeeds.
 
-        ``next_arrival(t)`` maps a time to the page's next on-air slot.
-        Every attempt (successful or lost) keeps the radio active for one
-        slot, advances the clock past it, and is appended to ``log`` as a
-        ``(kind, ref, arrival, ok)`` event for trace tooling.
+        Returns the number of reception attempts made (an ``int >= 1``,
+        counting the final successful one).  ``next_arrival(t)`` maps a
+        time to the page's next on-air slot.  Every attempt (successful or
+        lost) keeps the radio active for one slot, advances the clock past
+        it, and is appended to ``log`` as a ``(kind, ref, arrival, ok)``
+        event for trace tooling.
         """
         attempts = 0
         while True:

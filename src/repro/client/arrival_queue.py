@@ -1,0 +1,92 @@
+"""Arrival-ordered candidate queue shared by every steppable search.
+
+All broadcast searches (NN, kNN, range) consume index pages in the order
+they fly by, so they share one queue discipline: a priority queue keyed by
+each node's next on-air arrival, with stale heads refreshed lazily and the
+result cached per (clock, head) state.  The mixin also tracks the largest
+queue size reached — the client's memory footprint (Section 4.2.4 bounds
+the delayed-pruning queue by ``(H - 1) x (M - 1)`` MBRs for a DFS-ordered
+broadcast).
+
+Subclasses provide ``self.tuner`` and call :meth:`_init_queue` before the
+first :meth:`_push`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import List, Optional, Tuple
+
+from repro.broadcast.tuner import ChannelTuner
+from repro.rtree.node import RTreeNode
+
+
+class ArrivalQueueMixin:
+    """Queue plumbing for searches driven by broadcast arrival order."""
+
+    tuner: ChannelTuner
+
+    def _init_queue(self) -> None:
+        self._counter = itertools.count()
+        self._queue: List[Tuple[float, int, RTreeNode]] = []
+        #: Cached (clock, head-seq) of the last head normalization, so the
+        #: scheduler's next_event_time / step pairs don't re-peek arrivals.
+        self._head_state: Optional[Tuple[float, int]] = None
+        #: Largest queue size reached — the client's memory footprint.
+        self.max_queue_size = 0
+
+    def _push(self, node: RTreeNode) -> None:
+        arrival = self.tuner.peek_index_arrival(node.page_id)
+        heapq.heappush(self._queue, (arrival, next(self._counter), node))
+        self._head_state = None
+        if len(self._queue) > self.max_queue_size:
+            self.max_queue_size = len(self._queue)
+
+    def _normalize_head(self) -> None:
+        """Refresh stale arrival keys so the head is the true next page.
+
+        Arrivals are computed at push time; by pop time the clock may have
+        moved past them, in which case the node's next replica is later.
+        Recomputed keys never decrease, so one sift per displaced head
+        converges.  The result is cached per (clock, head) state: arrivals
+        only go stale when this channel's clock moves or the queue changes,
+        both of which invalidate the cache.
+        """
+        if not self._queue:
+            return
+        state = (self.tuner.now, self._queue[0][1])
+        if state == self._head_state:
+            return
+        while True:
+            arrival, seq, node = self._queue[0]
+            true_arrival = self.tuner.peek_index_arrival(node.page_id)
+            if true_arrival <= arrival:
+                break
+            heapq.heapreplace(self._queue, (true_arrival, seq, node))
+        self._head_state = (self.tuner.now, self._queue[0][1])
+
+    def _pop_head(self) -> RTreeNode:
+        """Normalize, pop and return the truly-next node."""
+        if not self._queue:
+            raise RuntimeError("step() on a finished search")
+        self._normalize_head()
+        _, _, node = heapq.heappop(self._queue)
+        self._head_state = None
+        return node
+
+    # ------------------------------------------------------------------
+    # Introspection for the scheduler
+    # ------------------------------------------------------------------
+    def finished(self) -> bool:
+        return not self._queue
+
+    def next_event_time(self) -> float:
+        """Arrival time of the next page this search would download."""
+        self._normalize_head()
+        return self._queue[0][0] if self._queue else math.inf
+
+    @property
+    def now(self) -> float:
+        return self.tuner.now

@@ -11,17 +11,16 @@ incomplete, and the generalised TNN variants of future work build on it.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from typing import List, Tuple
 
 from repro.broadcast.tuner import ChannelTuner
+from repro.client.arrival_queue import ArrivalQueueMixin
 from repro.geometry import Point, distance
-from repro.rtree.node import RTreeNode
 from repro.rtree.tree import RTree
 
 
-class BroadcastKNNSearch:
+class BroadcastKNNSearch(ArrivalQueueMixin):
     """Exact k-NN over one broadcast channel, in arrival order."""
 
     def __init__(
@@ -40,24 +39,11 @@ class BroadcastKNNSearch:
         self.k = k
         #: Max-heap (negated distances) of the best k candidates so far.
         self._best: List[Tuple[float, int, Point]] = []
-        self._counter = itertools.count()
-        self._queue: List[Tuple[float, int, RTreeNode]] = []
+        self._init_queue()
         tuner.advance_to(start_time)
         self._push(tree.root)
 
     # ------------------------------------------------------------------
-    def _push(self, node: RTreeNode) -> None:
-        arrival = self.tuner.peek_index_arrival(node.page_id)
-        heapq.heappush(self._queue, (arrival, next(self._counter), node))
-
-    def _normalize_head(self) -> None:
-        while self._queue:
-            arrival, seq, node = self._queue[0]
-            true_arrival = self.tuner.peek_index_arrival(node.page_id)
-            if true_arrival <= arrival:
-                return
-            heapq.heapreplace(self._queue, (true_arrival, seq, node))
-
     @property
     def bound(self) -> float:
         """The k-th best candidate distance (inf until k candidates seen)."""
@@ -74,18 +60,8 @@ class BroadcastKNNSearch:
             heapq.heapreplace(self._best, entry)
 
     # ------------------------------------------------------------------
-    def finished(self) -> bool:
-        return not self._queue
-
-    def next_event_time(self) -> float:
-        self._normalize_head()
-        return self._queue[0][0] if self._queue else math.inf
-
     def step(self) -> None:
-        if not self._queue:
-            raise RuntimeError("step() on a finished search")
-        self._normalize_head()
-        _, _, node = heapq.heappop(self._queue)
+        node = self._pop_head()
         if node.mbr.mindist(self.query) > self.bound:
             return
         self.tuner.download_index_page(node.page_id)

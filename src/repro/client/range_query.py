@@ -2,18 +2,15 @@
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import math
-from typing import List, Tuple
+from typing import List
 
 from repro.broadcast.tuner import ChannelTuner
+from repro.client.arrival_queue import ArrivalQueueMixin
 from repro.geometry import Circle, Point
-from repro.rtree.node import RTreeNode
 from repro.rtree.tree import RTree
 
 
-class BroadcastRangeSearch:
+class BroadcastRangeSearch(ArrivalQueueMixin):
     """Collects every indexed point inside a circle from a broadcast channel.
 
     Like :class:`BroadcastNNSearch`, the traversal consumes index pages in
@@ -32,40 +29,13 @@ class BroadcastRangeSearch:
         self.tuner = tuner
         self.circle = circle
         self.results: List[Point] = []
-        self._counter = itertools.count()
-        self._queue: List[Tuple[float, int, RTreeNode]] = []
+        self._init_queue()
         tuner.advance_to(start_time)
         self._push(tree.root)
 
-    def _push(self, node: RTreeNode) -> None:
-        arrival = self.tuner.peek_index_arrival(node.page_id)
-        heapq.heappush(self._queue, (arrival, next(self._counter), node))
-
-    def _normalize_head(self) -> None:
-        while self._queue:
-            arrival, seq, node = self._queue[0]
-            true_arrival = self.tuner.peek_index_arrival(node.page_id)
-            if true_arrival <= arrival:
-                return
-            heapq.heapreplace(self._queue, (true_arrival, seq, node))
-
-    def finished(self) -> bool:
-        return not self._queue
-
-    def next_event_time(self) -> float:
-        self._normalize_head()
-        return self._queue[0][0] if self._queue else math.inf
-
-    @property
-    def now(self) -> float:
-        return self.tuner.now
-
     def step(self) -> None:
         """Process one queued node."""
-        if not self._queue:
-            raise RuntimeError("step() on a finished search")
-        self._normalize_head()
-        _, _, node = heapq.heappop(self._queue)
+        node = self._pop_head()
         if not self.circle.intersects_rect(node.mbr):
             return  # skipped for free: never downloaded
         self.tuner.download_index_page(node.page_id)

@@ -39,10 +39,19 @@ def run_all(
     re-steering) before scheduling continues.
     """
     while True:
-        pending = [s for s in searches if not s.finished()]
-        if not pending:
+        # Inline argmin over unfinished searches: this loop runs once per
+        # simulated page arrival, so no per-iteration list/lambda allocation.
+        nxt = None
+        best = None
+        for s in searches:
+            if s.finished():
+                continue
+            t = s.next_event_time()
+            if best is None or t < best:
+                best = t
+                nxt = s
+        if nxt is None:
             return
-        nxt = min(pending, key=lambda s: s.next_event_time())
         nxt.step()
         if after_step is not None:
             after_step(nxt)

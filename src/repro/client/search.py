@@ -22,12 +22,11 @@ Two modes exist:
 from __future__ import annotations
 
 import enum
-import heapq
-import itertools
 import math
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.broadcast.tuner import ChannelTuner
+from repro.client.arrival_queue import ArrivalQueueMixin
 from repro.client.policies import ExactPolicy, PruneContext, PruningPolicy
 from repro.geometry import Point, distance, min_max_trans_dist, min_trans_dist
 from repro.rtree.node import RTreeNode
@@ -41,7 +40,7 @@ class SearchMode(enum.Enum):
     TRANSITIVE = "transitive"
 
 
-class BroadcastNNSearch:
+class BroadcastNNSearch(ArrivalQueueMixin):
     """One NN search over one broadcast channel, advanced step by step."""
 
     def __init__(
@@ -67,53 +66,9 @@ class BroadcastNNSearch:
         #: bound comes from a MinMaxDist-style guarantee rather than a point.
         self._witness_page: Optional[int] = None
 
-        self._counter = itertools.count()
-        self._queue: List[Tuple[float, int, RTreeNode]] = []
-        #: Largest queue size reached — the client's memory footprint.
-        #: Section 4.2.4 bounds the delayed-pruning queue by
-        #: ``(H - 1) x (M - 1)`` MBRs for a DFS-ordered broadcast.
-        self.max_queue_size = 0
+        self._init_queue()
         tuner.advance_to(start_time)
         self._push(tree.root)
-
-    # ------------------------------------------------------------------
-    # Queue plumbing
-    # ------------------------------------------------------------------
-    def _push(self, node: RTreeNode) -> None:
-        arrival = self.tuner.peek_index_arrival(node.page_id)
-        heapq.heappush(self._queue, (arrival, next(self._counter), node))
-        if len(self._queue) > self.max_queue_size:
-            self.max_queue_size = len(self._queue)
-
-    def _normalize_head(self) -> None:
-        """Refresh stale arrival keys so the head is the true next page.
-
-        Arrivals are computed at push time; by pop time the clock may have
-        moved past them, in which case the node's next replica is later.
-        Recomputed keys never decrease, so one sift per displaced head
-        converges.
-        """
-        while self._queue:
-            arrival, seq, node = self._queue[0]
-            true_arrival = self.tuner.peek_index_arrival(node.page_id)
-            if true_arrival <= arrival:
-                return
-            heapq.heapreplace(self._queue, (true_arrival, seq, node))
-
-    # ------------------------------------------------------------------
-    # Introspection for the scheduler
-    # ------------------------------------------------------------------
-    def finished(self) -> bool:
-        return not self._queue
-
-    def next_event_time(self) -> float:
-        """Arrival time of the next page this search would download."""
-        self._normalize_head()
-        return self._queue[0][0] if self._queue else math.inf
-
-    @property
-    def now(self) -> float:
-        return self.tuner.now
 
     # ------------------------------------------------------------------
     # Distance metrics for the current mode
@@ -138,10 +93,7 @@ class BroadcastNNSearch:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Process one queued node (prune it or download and expand it)."""
-        if not self._queue:
-            raise RuntimeError("step() on a finished search")
-        self._normalize_head()
-        _, _, node = heapq.heappop(self._queue)
+        node = self._pop_head()
 
         if self._lower_bound(node) > self.upper_bound:
             return  # exact pruning: provably cannot improve the answer
@@ -186,11 +138,27 @@ class BroadcastNNSearch:
         best_child = None
         best_guarantee = math.inf
         for child in node.children:
+            self._push(child)  # delayed pruning: push everything
+            if child.point_count <= 0:
+                # Empty subtree (degenerate packing): its MinMaxDist-style
+                # guarantee promises a point that does not exist — taking
+                # it would corrupt the upper bound and exact-prune the
+                # subtrees holding the real answer.
+                continue
             z = self._guaranteed_bound(child)
             if z < best_guarantee:
                 best_guarantee = z
                 best_child = child
-            self._push(child)  # delayed pruning: push everything
+        if best_child is None:
+            # Every child subtree is empty (or the node is childless): no
+            # guarantee to inherit.  If this node witnessed the bound, its
+            # guarantee was void — rebuild from the best concrete point
+            # and the surviving queue instead of crashing on the hand-off.
+            if was_witness:
+                self.upper_bound = self.best_dist
+                self._witness_page = None
+                self._rescan_queue_bounds()
+            return
         if best_guarantee < self.upper_bound:
             self.upper_bound = best_guarantee
             self._witness_page = best_child.page_id
@@ -243,6 +211,8 @@ class BroadcastNNSearch:
     def _rescan_queue_bounds(self) -> None:
         """Initial upper-bound update over every queued MBR (Section 4.2.3)."""
         for _, _, node in self._queue:
+            if node.point_count <= 0:
+                continue  # empty subtree: no point backs its guarantee
             z = self._guaranteed_bound(node)
             if z < self.upper_bound:
                 self.upper_bound = z

@@ -50,10 +50,14 @@ def transitive_join(
 
     for start in range(0, len(order), _BLOCK):
         idx = order[start : start + _BLOCK]
-        if d_ps[idx[0]] >= best_d:
-            # Candidates are sorted by first-hop distance; once the first
-            # hop alone reaches the bound, no later s can improve it.
+        # Per-candidate skip (Algorithm 1, line 9): any s whose first hop
+        # alone reaches the bound is dead.  Within a block the first-hop
+        # distances are sorted, so the live rows are a prefix; and once the
+        # prefix is empty no later s can improve the answer.
+        live = int(np.searchsorted(d_ps[idx], best_d, side="left"))
+        if live == 0:
             break
+        idx = idx[:live]
         block = s_arr[idx]
         dx = block[:, 0:1] - r_arr[None, :, 0]
         dy = block[:, 1:2] - r_arr[None, :, 1]

@@ -1,0 +1,28 @@
+"""Batched multi-query execution engine.
+
+The substrate every bulk workload runs on:
+
+* :class:`QueryWorkload` — a seeded batch of queries whose per-query state
+  (point + channel phases) is derived up front, making every execution
+  order reproducible;
+* :class:`BatchRunner` — executes a workload in-process or fanned out over
+  a process pool, bit-identically, with vectorised aggregation and cached
+  oracle results for failure-rate comparisons;
+* :class:`QueryEngine` — one facade over NN / kNN / range / TNN queries on
+  an environment, so callers stop hand-wiring tuners and searches.
+
+``repro.sim.runner`` keeps the historical ``ExperimentRunner`` API as a
+thin wrapper over this package.
+"""
+
+from repro.engine.batch import BatchRunner, default_workers
+from repro.engine.query import ClientQueryAnswer, QueryEngine
+from repro.engine.workload import QueryWorkload
+
+__all__ = [
+    "BatchRunner",
+    "ClientQueryAnswer",
+    "QueryEngine",
+    "QueryWorkload",
+    "default_workers",
+]

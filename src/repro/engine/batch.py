@@ -1,0 +1,188 @@
+"""Batched multi-query execution over one TNN environment.
+
+The paper's evaluation pushes 1,000 random queries through every
+configuration; serving that kind of bulk workload one ad-hoc query at a
+time is the scaling bottleneck the ROADMAP calls out.  :class:`BatchRunner`
+executes a whole :class:`~repro.engine.workload.QueryWorkload` through a
+shared substrate:
+
+* the environment's broadcast programs (with their cached arrival-position
+  tables) are built once and reused by every query;
+* execution can fan out over a process pool — queries carry their full
+  per-query state (point + channel phases, pre-derived from the workload
+  seed), so pool results are **bit-identical** to the sequential path and
+  are reassembled in workload order;
+* per-query results are aggregated into :class:`~repro.sim.stats.ResultStats`
+  through the vectorised :func:`~repro.sim.stats.summarize_batch`;
+* reference (oracle) results are cached per workload, so comparing several
+  candidate algorithms against the same exact reference pays for the
+  reference once instead of once per candidate.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.base import TNNAlgorithm
+from repro.core.environment import TNNEnvironment
+from repro.core.result import TNNResult
+from repro.engine.workload import QueryWorkload
+from repro.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - sim.runner wraps this module
+    from repro.sim.stats import ResultStats
+
+#: Worker-process state installed by the pool initializer: the environment
+#: (the heavy part — both R-trees and programs) is pickled once per worker,
+#: not once per query or per algorithm.
+_POOL_STATE: dict = {}
+
+
+def _pool_init(env: TNNEnvironment) -> None:
+    _POOL_STATE["env"] = env
+
+
+def _pool_run_chunk(
+    task: Tuple[TNNAlgorithm, List[Tuple[int, Point, float, float]]]
+) -> List[Tuple[int, TNNResult]]:
+    algorithm, chunk = task
+    env = _POOL_STATE["env"]
+    return [(i, algorithm.run(env, p, ps, pr)) for i, p, ps, pr in chunk]
+
+
+def default_workers() -> int:
+    """Worker processes from ``REPRO_WORKERS`` (default 0 = in-process)."""
+    return int(os.environ.get("REPRO_WORKERS", "0"))
+
+
+class BatchRunner:
+    """Executes one workload against one environment, for many algorithms.
+
+    ``workers`` selects the execution mode: ``0``/``1`` runs in-process,
+    ``>= 2`` fans the workload out over that many worker processes.  Both
+    modes produce identical result sequences; the pool only changes
+    wall-clock time.
+    """
+
+    def __init__(
+        self,
+        env: TNNEnvironment,
+        workload: QueryWorkload,
+        workers: Optional[int] = None,
+    ) -> None:
+        self.env = env
+        self.workload = workload
+        self.workers = default_workers() if workers is None else workers
+        self._queries = workload.queries(env)
+        self._reference_cache: Dict[str, List[TNNResult]] = {}
+
+    @property
+    def queries(self) -> List[Tuple[Point, float, float]]:
+        """The materialised workload (query point, phase_s, phase_r)."""
+        return list(self._queries)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_algorithm(
+        self, algorithm: TNNAlgorithm, workers: Optional[int] = None
+    ) -> List[TNNResult]:
+        """All per-query results of one algorithm, in workload order."""
+        workers = self.workers if workers is None else workers
+        if workers >= 2 and len(self._queries) > 1:
+            return self._run_pool(algorithm, workers)
+        return [
+            algorithm.run(self.env, p, phase_s, phase_r)
+            for p, phase_s, phase_r in self._queries
+        ]
+
+    def _run_pool(
+        self,
+        algorithm: TNNAlgorithm,
+        workers: int,
+        pool: Optional[ProcessPoolExecutor] = None,
+    ) -> List[TNNResult]:
+        indexed = [
+            (i, p, ps, pr) for i, (p, ps, pr) in enumerate(self._queries)
+        ]
+        # Deterministic round-robin chunking: queries carry their own
+        # pre-seeded state, so placement affects wall-clock only.
+        chunks = [indexed[w::workers] for w in range(workers)]
+        tasks = [(algorithm, c) for c in chunks if c]
+        results: List[Optional[TNNResult]] = [None] * len(indexed)
+        if pool is None:
+            with self._make_pool(workers) as own_pool:
+                parts = list(own_pool.map(_pool_run_chunk, tasks))
+        else:
+            parts = list(pool.map(_pool_run_chunk, tasks))
+        for part in parts:
+            for i, res in part:
+                results[i] = res
+        return results  # type: ignore[return-value]
+
+    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers, initializer=_pool_init, initargs=(self.env,)
+        )
+
+    def run(self, algorithms: Mapping[str, TNNAlgorithm]) -> Dict[str, "ResultStats"]:
+        """Summary statistics per algorithm name, on the shared workload.
+
+        In pool mode, one worker pool (and one pickled environment per
+        worker) is shared by every algorithm in the mapping.
+        """
+        # Deferred import: repro.sim.runner wraps this module for back
+        # compat, so importing sim.stats at module load would be circular.
+        from repro.sim.stats import summarize_batch
+
+        if self.workers >= 2 and len(self._queries) > 1:
+            with self._make_pool(self.workers) as pool:
+                return {
+                    name: summarize_batch(
+                        self._run_pool(algo, self.workers, pool=pool)
+                    )
+                    for name, algo in algorithms.items()
+                }
+        return {
+            name: summarize_batch(self.run_algorithm(algo))
+            for name, algo in algorithms.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Oracle comparison
+    # ------------------------------------------------------------------
+    def reference_results(self, reference: TNNAlgorithm) -> List[TNNResult]:
+        """Results of an exact reference algorithm, computed once per workload."""
+        key = _algorithm_key(reference)
+        if key not in self._reference_cache:
+            self._reference_cache[key] = self.run_algorithm(reference)
+        return self._reference_cache[key]
+
+    def compare_failures(
+        self,
+        candidate: TNNAlgorithm,
+        reference: TNNAlgorithm,
+        rel_tol: float = 1e-9,
+    ) -> float:
+        """Fraction of queries where ``candidate`` misses the true answer.
+
+        ``reference`` must be an exact algorithm (Double-NN is the cheap
+        choice); a query counts as failed when the candidate returns no
+        pair or a strictly larger transitive distance.  Reference results
+        are cached, so sweeping many candidates against one oracle re-runs
+        only the candidates.
+        """
+        want = self.reference_results(reference)
+        failures = 0
+        for got, ref in zip(self.run_algorithm(candidate), want):
+            if got.failed or got.distance > ref.distance * (1 + rel_tol):
+                failures += 1
+        return failures / len(self._queries)
+
+
+def _algorithm_key(algorithm: TNNAlgorithm) -> str:
+    """A stable cache key for an algorithm instance's full configuration."""
+    config = sorted(vars(algorithm).items(), key=lambda kv: kv[0])
+    return f"{type(algorithm).__qualname__}:{config!r}"

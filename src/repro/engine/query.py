@@ -1,0 +1,137 @@
+"""One facade over every query type the broadcast client supports.
+
+:class:`QueryEngine` binds a :class:`~repro.core.environment.TNNEnvironment`
+and exposes NN, kNN, range and TNN queries behind one object, so callers
+(benchmarks, services, the batch runner) stop hand-wiring tuners, channels
+and steppable searches for every request.  Single queries run through the
+same substrate as batches — the per-program cached arrival tables make the
+per-query setup cost a handful of attribute lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.broadcast import BroadcastChannel, ChannelTuner
+from repro.client import (
+    BroadcastKNNSearch,
+    BroadcastNNSearch,
+    BroadcastRangeSearch,
+)
+from repro.core.base import TNNAlgorithm
+from repro.core.double import DoubleNN
+from repro.core.environment import TNNEnvironment
+from repro.core.result import TNNResult
+from repro.engine.batch import BatchRunner
+from repro.engine.workload import QueryWorkload
+from repro.geometry import Circle, Point
+
+
+@dataclass(frozen=True)
+class ClientQueryAnswer:
+    """Answer and cost accounting of one client-side broadcast query.
+
+    ``answers`` is ``((point, distance), ...)`` ascending by distance for
+    NN/kNN; for range queries the distance is to the query centre.
+    """
+
+    answers: Tuple[Tuple[Point, float], ...]
+    access_time: float
+    tune_in: int
+    max_queue_size: int
+
+
+class QueryEngine:
+    """All supported query types over one two-channel environment."""
+
+    def __init__(self, env: TNNEnvironment) -> None:
+        self.env = env
+
+    # ------------------------------------------------------------------
+    # Channel plumbing
+    # ------------------------------------------------------------------
+    def _tuner(self, channel: str, phase: float) -> ChannelTuner:
+        if channel == "s":
+            return ChannelTuner(BroadcastChannel(self.env.s_program, phase=phase))
+        if channel == "r":
+            return ChannelTuner(BroadcastChannel(self.env.r_program, phase=phase))
+        raise ValueError(f"channel must be 's' or 'r', got {channel!r}")
+
+    def _tree(self, channel: str):
+        return self.env.s_tree if channel == "s" else self.env.r_tree
+
+    # ------------------------------------------------------------------
+    # Single-dataset queries
+    # ------------------------------------------------------------------
+    def nn(
+        self, query: Point, phase: float = 0.0, channel: str = "s"
+    ) -> ClientQueryAnswer:
+        """Exact nearest neighbour of ``query`` on one channel."""
+        tuner = self._tuner(channel, phase)
+        search = BroadcastNNSearch(self._tree(channel), tuner, query)
+        search.run_to_completion()
+        point, dist = search.result()
+        return ClientQueryAnswer(
+            answers=((point, dist),),
+            access_time=tuner.now,
+            tune_in=tuner.pages_downloaded,
+            max_queue_size=search.max_queue_size,
+        )
+
+    def knn(
+        self, query: Point, k: int, phase: float = 0.0, channel: str = "s"
+    ) -> ClientQueryAnswer:
+        """The ``k`` nearest neighbours of ``query`` on one channel."""
+        tuner = self._tuner(channel, phase)
+        search = BroadcastKNNSearch(self._tree(channel), tuner, query, k)
+        answers = tuple(search.run_to_completion())
+        return ClientQueryAnswer(
+            answers=answers,
+            access_time=tuner.now,
+            tune_in=tuner.pages_downloaded,
+            max_queue_size=search.max_queue_size,
+        )
+
+    def range(
+        self,
+        center: Point,
+        radius: float,
+        phase: float = 0.0,
+        channel: str = "s",
+    ) -> ClientQueryAnswer:
+        """All points within ``radius`` of ``center`` on one channel."""
+        tuner = self._tuner(channel, phase)
+        search = BroadcastRangeSearch(
+            self._tree(channel), tuner, Circle(center, radius)
+        )
+        points = search.run_to_completion()
+        answers = tuple(
+            sorted(((p, center.distance_to(p)) for p in points), key=lambda a: a[1])
+        )
+        return ClientQueryAnswer(
+            answers=answers,
+            access_time=tuner.now,
+            tune_in=tuner.pages_downloaded,
+            max_queue_size=search.max_queue_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Transitive queries
+    # ------------------------------------------------------------------
+    def tnn(
+        self,
+        query: Point,
+        algorithm: Optional[TNNAlgorithm] = None,
+        phase_s: float = 0.0,
+        phase_r: float = 0.0,
+    ) -> TNNResult:
+        """One transitive NN query (default algorithm: exact Double-NN)."""
+        algo = algorithm if algorithm is not None else DoubleNN()
+        return algo.run(self.env, query, phase_s, phase_r)
+
+    def batch(
+        self, workload: QueryWorkload, workers: Optional[int] = None
+    ) -> BatchRunner:
+        """A batch runner executing ``workload`` on this environment."""
+        return BatchRunner(self.env, workload, workers=workers)

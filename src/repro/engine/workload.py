@@ -1,0 +1,43 @@
+"""Reproducible multi-query workloads for the batch execution engine.
+
+A workload is the unit the engine executes: a seeded batch of query points
+plus per-channel phases.  Every query's inputs are derived **up front**
+from the workload seed, so any execution order — sequential, interleaved,
+or fanned out across worker processes — sees the exact same per-query
+state and produces bit-identical results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.environment import TNNEnvironment
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A reproducible batch of queries for one environment.
+
+    Each query consists of a uniform query point plus an independent random
+    phase per channel (Section 6: 1,000 random query points; random waits
+    for the two roots).  Algorithms compared on the same workload see the
+    *same* points and phases, so differences are purely algorithmic.
+    """
+
+    n_queries: int
+    seed: int = 0
+
+    def queries(self, env: "TNNEnvironment") -> List[Tuple[Point, float, float]]:
+        """The full query batch, deterministically derived from ``seed``."""
+        rng = random.Random(self.seed)
+        out = []
+        for _ in range(self.n_queries):
+            p = env.random_query_point(rng)
+            phase_s, phase_r = env.random_phases(rng)
+            out.append((p, phase_s, phase_r))
+        return out

@@ -8,7 +8,7 @@ controlled by the ``REPRO_SCALE`` (dataset-size multiplier) and
 paper-scale run and a minutes-long laptop run share one code path.
 """
 
-from repro.sim.stats import MetricStats, ResultStats, summarize
+from repro.sim.stats import MetricStats, ResultStats, summarize, summarize_batch
 from repro.sim.runner import ExperimentRunner, QueryWorkload
 from repro.sim.tables import format_series, format_table
 from repro.sim.experiments import (
@@ -26,6 +26,7 @@ __all__ = [
     "MetricStats",
     "ResultStats",
     "summarize",
+    "summarize_batch",
     "ExperimentRunner",
     "QueryWorkload",
     "format_series",

@@ -1,62 +1,53 @@
-"""Workload generation and the per-configuration experiment runner."""
+"""Workload generation and the per-configuration experiment runner.
+
+Both classes are now thin wrappers over :mod:`repro.engine`:
+:class:`QueryWorkload` is re-exported from
+:mod:`repro.engine.workload`, and :class:`ExperimentRunner` delegates to
+:class:`repro.engine.batch.BatchRunner`, which adds process-pool fan-out,
+vectorised aggregation and cached oracle results while keeping this
+historical API unchanged.
+"""
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.base import TNNAlgorithm
 from repro.core.environment import TNNEnvironment
 from repro.core.result import TNNResult
+from repro.engine.batch import BatchRunner
+from repro.engine.workload import QueryWorkload
 from repro.geometry import Point
-from repro.sim.stats import ResultStats, summarize
+from repro.sim.stats import ResultStats
 
-
-@dataclass(frozen=True)
-class QueryWorkload:
-    """A reproducible batch of queries for one environment.
-
-    Each query consists of a uniform query point plus an independent random
-    phase per channel (Section 6: 1,000 random query points; random waits
-    for the two roots).  Algorithms compared on the same workload see the
-    *same* points and phases, so differences are purely algorithmic.
-    """
-
-    n_queries: int
-    seed: int = 0
-
-    def queries(self, env: TNNEnvironment) -> List[Tuple[Point, float, float]]:
-        rng = random.Random(self.seed)
-        out = []
-        for _ in range(self.n_queries):
-            p = env.random_query_point(rng)
-            phase_s, phase_r = env.random_phases(rng)
-            out.append((p, phase_s, phase_r))
-        return out
+__all__ = ["ExperimentRunner", "QueryWorkload"]
 
 
 class ExperimentRunner:
-    """Runs a set of algorithms over one environment and workload."""
+    """Runs a set of algorithms over one environment and workload.
 
-    def __init__(self, env: TNNEnvironment, workload: QueryWorkload) -> None:
+    Back-compat facade over :class:`~repro.engine.batch.BatchRunner`; new
+    code should use the engine directly.
+    """
+
+    def __init__(
+        self,
+        env: TNNEnvironment,
+        workload: QueryWorkload,
+        workers: Optional[int] = None,
+    ) -> None:
         self.env = env
         self.workload = workload
-        self._queries = workload.queries(env)
+        self._batch = BatchRunner(env, workload, workers=workers)
+        self._queries: List[Tuple[Point, float, float]] = self._batch.queries
 
     def run_algorithm(self, algorithm: TNNAlgorithm) -> List[TNNResult]:
         """All per-query results of one algorithm over the workload."""
-        return [
-            algorithm.run(self.env, p, phase_s, phase_r)
-            for p, phase_s, phase_r in self._queries
-        ]
+        return self._batch.run_algorithm(algorithm)
 
     def run(self, algorithms: Mapping[str, TNNAlgorithm]) -> Dict[str, ResultStats]:
         """Summary statistics per algorithm name, on the shared workload."""
-        return {
-            name: summarize(self.run_algorithm(algo))
-            for name, algo in algorithms.items()
-        }
+        return self._batch.run(algorithms)
 
     def compare_failures(
         self,
@@ -70,10 +61,4 @@ class ExperimentRunner:
         choice); a query counts as failed when the candidate returns no
         pair or a strictly larger transitive distance.
         """
-        failures = 0
-        for p, phase_s, phase_r in self._queries:
-            got = candidate.run(self.env, p, phase_s, phase_r)
-            want = reference.run(self.env, p, phase_s, phase_r)
-            if got.failed or got.distance > want.distance * (1 + rel_tol):
-                failures += 1
-        return failures / len(self._queries)
+        return self._batch.compare_failures(candidate, reference, rel_tol=rel_tol)

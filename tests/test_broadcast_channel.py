@@ -110,3 +110,20 @@ def test_tuner_missed_page_costs_waiting_not_energy():
     tuner.download_index_page(2)
     assert tuner.index_pages == 1
     assert tuner.now == prog.super_page_length + 2 + 1
+
+
+def test_receive_returns_int_attempt_count():
+    """_receive counts attempts (int), while download_* returns finish time."""
+    prog = make_program()
+    tuner = ChannelTuner(BroadcastChannel(prog, phase=0.0))
+    attempts = tuner._receive(
+        lambda t: tuner.channel.next_index_arrival(0, t), "index", 0
+    )
+    assert attempts == 1 and isinstance(attempts, int)
+    finish = tuner.download_index_page(1)
+    assert isinstance(finish, float) and finish == tuner.now
+    # Every log entry is a (kind, ref, arrival, ok) tuple.
+    assert all(
+        isinstance(e, tuple) and len(e) == 4 and isinstance(e[3], bool)
+        for e in tuner.log
+    )

@@ -146,3 +146,78 @@ def test_no_data_pages_program():
     params = SystemParameters(page_capacity=64, data_object_size=1024)
     prog = BroadcastProgram(tree, params, m=1)
     assert prog.data_length == 160
+
+
+def test_optimal_m_argmin_beats_rounding():
+    """Regression: round(sqrt(data/index)) can pick the worse integer.
+
+    index=4, data=25 has m* = 2.5; round() gives 2, but the expected
+    access time (m+1)/2 * (index + data/m) is lower at m = 3.
+    """
+    from repro.broadcast.program import expected_access_pages
+
+    assert optimal_m(4, 25) == 3
+    assert expected_access_pages(4, 25, 3) < expected_access_pages(4, 25, 2)
+    # And the symmetric family: m* = k + 0.5 always favours the ceil here.
+    assert optimal_m(4, 81) == 5
+    assert expected_access_pages(4, 81, 5) < expected_access_pages(4, 81, 4)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=60),
+    st.integers(min_value=0, max_value=5_000),
+)
+def test_optimal_m_is_global_integer_argmin(index_pages, data_pages):
+    from repro.broadcast.program import expected_access_pages
+
+    m = optimal_m(index_pages, data_pages)
+    if data_pages == 0:
+        assert m == 1
+        return
+    best = min(
+        range(1, data_pages + 2),
+        key=lambda k: (expected_access_pages(index_pages, data_pages, k), k),
+    )
+    assert m == best
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    st.integers(min_value=0, max_value=1_000),
+)
+def test_closed_form_arrival_matches_position_scan(m, now, page_id):
+    """next_index_arrival's O(1) modular form == scanning every position."""
+    tree = make_tree(120, seed=9)
+    prog = BroadcastProgram(tree, m=m)
+    page_id = page_id % prog.index_length
+    closed = prog.next_index_arrival(page_id, now)
+    scanned = prog.next_arrival_at_positions(prog.index_page_positions(page_id), now)
+    assert closed == scanned
+    # The cached numpy table gives the same answer through the generic path.
+    array = prog.index_position_array(page_id)
+    assert prog.next_arrival_at_positions(array, now) == scanned
+
+
+def test_index_position_array_cached_table():
+    import numpy as np
+
+    tree = make_tree(60, seed=4)
+    prog = BroadcastProgram(tree, m=3)
+    arr = prog.index_position_array(5)
+    assert isinstance(arr, np.ndarray)
+    assert arr.tolist() == [5 + j * prog.super_page_length for j in range(3)]
+    assert prog.index_page_positions(5) == arr.tolist()
+    with pytest.raises(ValueError):
+        prog.index_position_array(prog.index_length)
+
+
+def test_next_arrival_at_positions_rejects_empty_array():
+    import numpy as np
+
+    tree = make_tree(30, seed=2)
+    prog = BroadcastProgram(tree, m=2)
+    with pytest.raises(ValueError):
+        prog.next_arrival_at_positions(np.asarray([], dtype=np.int64), 0.0)

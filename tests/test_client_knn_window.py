@@ -138,3 +138,14 @@ def test_nn_queue_stays_small():
     # siblings per level; allow slack for the arrival-order pop schedule.
     assert search.max_queue_size <= 3 * h * m
     assert search.max_queue_size >= 1
+
+
+def test_knn_tracks_max_queue_size():
+    """kNN carries the same memory-footprint accounting as the NN search."""
+    pts, tree, tuner = make_setup(n=200, seed=7)
+    search = BroadcastKNNSearch(tree, tuner, Point(400, 400), k=3)
+    assert search.max_queue_size == 1  # the root is queued at construction
+    search.run_to_completion()
+    assert search.max_queue_size > 1
+    # The queue can never have outgrown the whole tree.
+    assert search.max_queue_size <= tree.node_count()

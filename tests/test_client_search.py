@@ -234,3 +234,84 @@ def test_ann_transitive_mode():
     want = min(transitive_distance(p, x, r) for x in pts)
     assert d >= want - 1e-12
     assert math.isclose(d, transitive_distance(p, s, r), rel_tol=1e-12)
+
+
+def make_setup_with_empty_internal(q, n=60, seed=3):
+    """A broadcast setup whose tree contains a childless internal node.
+
+    The empty node's MBR hugs the query point, so its (void) MinMaxDist
+    guarantee looks attractive and the node gets downloaded, exercising
+    the witness hand-off guard.
+    """
+    from repro.geometry import Rect
+    from repro.rtree.node import RTreeNode
+
+    rng = random.Random(seed)
+    pts = [Point(rng.random() * 1000, rng.random() * 1000) for _ in range(n)]
+    params = SystemParameters(page_capacity=64)
+    tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+    empty = RTreeNode(mbr=Rect(q.x - 1, q.y - 1, q.x + 1, q.y + 1), level=1)
+    tree.root.children.append(empty)
+    program = BroadcastProgram(tree, params, m=2)
+    tuner = ChannelTuner(BroadcastChannel(program, phase=0.0))
+    return tree, tuner, empty
+
+
+def test_childless_internal_node_does_not_crash():
+    """A childless internal node must not crash the witness hand-off.
+
+    Degenerate packing can produce an internal node with no children; if
+    it carried the upper bound's guarantee, the bound is rebuilt from the
+    best concrete point instead of dereferencing a missing child.
+    """
+    q = Point(321, 654)
+    tree, tuner, _ = make_setup_with_empty_internal(q, seed=3)
+    search = BroadcastNNSearch(tree, tuner, q)
+    search.run_to_completion()
+    got, got_d = search.result()
+    _, want_d = best_first_nn(tree, q)
+    assert math.isclose(got_d, want_d, rel_tol=1e-12)
+
+
+def test_childless_internal_witness_rebuilds_bound():
+    """If the empty node itself witnessed the bound, the bound is reset."""
+    q = Point(500, 500)
+    tree, tuner, empty = make_setup_with_empty_internal(q, seed=5)
+    search = BroadcastNNSearch(tree, tuner, q)
+    # Force the empty node to be the current witness before it is absorbed.
+    search._witness_page = empty.page_id
+    search._absorb_internal(empty)
+    # The void node no longer witnesses the bound; the rebuilt bound comes
+    # from the best concrete point or a queued MBR's guarantee (rescan).
+    assert search._witness_page != empty.page_id
+    assert search.upper_bound >= search.best_dist or search._witness_page is not None
+    search.run_to_completion()
+    _, want_d = best_first_nn(tree, q)
+    assert math.isclose(search.result()[1], want_d, rel_tol=1e-12)
+
+
+def test_empty_internal_node_cannot_poison_upper_bound():
+    """Regression: a void MinMaxDist guarantee must never be *accepted*.
+
+    On a deep tree with the query far outside the region, an empty node
+    whose MBR hugs the query would (if its guarantee were accepted at
+    parent absorption) set a tiny upper bound and exact-prune every real
+    subtree, finishing the search with no answer at all.
+    """
+    from repro.geometry import Rect
+    from repro.rtree.node import RTreeNode
+
+    rng = random.Random(42)
+    pts = [Point(rng.random() * 1000, rng.random() * 1000) for _ in range(600)]
+    params = SystemParameters(page_capacity=64)
+    tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+    q = Point(5000, 5000)
+    empty = RTreeNode(mbr=Rect(q.x - 1, q.y - 1, q.x + 1, q.y + 1), level=1)
+    tree.root.children.append(empty)
+    program = BroadcastProgram(tree, params, m=2)
+    tuner = ChannelTuner(BroadcastChannel(program, phase=0.0))
+    search = BroadcastNNSearch(tree, tuner, q)
+    search.run_to_completion()
+    got, got_d = search.result()
+    want_d = min(distance(q, p) for p in pts)
+    assert math.isclose(got_d, want_d, rel_tol=1e-12)

@@ -99,3 +99,57 @@ def test_join_matches_brute_force_property(p, s_cands, r_cands):
     want = min(transitive_distance(p, a, b) for a in s_cands for b in r_cands)
     assert math.isclose(d, want, rel_tol=1e-9, abs_tol=1e-9)
     assert verify_pair(p, s, r, d)
+
+
+def test_join_dead_rows_inside_block_are_skipped():
+    """Per-candidate skip: s rows whose first hop reaches the bound are dead.
+
+    With a tight seed bound, only the near s candidates can matter; the
+    join must still return the seed when every candidate's first hop
+    already exceeds it, and the best improving pair otherwise.
+    """
+    p = Point(0, 0)
+    seed = (Point(0.5, 0), Point(0.6, 0))  # transitive distance 0.6
+    far_s = [Point(100 + i, 0) for i in range(20)]  # all first hops >= 100
+    r = [Point(200, 0)]
+    s_got, r_got, d = transitive_join(
+        p, far_s, r, initial_bound=0.6, initial_pair=seed
+    )
+    assert (s_got, r_got) == seed
+    assert math.isclose(d, 0.6)
+
+
+def test_join_mixed_live_and_dead_rows():
+    p = Point(0, 0)
+    # One improving candidate buried among dead ones (first hop >= bound).
+    s_cands = [Point(50, 0), Point(1, 0), Point(70, 0), Point(2, 0)]
+    r_cands = [Point(1.5, 0), Point(90, 0)]
+    seed = (Point(3, 0), Point(4, 0))  # bound 4.0
+    s_got, r_got, d = transitive_join(
+        p, s_cands, r_cands, initial_bound=4.0, initial_pair=seed
+    )
+    assert (s_got, r_got) == (Point(1, 0), Point(1.5, 0))
+    assert math.isclose(d, 1.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pts,
+    st.lists(pts, min_size=1, max_size=600),
+    st.lists(pts, min_size=1, max_size=5),
+    st.floats(min_value=0.1, max_value=50.0),
+)
+def test_join_with_seed_bound_matches_brute_force(p, s_cands, r_cands, bound):
+    """The per-row prune never changes the answer, only the work done."""
+    seed_s = Point(p.x + bound / 2, p.y)
+    seed_r = Point(p.x + bound, p.y)
+    seed_d = transitive_distance(p, seed_s, seed_r)
+    s, r, d = transitive_join(
+        p, s_cands, r_cands, initial_bound=seed_d, initial_pair=(seed_s, seed_r)
+    )
+    want = min(
+        seed_d,
+        min(transitive_distance(p, a, b) for a in s_cands for b in r_cands),
+    )
+    assert math.isclose(d, want, rel_tol=1e-9, abs_tol=1e-9)
+    assert verify_pair(p, s, r, d)
