@@ -1,0 +1,126 @@
+"""Geometry kernels — scalar vs vectorised A/B on the TNN hot path.
+
+Times the Hybrid-NN Case-3 hot loop (an exact NN anchor in R, then a
+best-first transitive NN over S with the Lemma 1 bound) on a seeded
+workload, once with the scalar geometry (``kernels.use_kernels(False)`` —
+the seed implementation) and once with the vectorised kernels, interleaved
+best-of-``REPRO_BENCH_ROUNDS`` on the same host.  Asserts the two paths
+return **bit-identical** answers and writes ``BENCH_tnn_geometry.json`` at
+the repository root.
+
+Defaults match the paper's largest sweep size (30,000 points per dataset,
+1,000 queries) on the 512-byte Table-2 page geometry (leaf capacity 51,
+fanout 28), where the kernel fan-outs are realistic.  CI's smoke run
+shrinks ``REPRO_BENCH_QUERIES`` / ``REPRO_BENCH_POINTS`` to stay under a
+minute; the committed JSON comes from a full-size run, which must show the
+>= 2x speedup (``REPRO_BENCH_MIN_SPEEDUP`` gates it when set).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import time
+
+from repro.datasets import PAPER_REGION_SIDE, sized_uniform
+from repro.geometry import Point, kernels
+from repro.rtree import build_rtree
+from repro.rtree.traversal import best_first_nn, transitive_nn
+from repro.sim import format_table
+
+N_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", 1_000))
+N_POINTS = int(os.environ.get("REPRO_BENCH_POINTS", 30_000))
+LEAF_CAPACITY = int(os.environ.get("REPRO_BENCH_LEAF", 51))
+FANOUT = int(os.environ.get("REPRO_BENCH_FANOUT", 28))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", 4))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", 0.0))
+
+JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_tnn_geometry.json"
+
+
+def _build():
+    s_tree = build_rtree(sized_uniform(N_POINTS, seed=1), LEAF_CAPACITY, FANOUT)
+    r_tree = build_rtree(sized_uniform(N_POINTS, seed=2), LEAF_CAPACITY, FANOUT)
+    rng = random.Random(0)
+    queries = [
+        Point(rng.uniform(0, PAPER_REGION_SIDE), rng.uniform(0, PAPER_REGION_SIDE))
+        for _ in range(N_QUERIES)
+    ]
+    return s_tree, r_tree, queries
+
+
+def _workload(s_tree, r_tree, queries):
+    """One pass of the seeded TNN/Hybrid-NN hot path."""
+    out = []
+    for q in queries:
+        r_anchor, d_anchor = best_first_nn(r_tree, q)
+        out.append((r_anchor, d_anchor))
+        out.append(transitive_nn(s_tree, q, r_anchor))
+    return out
+
+
+def test_tnn_geometry_kernel_speedup(benchmark, record_experiment):
+    s_tree, r_tree, queries = _build()
+
+    def measure():
+        # Warm both paths, then interleave best-of-N so neither side owns
+        # a quieter stretch of the host.
+        with kernels.use_kernels(False):
+            scalar_res = _workload(s_tree, r_tree, queries)
+        with kernels.use_kernels(True):
+            kernel_res = _workload(s_tree, r_tree, queries)
+        scalar_best = kernel_best = None
+        for _ in range(ROUNDS):
+            with kernels.use_kernels(False):
+                t0 = time.perf_counter()
+                scalar_res = _workload(s_tree, r_tree, queries)
+                dt = time.perf_counter() - t0
+                scalar_best = dt if scalar_best is None else min(scalar_best, dt)
+            with kernels.use_kernels(True):
+                t0 = time.perf_counter()
+                kernel_res = _workload(s_tree, r_tree, queries)
+                dt = time.perf_counter() - t0
+                kernel_best = dt if kernel_best is None else min(kernel_best, dt)
+        return scalar_res, kernel_res, scalar_best, kernel_best
+
+    scalar_res, kernel_res, scalar_s, kernel_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    # The acceptance bar: answers are bit-identical across paths.
+    assert scalar_res == kernel_res
+    speedup = scalar_s / kernel_s
+
+    payload = {
+        "benchmark": "tnn_geometry",
+        "workload": "NN anchor in R + transitive NN in S (Hybrid-NN Case 3)",
+        "n_queries": N_QUERIES,
+        "n_points_per_dataset": N_POINTS,
+        "leaf_capacity": LEAF_CAPACITY,
+        "fanout": FANOUT,
+        "protocol": f"interleaved best-of-{ROUNDS}, same host",
+        "scalar_seconds": round(scalar_s, 6),
+        "kernel_seconds": round(kernel_s, 6),
+        "speedup": round(speedup, 3),
+        "bit_identical": scalar_res == kernel_res,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record_experiment(
+        "tnn_geometry",
+        format_table(
+            ["queries", "points", "leaf/fanout", "scalar (s)", "kernel (s)", "speedup"],
+            [[
+                N_QUERIES,
+                N_POINTS,
+                f"{LEAF_CAPACITY}/{FANOUT}",
+                f"{scalar_s:.3f}",
+                f"{kernel_s:.3f}",
+                f"{speedup:.2f}x",
+            ]],
+            title="[tnn_geometry] scalar vs vectorised kernels, TNN hot path",
+        ),
+    )
+    assert speedup >= MIN_SPEEDUP

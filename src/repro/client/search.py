@@ -23,12 +23,15 @@ from __future__ import annotations
 
 import enum
 import math
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.broadcast.tuner import ChannelTuner
 from repro.client.arrival_queue import ArrivalQueueMixin
 from repro.client.policies import ExactPolicy, PruneContext, PruningPolicy
 from repro.geometry import Point, distance, min_max_trans_dist, min_trans_dist
+from repro.geometry import kernels
 from repro.rtree.node import RTreeNode
 from repro.rtree.tree import RTree
 
@@ -65,6 +68,12 @@ class BroadcastNNSearch(ArrivalQueueMixin):
         #: page_id of the node currently witnessing the upper bound, if the
         #: bound comes from a MinMaxDist-style guarantee rather than a point.
         self._witness_page: Optional[int] = None
+        #: Lower bounds precomputed in batch when a node's parent was
+        #: expanded, keyed by page_id and stamped with the metric epoch —
+        #: Hybrid-NN mode switches invalidate them wholesale by bumping the
+        #: epoch instead of touching every entry.
+        self._lb_cache: Dict[int, Tuple[int, float]] = {}
+        self._metric_epoch = 0
 
         self._init_queue()
         tuner.advance_to(start_time)
@@ -74,6 +83,9 @@ class BroadcastNNSearch(ArrivalQueueMixin):
     # Distance metrics for the current mode
     # ------------------------------------------------------------------
     def _lower_bound(self, node: RTreeNode) -> float:
+        cached = self._lb_cache.get(node.page_id)
+        if cached is not None and cached[0] == self._metric_epoch:
+            return cached[1]
         if self.mode is SearchMode.POINT:
             return node.mbr.mindist(self.query)
         return min_trans_dist(self.start, node.mbr, self.end)
@@ -87,6 +99,17 @@ class BroadcastNNSearch(ArrivalQueueMixin):
         if self.mode is SearchMode.POINT:
             return distance(self.query, pt)
         return distance(self.start, pt) + distance(pt, self.end)
+
+    def _batch_threshold(self, leaf: bool) -> int:
+        """Smallest batch worth a kernel call under the current metric.
+
+        Point-mode kernels compete with one C-level ``math.hypot`` per
+        element; the transitive kernels amortise Lemma 1-3's ~25 scalar
+        side tests per MBR, so their thresholds differ per mode.
+        """
+        if self.mode is SearchMode.POINT:
+            return kernels.min_batch_point()
+        return kernels.min_batch_leaf() if leaf else kernels.min_batch()
 
     # ------------------------------------------------------------------
     # Stepping
@@ -124,11 +147,23 @@ class BroadcastNNSearch(ArrivalQueueMixin):
         )
 
     def _absorb_leaf(self, node: RTreeNode) -> None:
-        for pt in node.points:
-            d = self._point_dist(pt)
+        if kernels.enabled() and node.fanout >= self._batch_threshold(leaf=True):
+            pts = node.points_array()
+            if self.mode is SearchMode.POINT:
+                dists = kernels.point_dists(self.query, pts)
+            else:
+                dists = kernels.trans_dists(self.start, pts, self.end)
+            i = int(np.argmin(dists))
+            d = float(dists[i])
             if d < self.best_dist:
                 self.best_dist = d
-                self.best_point = pt
+                self.best_point = node.points[i]
+        else:
+            for pt in node.points:
+                d = self._point_dist(pt)
+                if d < self.best_dist:
+                    self.best_dist = d
+                    self.best_point = pt
         if self.best_dist < self.upper_bound:
             self.upper_bound = self.best_dist
             self._witness_page = None  # a concrete point witnesses the bound
@@ -137,18 +172,41 @@ class BroadcastNNSearch(ArrivalQueueMixin):
         was_witness = node.page_id == self._witness_page
         best_child = None
         best_guarantee = math.inf
-        for child in node.children:
-            self._push(child)  # delayed pruning: push everything
-            if child.point_count <= 0:
-                # Empty subtree (degenerate packing): its MinMaxDist-style
-                # guarantee promises a point that does not exist — taking
-                # it would corrupt the upper bound and exact-prune the
-                # subtrees holding the real answer.
-                continue
-            z = self._guaranteed_bound(child)
-            if z < best_guarantee:
-                best_guarantee = z
-                best_child = child
+        if kernels.enabled() and node.fanout >= self._batch_threshold(leaf=False):
+            # One kernel pass over the whole fan-out: push every child with
+            # its precomputed (cached) lower bound, then inherit the best
+            # backed MinMaxDist-style guarantee via a masked argmin.
+            mbrs = node.child_mbr_array()
+            if self.mode is SearchMode.POINT:
+                lower, guaranteed = kernels.point_bounds(self.query, mbrs)
+            else:
+                lower, guaranteed = kernels.trans_bounds(
+                    self.start, mbrs, self.end
+                )
+            epoch = self._metric_epoch
+            for child, lb in zip(node.children, lower.tolist()):
+                self._push(child)  # delayed pruning: push everything
+                self._lb_cache[child.page_id] = (epoch, lb)
+            backed = np.where(
+                node.child_count_array() > 0, guaranteed, math.inf
+            )
+            i = int(np.argmin(backed))
+            if math.isfinite(backed[i]):
+                best_guarantee = float(backed[i])
+                best_child = node.children[i]
+        else:
+            for child in node.children:
+                self._push(child)  # delayed pruning: push everything
+                if child.point_count <= 0:
+                    # Empty subtree (degenerate packing): its MinMaxDist-style
+                    # guarantee promises a point that does not exist — taking
+                    # it would corrupt the upper bound and exact-prune the
+                    # subtrees holding the real answer.
+                    continue
+                z = self._guaranteed_bound(child)
+                if z < best_guarantee:
+                    best_guarantee = z
+                    best_child = child
         if best_child is None:
             # Every child subtree is empty (or the node is childless): no
             # guarantee to inherit.  If this node witnessed the bound, its
@@ -181,6 +239,7 @@ class BroadcastNNSearch(ArrivalQueueMixin):
         """
         if self.mode is not SearchMode.POINT:
             raise RuntimeError("retarget() only applies to point mode")
+        self._metric_epoch += 1  # cached lower bounds no longer apply
         self.query = new_query
         if self.best_point is not None:
             self.best_dist = distance(new_query, self.best_point)
@@ -194,6 +253,7 @@ class BroadcastNNSearch(ArrivalQueueMixin):
         """Case 3: minimise ``dis(start, s) + dis(s, end)`` from here on."""
         if self.mode is SearchMode.TRANSITIVE:
             raise RuntimeError("search is already in transitive mode")
+        self._metric_epoch += 1  # cached lower bounds no longer apply
         self.mode = SearchMode.TRANSITIVE
         self.start = start
         self.end = end
@@ -210,6 +270,28 @@ class BroadcastNNSearch(ArrivalQueueMixin):
 
     def _rescan_queue_bounds(self) -> None:
         """Initial upper-bound update over every queued MBR (Section 4.2.3)."""
+        if kernels.enabled() and len(self._queue) >= self._batch_threshold(
+            leaf=False
+        ):
+            backed = [n for _, _, n in self._queue if n.point_count > 0]
+            if not backed:
+                return
+            mbrs = kernels.as_mbr_array([n.mbr for n in backed])
+            if self.mode is SearchMode.POINT:
+                lower, bounds = kernels.point_bounds(self.query, mbrs)
+            else:
+                lower, bounds = kernels.trans_bounds(self.start, mbrs, self.end)
+            # Refresh the pushed lower bounds under the new metric too: the
+            # rescan already touches every queued MBR, so the pop-time
+            # delayed-pruning test stays a cache hit after a mode switch.
+            epoch = self._metric_epoch
+            for n, lb in zip(backed, lower.tolist()):
+                self._lb_cache[n.page_id] = (epoch, lb)
+            i = int(np.argmin(bounds))
+            if float(bounds[i]) < self.upper_bound:
+                self.upper_bound = float(bounds[i])
+                self._witness_page = backed[i].page_id
+            return
         for _, _, node in self._queue:
             if node.point_count <= 0:
                 continue  # empty subtree: no point backs its guarantee

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, MutableMapping, Optional, Sequence, Tuple
 
 from repro.broadcast import (
     BroadcastChannel,
@@ -46,6 +46,8 @@ class TNNEnvironment:
         m: int | None = None,
         packing: str = "str",
         distributed_levels: int | None = None,
+        tree_cache: Optional[MutableMapping] = None,
+        program_cache: Optional[MutableMapping] = None,
     ) -> "TNNEnvironment":
         """Index both datasets and lay them out as broadcast programs.
 
@@ -54,26 +56,68 @@ class TNNEnvironment:
         access-time-optimal value per channel.  ``distributed_levels``
         switches both channels from full (1, m) replication to distributed
         indexing that replicates only that many top tree levels.
+
+        ``tree_cache`` / ``program_cache`` enable shared-cycle reuse across
+        environments: a packed tree is keyed by (dataset, page geometry,
+        packing) and a broadcast program by the tree key plus (params, m,
+        distributed_levels), so sweep configurations that differ only in
+        ``m``, in the page capacity, or in the *other* channel's dataset
+        rebuild nothing they already have.  Packing is deterministic, so a
+        cache hit is observationally identical to a rebuild.
         """
         params = params or SystemParameters()
-        s_tree = build_rtree(
-            list(s_points), params.leaf_capacity, params.internal_fanout, packing
-        )
-        r_tree = build_rtree(
-            list(r_points), params.leaf_capacity, params.internal_fanout, packing
-        )
-        if distributed_levels is None:
-            s_program = BroadcastProgram(s_tree, params, m=m)
-            r_program = BroadcastProgram(r_tree, params, m=m)
-        else:
-            from repro.broadcast.distributed import DistributedBroadcastProgram
 
-            s_program = DistributedBroadcastProgram(
-                s_tree, params, m=m, replicated_levels=distributed_levels
+        def tree_for(points: List[Point]):
+            if tree_cache is None:
+                return (
+                    build_rtree(
+                        points, params.leaf_capacity, params.internal_fanout, packing
+                    ),
+                    None,
+                )
+            key = (
+                tuple(points),
+                params.leaf_capacity,
+                params.internal_fanout,
+                packing,
             )
-            r_program = DistributedBroadcastProgram(
-                r_tree, params, m=m, replicated_levels=distributed_levels
-            )
+            tree = tree_cache.get(key)
+            if tree is None:
+                tree = build_rtree(
+                    points, params.leaf_capacity, params.internal_fanout, packing
+                )
+                tree_cache[key] = tree
+            return tree, key
+
+        def program_for(tree, tree_key):
+            key = None
+            if program_cache is not None and tree_key is not None:
+                key = (tree_key, params, m, distributed_levels)
+                program = program_cache.get(key)
+                if program is not None:
+                    return program
+            if distributed_levels is None:
+                program = BroadcastProgram(tree, params, m=m)
+            else:
+                from repro.broadcast.distributed import DistributedBroadcastProgram
+
+                program = DistributedBroadcastProgram(
+                    tree, params, m=m, replicated_levels=distributed_levels
+                )
+            if key is not None:
+                program_cache[key] = program
+            return program
+
+        s_tree, s_key = tree_for(list(s_points))
+        r_tree, r_key = tree_for(list(r_points))
+        s_program = program_for(s_tree, s_key)
+        r_program = program_for(r_tree, r_key)
+        # A cached program may have been laid out over an earlier (equal)
+        # tree instance — e.g. after the tree cache evicted its entry.  The
+        # program's tree carries the page ids its arrival arithmetic was
+        # built from, so it is the authoritative index object.
+        s_tree = s_program.tree
+        r_tree = r_program.tree
         region = Rect.union_of([s_tree.mbr, r_tree.mbr])
         env = cls(
             s_points=list(s_points),

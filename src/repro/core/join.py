@@ -3,9 +3,12 @@
 Given the candidate sets retrieved by the two range queries, find the pair
 ``(s, r)`` minimising ``dis(p,s) + dis(s,r)``.  The loop structure follows
 the paper — skip any ``s`` whose first hop alone already exceeds the best
-transitive distance — but the inner distance evaluation is vectorised with
-numpy so that even the oversized candidate sets produced by Approximate-TNN
-join in reasonable time.
+transitive distance — but the inner distance evaluation is vectorised so
+that even the oversized candidate sets produced by Approximate-TNN join in
+reasonable time.  Distances run on the exact-hypot kernel
+(:func:`repro.geometry.kernels.hypot`), so every total the join reports is
+bit-identical to a scalar ``dis(p,s) + dis(s,r)`` recomputation — the same
+guarantee the tree-side kernels give.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.geometry import Point, distance
+from repro.geometry import kernels
 
 #: Row-block size for pairwise distance evaluation (bounds peak memory).
 _BLOCK = 512
@@ -45,7 +49,7 @@ def transitive_join(
     s_arr = np.asarray(s_candidates, dtype=float)
     r_arr = np.asarray(r_candidates, dtype=float)
 
-    d_ps = np.hypot(s_arr[:, 0] - p.x, s_arr[:, 1] - p.y)
+    d_ps = kernels.hypot(p.x - s_arr[:, 0], p.y - s_arr[:, 1])
     order = np.argsort(d_ps)
 
     for start in range(0, len(order), _BLOCK):
@@ -61,7 +65,7 @@ def transitive_join(
         block = s_arr[idx]
         dx = block[:, 0:1] - r_arr[None, :, 0]
         dy = block[:, 1:2] - r_arr[None, :, 1]
-        totals = d_ps[idx][:, None] + np.sqrt(dx * dx + dy * dy)
+        totals = d_ps[idx][:, None] + kernels.hypot(dx, dy)
         flat = int(np.argmin(totals))
         i, j = divmod(flat, len(r_arr))
         if totals[i, j] < best_d:

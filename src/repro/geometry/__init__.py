@@ -12,8 +12,13 @@ distance metric the paper relies on:
   the MBR face property);
 * circle/ellipse–rectangle overlap ratios — Heuristics 1 and 2 used by the
   ANN pruning optimisation (Section 5 of the paper).
+
+The scalar metrics are the correctness oracle; :mod:`repro.geometry.kernels`
+provides bit-identical vectorised versions that evaluate whole MBR/point
+batches per call and drive the hot paths.
 """
 
+from repro.geometry import kernels
 from repro.geometry.point import Point, distance, transitive_distance
 from repro.geometry.rect import Rect
 from repro.geometry.segment import (
@@ -32,6 +37,7 @@ from repro.geometry.shapes import (
 )
 
 __all__ = [
+    "kernels",
     "Point",
     "Rect",
     "Segment",

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator, NamedTuple, Sequence
+from functools import lru_cache
+from typing import Iterable, NamedTuple, Sequence, Tuple
 
 from repro.geometry.point import Point
 
@@ -101,19 +102,12 @@ class Rect(NamedTuple):
     # Decomposition
     # ------------------------------------------------------------------
     def corners(self) -> Sequence[Point]:
-        """The four vertices in counter-clockwise order."""
-        return (
-            Point(self.xmin, self.ymin),
-            Point(self.xmax, self.ymin),
-            Point(self.xmax, self.ymax),
-            Point(self.xmin, self.ymax),
-        )
+        """The four vertices in counter-clockwise order (cached per rect)."""
+        return _corners_of(self)
 
-    def sides(self) -> Iterator[tuple[Point, Point]]:
-        """The four edges as ``(endpoint, endpoint)`` pairs, CCW."""
-        c = self.corners()
-        for i in range(4):
-            yield c[i], c[(i + 1) % 4]
+    def sides(self) -> Sequence[tuple[Point, Point]]:
+        """The four edges as ``(endpoint, endpoint)`` pairs, CCW (cached)."""
+        return _sides_of(self)
 
     # ------------------------------------------------------------------
     # Distance metrics
@@ -154,3 +148,29 @@ class Rect(NamedTuple):
         rM_x = self.xmin if p.x >= cx else self.xmax
         d2 = math.hypot(p.x - rM_x, p.y - rm_y)
         return min(d1, d2)
+
+
+# ----------------------------------------------------------------------
+# Per-rect decomposition caches
+# ----------------------------------------------------------------------
+# Rect is a hashable NamedTuple, so an LRU keyed on the rect itself gives
+# "compute once per rect" semantics without widening the tuple: the scalar
+# bound functions (the kernels' correctness oracle and fallback path) probe
+# corners()/sides() four-plus times per evaluation, and the heap-driven
+# searches revisit the same MBRs across queries.
+
+
+@lru_cache(maxsize=65536)
+def _corners_of(rect: "Rect") -> Tuple[Point, Point, Point, Point]:
+    return (
+        Point(rect.xmin, rect.ymin),
+        Point(rect.xmax, rect.ymin),
+        Point(rect.xmax, rect.ymax),
+        Point(rect.xmin, rect.ymax),
+    )
+
+
+@lru_cache(maxsize=65536)
+def _sides_of(rect: "Rect") -> Tuple[Tuple[Point, Point], ...]:
+    c = _corners_of(rect)
+    return tuple((c[i], c[(i + 1) % 4]) for i in range(4))

@@ -11,21 +11,36 @@
 from __future__ import annotations
 
 import math
-from typing import NamedTuple
+from typing import Iterator, Optional
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 
 
-class Segment(NamedTuple):
-    """A closed line segment between two points."""
+class Segment:
+    """A closed line segment between two points.
 
-    a: Point
-    b: Point
+    ``length`` is computed lazily and cached: the scalar bound functions
+    probe it repeatedly (degenerate-side tests), and a ``Segment`` is
+    immutable by convention, so the first Euclidean evaluation is the only
+    one.  The class keeps the tuple-like surface of the previous
+    ``NamedTuple`` (equality, hashing, ``a, b`` unpacking).
+    """
+
+    __slots__ = ("a", "b", "_length")
+
+    def __init__(self, a: Point, b: Point) -> None:
+        self.a = a
+        self.b = b
+        self._length: Optional[float] = None
 
     @property
     def length(self) -> float:
-        return self.a.distance_to(self.b)
+        cached = self._length
+        if cached is None:
+            cached = self.a.distance_to(self.b)
+            self._length = cached
+        return cached
 
     def midpoint(self) -> Point:
         return self.a.midpoint(self.b)
@@ -36,6 +51,23 @@ class Segment(NamedTuple):
             self.a.x + t * (self.b.x - self.a.x),
             self.a.y + t * (self.b.y - self.a.y),
         )
+
+    def __iter__(self) -> Iterator[Point]:
+        yield self.a
+        yield self.b
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Segment):
+            return self.a == other.a and self.b == other.b
+        if isinstance(other, tuple):
+            return (self.a, self.b) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.a, self.b))
+
+    def __repr__(self) -> str:
+        return f"Segment(a={self.a!r}, b={self.b!r})"
 
 
 def orientation(a: Point, b: Point, c: Point) -> float:

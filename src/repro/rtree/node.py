@@ -5,12 +5,21 @@ paper).  Leaves store data points directly — in the air-index setting the
 leaf page carries the point coordinates plus the arrival-time pointer of the
 associated data object, so the client can evaluate distances without
 touching the data segment.
+
+Every node additionally caches an array-backed view of its fan-out for the
+vectorised geometry kernels (:mod:`repro.geometry.kernels`): internal nodes
+a contiguous ``(n, 4)`` float64 array of their children's MBRs (plus the
+children's subtree point counts), leaves an ``(n, 2)`` array of their
+points.  The arrays are built once — eagerly at pack time, lazily for
+hand-assembled nodes — and shared by every query that expands the node.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
+
+import numpy as np
 
 from repro.geometry import Point, Rect
 
@@ -33,6 +42,19 @@ class RTreeNode:
     #: Number of data points in this node's subtree (used by the ANN
     #: pruning heuristic's containment-probability estimate).
     point_count: int = 0
+    #: Cached ``(n, 4)`` float64 array of the children's MBRs (internal
+    #: nodes) — the structure-of-arrays input of the vectorised kernels.
+    _child_mbrs: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Cached per-child subtree point counts, aligned with ``_child_mbrs``.
+    _child_counts: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Cached ``(n, 2)`` float64 array of the leaf's points.
+    _points_arr: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_leaf(self) -> bool:
@@ -69,6 +91,53 @@ class RTreeNode:
             children=list(children),
             point_count=sum(c.point_count for c in children),
         )
+
+    # ------------------------------------------------------------------
+    # Array-backed fan-out views (inputs of the vectorised kernels)
+    # ------------------------------------------------------------------
+    def child_mbr_array(self) -> np.ndarray:
+        """Contiguous ``(n, 4)`` float64 array of the children's MBRs."""
+        arr = self._child_mbrs
+        if arr is None:
+            arr = np.array(
+                [c.mbr for c in self.children], dtype=np.float64
+            ).reshape(-1, 4)
+            self._child_mbrs = arr
+        return arr
+
+    def child_count_array(self) -> np.ndarray:
+        """Per-child subtree point counts, aligned with the MBR rows."""
+        arr = self._child_counts
+        if arr is None:
+            arr = np.array(
+                [c.point_count for c in self.children], dtype=np.int64
+            )
+            self._child_counts = arr
+        return arr
+
+    def points_array(self) -> np.ndarray:
+        """Contiguous ``(n, 2)`` float64 array of this leaf's points."""
+        arr = self._points_arr
+        if arr is None:
+            arr = np.array(self.points, dtype=np.float64).reshape(-1, 2)
+            self._points_arr = arr
+        return arr
+
+    def prepare_arrays(self, internal: bool = True, leaves: bool = True) -> None:
+        """Materialise the fan-out arrays for this whole subtree.
+
+        Called once at pack time so the first query of every workload hits
+        warm arrays instead of paying the packing cost itself.  The flags
+        let the packer skip levels whose fan-outs can never reach the
+        kernel dispatch thresholds.
+        """
+        for node in self.iter_preorder():
+            if node.is_leaf:
+                if leaves:
+                    node.points_array()
+            elif internal:
+                node.child_mbr_array()
+                node.child_count_array()
 
     def iter_preorder(self) -> Iterator["RTreeNode"]:
         """Depth-first preorder traversal — the broadcast layout order."""

@@ -33,6 +33,29 @@ def _chunks(seq: Sequence, size: int) -> list[list]:
     return [list(seq[i : i + size]) for i in range(0, len(seq), size)]
 
 
+def _finalize(tree: RTree) -> RTree:
+    """Pack-time epilogue: build every node's array-backed fan-out view.
+
+    The contiguous child-MBR / leaf-point arrays feed the vectorised
+    geometry kernels; building them here (once per tree) keeps the first
+    query of every workload off the cold path.  Trees whose fan-outs can
+    never reach the kernel dispatch thresholds (e.g. the 64-byte-page
+    geometry with M = 3) skip the eager pass — the accessors stay lazy, so
+    nothing breaks if a threshold is lowered at runtime.
+    """
+    from repro.geometry import kernels
+
+    if kernels.enabled():
+        # min_batch() is the weakest dispatch gate per level (transitive
+        # bounds for internals, window masks for leaves); levels that can
+        # never reach it would build arrays no kernel ever reads.
+        internal = tree.fanout >= kernels.min_batch()
+        leaves = tree.leaf_capacity >= kernels.min_batch()
+        if internal or leaves:
+            tree.prepare_arrays(internal=internal, leaves=leaves)
+    return tree
+
+
 def _pack_upward(nodes: list[RTreeNode], fanout: int, group: Callable) -> RTreeNode:
     """Repeatedly group ``nodes`` into parents until a single root remains.
 
@@ -75,7 +98,7 @@ def str_pack(points: Sequence[Point], leaf_capacity: int, fanout: int) -> RTree:
         by_y = sorted(slab, key=lambda p: (p.y, p.x))
         leaves.extend(RTreeNode.leaf(run) for run in _chunks(by_y, leaf_capacity))
     root = _pack_upward(leaves, fanout, _str_group_nodes)
-    return RTree(root=root, leaf_capacity=leaf_capacity, fanout=fanout, size=n)
+    return _finalize(RTree(root=root, leaf_capacity=leaf_capacity, fanout=fanout, size=n))
 
 
 def _linear_group_nodes(nodes: list[RTreeNode], fanout: int) -> list[list[RTreeNode]]:
@@ -98,7 +121,7 @@ def hilbert_pack(points: Sequence[Point], leaf_capacity: int, fanout: int) -> RT
     ordered = sorted(points, key=key)
     leaves = [RTreeNode.leaf(run) for run in _chunks(ordered, leaf_capacity)]
     root = _pack_upward(leaves, fanout, _linear_group_nodes)
-    return RTree(root=root, leaf_capacity=leaf_capacity, fanout=fanout, size=len(points))
+    return _finalize(RTree(root=root, leaf_capacity=leaf_capacity, fanout=fanout, size=len(points)))
 
 
 def nearest_x_pack(points: Sequence[Point], leaf_capacity: int, fanout: int) -> RTree:
@@ -107,7 +130,7 @@ def nearest_x_pack(points: Sequence[Point], leaf_capacity: int, fanout: int) -> 
     ordered = sorted(points, key=lambda p: (p.x, p.y))
     leaves = [RTreeNode.leaf(run) for run in _chunks(ordered, leaf_capacity)]
     root = _pack_upward(leaves, fanout, _linear_group_nodes)
-    return RTree(root=root, leaf_capacity=leaf_capacity, fanout=fanout, size=len(points))
+    return _finalize(RTree(root=root, leaf_capacity=leaf_capacity, fanout=fanout, size=len(points)))
 
 
 _PACKERS: dict[str, Callable[[Sequence[Point], int, int], RTree]] = {

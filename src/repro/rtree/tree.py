@@ -51,6 +51,16 @@ class RTree:
         """Levels below the root (root = 0, leaves = height - 1)."""
         return self.root.level - node.level
 
+    def prepare_arrays(self, internal: bool = True, leaves: bool = True) -> None:
+        """Materialise every node's array-backed fan-out view (pack time).
+
+        Internal nodes cache their children's MBRs as one contiguous
+        ``(n, 4)`` float64 array, leaves their points as ``(n, 2)`` — the
+        structure-of-arrays inputs of :mod:`repro.geometry.kernels`,
+        computed once and shared by all queries.
+        """
+        self.root.prepare_arrays(internal=internal, leaves=leaves)
+
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------

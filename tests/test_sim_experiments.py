@@ -106,3 +106,56 @@ def test_cli_runs_one_experiment(capsys):
 def test_cli_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         main(["fig99"])
+
+
+def test_sweep_cache_reuses_trees_and_stays_exact():
+    """SweepCache hits return identical results to cold builds."""
+    from repro.sim.experiments import SweepCache
+    from repro.core import TNNEnvironment
+    from repro.datasets import sized_uniform
+    from repro.engine import BatchRunner, QueryWorkload
+    from repro.core import DoubleNN
+
+    s_pts = sized_uniform(120, seed=1)
+    r_pts = sized_uniform(120, seed=2)
+    cache = SweepCache()
+    warm1 = cache.build(s_pts, r_pts)
+    assert len(cache.trees) == 2
+    warm2 = cache.build(s_pts, r_pts)
+    assert warm2.s_tree is warm1.s_tree  # cache hit shares the packed tree
+    cold = TNNEnvironment.build(s_pts, r_pts)
+    wl = QueryWorkload(4, seed=0)
+    assert (
+        BatchRunner(warm2, wl).run_algorithm(DoubleNN())
+        == BatchRunner(cold, wl).run_algorithm(DoubleNN())
+    )
+
+
+def test_sweep_cache_eviction_keeps_tree_program_consistent():
+    """A program outliving its evicted tree still pairs with its own tree.
+
+    Regression test: FIFO eviction can drop a tree entry while the
+    value-keyed program survives; the rebuilt environment must use the
+    program's original tree (which carries the page ids the program's
+    arrival arithmetic assumes), not an id-less fresh pack.
+    """
+    from repro.sim.experiments import SweepCache
+    from repro.datasets import sized_uniform
+    from repro.engine import BatchRunner, QueryWorkload
+    from repro.core import DoubleNN
+
+    cache = SweepCache()
+    cache.MAX_TREES = 2  # force eviction on the second dataset pair
+    s_pts = sized_uniform(100, seed=1)
+    r_pts = sized_uniform(100, seed=2)
+    first = cache.build(s_pts, r_pts)
+    cache.build(sized_uniform(100, seed=3), sized_uniform(100, seed=4))
+    assert len(cache.trees) == 2  # the first pair's trees were evicted
+    again = cache.build(s_pts, r_pts)  # program-cache hit, tree-cache miss
+    assert again.s_tree is again.s_program.tree
+    assert all(n.page_id is not None for n in again.s_tree.iter_nodes())
+    wl = QueryWorkload(4, seed=0)
+    assert (
+        BatchRunner(again, wl).run_algorithm(DoubleNN())
+        == BatchRunner(first, wl).run_algorithm(DoubleNN())
+    )
