@@ -36,6 +36,10 @@ class DistributedBroadcastProgram(BroadcastProgram):
     layout; ``replicated_levels = 1`` replicates only the root.
     """
 
+    #: Deep pages appear once per cycle while top pages repeat per chunk,
+    #: so arrival order is not cyclic page order (no frontier fast path).
+    uniform_index_replication = False
+
     def __init__(
         self,
         tree: RTree,

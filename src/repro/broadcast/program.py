@@ -69,6 +69,12 @@ class BroadcastProgram:
     chunk is padded with filler slots so every super-page has equal length).
     """
 
+    #: True when every index page's replicas sit exactly one super-page
+    #: apart, i.e. arrival order is cyclic page-id order — the property the
+    #: client's arrival frontier exploits.  Irregular layouts (distributed
+    #: indexing) override this with False.
+    uniform_index_replication = True
+
     def __init__(
         self,
         tree: RTree,

@@ -16,7 +16,13 @@ Implements the building blocks shared by every TNN algorithm:
 * pruning policies — exact search and the ANN approximation of Section 5
   (Heuristics 1 and 2, static and dynamic alpha).
 * :func:`run_all` — a cooperative scheduler that interleaves steppable
-  searches on multiple channels in simulated-time order.
+  searches on multiple channels in simulated-time order via a
+  lazy-invalidation event heap (O(log channels) per page arrival);
+  :func:`run_all_scan` is the brute-force reference.
+* :class:`ArrivalFrontier` — the struct-of-arrays candidate queue behind
+  every steppable search on the kernel path: arrivals refreshed per
+  arrival tick and lower bounds evaluated in queue-wide kernel batches,
+  so even 64-byte-page / M = 3 geometries clear the dispatch floor.
 """
 
 from repro.client.policies import (
@@ -26,13 +32,15 @@ from repro.client.policies import (
     dynamic_alpha,
     fixed_alpha,
 )
+from repro.client.frontier import ArrivalFrontier
 from repro.client.search import BroadcastNNSearch, SearchMode
 from repro.client.range_query import BroadcastRangeSearch
 from repro.client.knn import BroadcastKNNSearch
 from repro.client.window import BroadcastWindowSearch
-from repro.client.scheduler import run_all, run_sequential
+from repro.client.scheduler import run_all, run_all_scan, run_sequential
 
 __all__ = [
+    "ArrivalFrontier",
     "BroadcastNNSearch",
     "BroadcastKNNSearch",
     "BroadcastRangeSearch",
@@ -44,5 +52,6 @@ __all__ = [
     "fixed_alpha",
     "dynamic_alpha",
     "run_all",
+    "run_all_scan",
     "run_sequential",
 ]

@@ -1,12 +1,22 @@
 """Arrival-ordered candidate queue shared by every steppable search.
 
-All broadcast searches (NN, kNN, range) consume index pages in the order
-they fly by, so they share one queue discipline: a priority queue keyed by
-each node's next on-air arrival, with stale heads refreshed lazily and the
-result cached per (clock, head) state.  The mixin also tracks the largest
-queue size reached — the client's memory footprint (Section 4.2.4 bounds
-the delayed-pruning queue by ``(H - 1) x (M - 1)`` MBRs for a DFS-ordered
-broadcast).
+All broadcast searches (NN, kNN, window, range) consume index pages in the
+order they fly by, so they share one queue discipline: candidates ordered
+by each node's next on-air arrival, popped truly-next under the current
+channel clock.  The mixin also tracks the largest queue size reached — the
+client's memory footprint (Section 4.2.4 bounds the delayed-pruning queue
+by ``(H - 1) x (M - 1)`` MBRs for a DFS-ordered broadcast).
+
+Two interchangeable backends produce bit-identical pop orders:
+
+* the struct-of-arrays :class:`~repro.client.frontier.ArrivalFrontier`
+  (kernel path) — arrivals refreshed per arrival tick in one batched call,
+  lower bounds evaluated lazily in queue-wide kernel batches;
+* the original boxed-tuple heap with lazy head normalisation (scalar
+  oracle, selected by ``kernels.use_kernels(False)`` /
+  ``REPRO_NO_KERNELS=1``) — arrivals are computed at push time and stale
+  heads are refreshed one sift at a time, with the result cached per
+  (clock, head) state.
 
 Subclasses provide ``self.tuner`` and call :meth:`_init_queue` before the
 first :meth:`_push`.
@@ -20,6 +30,8 @@ import math
 from typing import List, Optional, Tuple
 
 from repro.broadcast.tuner import ChannelTuner
+from repro.client.frontier import ArrivalFrontier
+from repro.geometry import kernels
 from repro.rtree.node import RTreeNode
 
 
@@ -29,20 +41,62 @@ class ArrivalQueueMixin:
     tuner: ChannelTuner
 
     def _init_queue(self) -> None:
+        #: Backend choice is fixed per search: a search constructed under
+        #: ``use_kernels(False)`` stays on the oracle heap for its
+        #: lifetime, and irregular replication layouts (distributed
+        #: indexing) have no cyclic page order for the frontier to exploit.
+        use_frontier = kernels.enabled() and getattr(
+            getattr(getattr(self.tuner, "channel", None), "program", None),
+            "uniform_index_replication",
+            False,
+        )
+        self._heap_max = 0
+        if use_frontier:
+            frontier = ArrivalFrontier(self.tuner)
+            self._frontier: Optional[ArrivalFrontier] = frontier
+            # Flatten the dispatch for the hot loop: the frontier's own
+            # bound methods replace the mixin's forwarding wrappers.
+            self._push = frontier.push
+            self._pop_head_bound = frontier.pop
+            self.next_event_time = frontier.peek_arrival
+            self.finished = frontier.finished
+            return
+        self._frontier = None
         self._counter = itertools.count()
         self._queue: List[Tuple[float, int, RTreeNode]] = []
         #: Cached (clock, head-seq) of the last head normalization, so the
         #: scheduler's next_event_time / step pairs don't re-peek arrivals.
         self._head_state: Optional[Tuple[float, int]] = None
-        #: Largest queue size reached — the client's memory footprint.
-        self.max_queue_size = 0
 
-    def _push(self, node: RTreeNode) -> None:
+    @property
+    def max_queue_size(self) -> int:
+        """Largest queue size reached — the client's memory footprint."""
+        if self._frontier is not None:
+            return self._frontier.max_size
+        return self._heap_max
+
+    def _push(
+        self,
+        node: RTreeNode,
+        lb: Optional[float] = None,
+        epoch: int = -1,
+        weak: bool = False,
+    ) -> None:
+        """Queue a node; ``lb`` pre-caches its lower bound under ``epoch``.
+
+        The heap backend ignores the bound hint — its callers cache bounds
+        in the search's page-id dict instead.
+        """
+        if self._frontier is not None:
+            # Only reachable when a subclass calls the unbound method; the
+            # instance attribute set in _init_queue normally shadows it.
+            self._frontier.push(node, lb, epoch, weak)
+            return
         arrival = self.tuner.peek_index_arrival(node.page_id)
         heapq.heappush(self._queue, (arrival, next(self._counter), node))
         self._head_state = None
-        if len(self._queue) > self.max_queue_size:
-            self.max_queue_size = len(self._queue)
+        if len(self._queue) > self._heap_max:
+            self._heap_max = len(self._queue)
 
     def _normalize_head(self) -> None:
         """Refresh stale arrival keys so the head is the true next page.
@@ -69,21 +123,42 @@ class ArrivalQueueMixin:
 
     def _pop_head(self) -> RTreeNode:
         """Normalize, pop and return the truly-next node."""
+        node, _, _ = self._pop_head_bound()
+        return node
+
+    def _pop_head_bound(
+        self, epoch: int = -1
+    ) -> Tuple[RTreeNode, Optional[float], bool]:
+        """Pop the truly-next node plus its cached/batched lower bound.
+
+        The bound is ``None`` when this backend does not manage bounds (the
+        oracle heap) or when the frontier's pending-unevaluated set is too
+        small for a worthwhile kernel batch — the caller then evaluates the
+        single bound scalar, which is bit-identical either way.  The third
+        element flags a *weak* bound: a certified under-estimate that can
+        prove a prune but must be verified before a keep.
+        """
+        if self._frontier is not None:
+            return self._frontier.pop(epoch)
         if not self._queue:
             raise RuntimeError("step() on a finished search")
         self._normalize_head()
         _, _, node = heapq.heappop(self._queue)
         self._head_state = None
-        return node
+        return node, None, False
 
     # ------------------------------------------------------------------
     # Introspection for the scheduler
     # ------------------------------------------------------------------
     def finished(self) -> bool:
+        if self._frontier is not None:
+            return self._frontier.finished()
         return not self._queue
 
     def next_event_time(self) -> float:
         """Arrival time of the next page this search would download."""
+        if self._frontier is not None:
+            return self._frontier.peek_arrival()
         self._normalize_head()
         return self._queue[0][0] if self._queue else math.inf
 

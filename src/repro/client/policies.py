@@ -78,7 +78,12 @@ class PruneContext:
 
 
 class PruningPolicy(Protocol):
-    """Decides whether a *not-yet-excluded* node may be skipped anyway."""
+    """Decides whether a *not-yet-excluded* node may be skipped anyway.
+
+    A policy may set ``trivial = True`` to promise ``should_prune`` is a
+    constant ``False``; the search then skips building the
+    :class:`PruneContext` on its hot path.
+    """
 
     def should_prune(self, ctx: PruneContext) -> bool:  # pragma: no cover
         ...
@@ -88,6 +93,7 @@ class ExactPolicy:
     """Exact NN search: no approximate pruning at all."""
 
     name = "exact"
+    trivial = True
 
     def should_prune(self, ctx: PruneContext) -> bool:
         return False

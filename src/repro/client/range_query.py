@@ -4,9 +4,12 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.broadcast.tuner import ChannelTuner
 from repro.client.arrival_queue import ArrivalQueueMixin
-from repro.geometry import Circle, Point
+from repro.geometry import Circle, Point, kernels
+from repro.rtree.node import RTreeNode
 from repro.rtree.tree import RTree
 
 
@@ -15,7 +18,10 @@ class BroadcastRangeSearch(ArrivalQueueMixin):
 
     Like :class:`BroadcastNNSearch`, the traversal consumes index pages in
     arrival order: nodes intersecting the circle are downloaded, the rest
-    are skipped for free.
+    are skipped for free.  Queue plumbing comes from the shared arrival
+    frontier; on the kernel path, leaf containment runs as one
+    :func:`kernels.point_dists` call over the leaf's ``points_array()``
+    (circle containment is exactly ``dis(center, p) <= radius``).
     """
 
     def __init__(
@@ -40,12 +46,22 @@ class BroadcastRangeSearch(ArrivalQueueMixin):
             return  # skipped for free: never downloaded
         self.tuner.download_index_page(node.page_id)
         if node.is_leaf:
-            self.results.extend(
-                p for p in node.points if self.circle.contains_point(p)
-            )
+            self._absorb_leaf(node)
         else:
             for child in node.children:
                 self._push(child)
+
+    def _absorb_leaf(self, node: RTreeNode) -> None:
+        if kernels.enabled() and node.fanout >= kernels.min_batch_leaf():
+            d = kernels.point_dists(self.circle.center, node.points_array())
+            self.results.extend(
+                node.points[i]
+                for i in np.flatnonzero(d <= self.circle.radius).tolist()
+            )
+            return
+        self.results.extend(
+            p for p in node.points if self.circle.contains_point(p)
+        )
 
     def run_to_completion(self) -> List[Point]:
         while not self.finished():

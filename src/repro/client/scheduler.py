@@ -7,10 +7,24 @@ the earliest page next — this is what "the two NN queries are processed in
 parallel" (Algorithm 1, line 3) means operationally.  An optional callback
 fires after every step so a coordinator (Hybrid-NN) can react the moment
 one channel finishes.
+
+:func:`run_all` keeps the unfinished searches in a lazy-invalidation event
+heap — O(log channels) per simulated page arrival — so one client can
+interleave many channels (the async channel tuners of the roadmap).  Keys
+are revalidated at pop time, which absorbs ``after_step`` callbacks that
+mutate *other* searches (Hybrid-NN's re-steering): a mutated search is
+simply re-keyed the next time it reaches the top.  The one requirement is
+the natural one for simulated time — a search's ``next_event_time`` never
+moves below the event times already dispatched (it can only grow as the
+channel clock advances).  :func:`run_all_scan`, the original O(channels)
+argmin scan, stays as the brute-force reference oracle for the property
+tests.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from typing import Callable, Optional, Protocol, Sequence
 
 
@@ -30,13 +44,100 @@ class Steppable(Protocol):
 def run_all(
     searches: Sequence[Steppable],
     after_step: Optional[Callable[[Steppable], None]] = None,
+    on_finish: Optional[Callable[[Steppable], None]] = None,
 ) -> None:
     """Drive all searches to completion in simulated-time order.
 
     At every iteration the unfinished search with the earliest next page
-    arrival is stepped once.  ``after_step(search)`` runs after each step,
-    letting a coordinator mutate the *other* searches (Hybrid-NN's
-    re-steering) before scheduling continues.
+    arrival is stepped once (ties broken by position in ``searches``, like
+    the scan reference).  ``after_step(search)`` runs after each step and
+    ``on_finish(search)`` after the step that completes a search; either
+    may mutate the *other* searches (Hybrid-NN's re-steering) before
+    scheduling continues.  Finish-driven coordinators should prefer
+    ``on_finish`` — it lets the scheduler skip the per-event re-peek of
+    searches no callback could have touched.
+    """
+    if len(searches) == 1:
+        s = searches[0]
+        if s.finished():
+            return
+        while not s.finished():
+            s.step()
+            if after_step is not None:
+                after_step(s)
+        if on_finish is not None:
+            on_finish(s)
+        return
+    if len(searches) == 2:
+        # The paper's own workload shape (two channels) dominates; skip
+        # the heap and ping-pong on two floats.  A finished search's
+        # next_event_time is inf, which retires it from the comparison.
+        a, b = searches
+        ta = a.next_event_time()
+        tb = b.next_event_time()
+        while True:
+            stepped = a if ta <= tb else b  # tie: first search, like scan
+            if stepped is a:
+                if ta == math.inf:
+                    return
+                a.step()
+            else:
+                b.step()
+            fired = False
+            if after_step is not None:
+                after_step(stepped)
+                fired = True
+            if on_finish is not None and stepped.finished():
+                on_finish(stepped)
+                fired = True
+            if not fired:
+                if stepped is a:
+                    ta = a.next_event_time()
+                else:
+                    tb = b.next_event_time()
+                continue
+            # A callback may have re-steered either search: refresh both,
+            # exactly like the scan reference's per-event argmin.
+            ta = a.next_event_time()
+            tb = b.next_event_time()
+    heap = [
+        (s.next_event_time(), i)
+        for i, s in enumerate(searches)
+        if not s.finished()
+    ]
+    heapq.heapify(heap)
+    while heap:
+        t, i = heap[0]
+        search = searches[i]
+        if search.finished():
+            heapq.heappop(heap)
+            continue
+        current = search.next_event_time()
+        if current != t:
+            # Stale key (a callback touched this search since it was
+            # filed): re-key and re-examine the heap.
+            heapq.heapreplace(heap, (current, i))
+            continue
+        search.step()
+        if after_step is not None:
+            after_step(search)
+        if search.finished():
+            heapq.heappop(heap)
+            if on_finish is not None:
+                on_finish(search)
+        else:
+            heapq.heapreplace(heap, (search.next_event_time(), i))
+
+
+def run_all_scan(
+    searches: Sequence[Steppable],
+    after_step: Optional[Callable[[Steppable], None]] = None,
+    on_finish: Optional[Callable[[Steppable], None]] = None,
+) -> None:
+    """Reference scheduler: argmin scan over all searches per event.
+
+    O(channels) per simulated page arrival.  Kept as the oracle the event
+    heap is property-tested against; prefer :func:`run_all`.
     """
     while True:
         # Inline argmin over unfinished searches: this loop runs once per
@@ -55,6 +156,8 @@ def run_all(
         nxt.step()
         if after_step is not None:
             after_step(nxt)
+        if on_finish is not None and nxt.finished():
+            on_finish(nxt)
 
 
 def run_sequential(searches: Sequence[Steppable]) -> None:

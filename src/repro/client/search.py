@@ -17,6 +17,17 @@ Two modes exist:
 * ``SearchMode.TRANSITIVE`` — Hybrid-NN Case 3; finds the ``s`` minimising
   ``dis(p,s)+dis(s,r)``, pruning with MinTransDist and tightening with
   MinMaxTransDist (Algorithm 2 of the paper).
+
+On the kernel path the queue is the struct-of-arrays arrival frontier
+(:mod:`repro.client.frontier`): bounds are pre-cached next to the queue
+entries — fused whole-fan-out kernel calls above the dispatch floor,
+certified cheap estimates below it (see :meth:`_weak_lower` /
+:meth:`_certified_keep`: deflated under-estimates prove prunes, inflated
+over-estimates prove keeps, and only the rounding-margin band between them
+ever pays for the exact metric) — and Hybrid-NN mode switches re-evaluate
+the whole queue in one kernel batch (:meth:`_rescan_queue_bounds`).  Every
+decision is certified identical to the scalar oracle
+(``kernels.use_kernels(False)``), which remains the seed implementation.
 """
 
 from __future__ import annotations
@@ -43,6 +54,17 @@ class SearchMode(enum.Enum):
     TRANSITIVE = "transitive"
 
 
+#: Certification margins for the cheap transitive bound estimates.  The
+#: weak/center estimates and the scalar Lemma 1 evaluation each carry at
+#: most a few ulp (~1e-15 relative) of rounding slack; a 1e-9 margin buries
+#: that by six orders of magnitude, so a deflated under-estimate or an
+#: inflated over-estimate that decides the prune test decides it exactly
+#: like the scalar oracle.  Entries inside the margin band fall back to the
+#: exact metric.
+_CERT_DEFLATE = 1.0 - 1e-9
+_CERT_INFLATE = 1.0 + 1e-9
+
+
 class BroadcastNNSearch(ArrivalQueueMixin):
     """One NN search over one broadcast channel, advanced step by step."""
 
@@ -57,6 +79,9 @@ class BroadcastNNSearch(ArrivalQueueMixin):
         self.tree = tree
         self.tuner = tuner
         self.policy = policy or ExactPolicy()
+        #: Trivial policies never prune, so the hot loop skips building
+        #: their PruneContext entirely.
+        self._policy_trivial = getattr(self.policy, "trivial", False)
         self.mode = SearchMode.POINT
         self.query: Optional[Point] = query
         self.start: Optional[Point] = None
@@ -100,6 +125,81 @@ class BroadcastNNSearch(ArrivalQueueMixin):
             return distance(self.query, pt)
         return distance(self.start, pt) + distance(pt, self.end)
 
+    def _batch_lower_eval(self, mbrs: np.ndarray) -> np.ndarray:
+        """Frontier hook: transitive lower bounds for a whole MBR batch.
+
+        Installed only in transitive mode: Lemma 1 costs ~25 scalar side
+        tests per MBR, so one queue-wide kernel call wins from two lanes
+        up.  The point metric stays scalar at pop time — it is a single
+        C-level ``math.hypot``, which the exact vectorised hypot cannot
+        beat below ~100 lanes regardless of the batching axis.
+        """
+        return kernels.min_trans_dist(self.start, mbrs, self.end)
+
+    def _weak_lower(self, mbr) -> float:
+        """Certified under-estimate of the transitive Lemma 1 bound.
+
+        ``dis(p,s) + dis(s,r) >= MinDist(p, M) + MinDist(r, M)`` for any
+        ``s`` in ``M``; the deflation absorbs the few-ulp rounding slack
+        between this estimate and the scalar Lemma 1 value, so
+        ``weak > upper_bound`` certifies the exact scalar test would have
+        pruned too.  Two hypots instead of Lemma 1's ~25 side tests.
+        """
+        return (
+            mbr.mindist(self.start) + mbr.mindist(self.end)
+        ) * _CERT_DEFLATE
+
+    def _corner_minmax_trans(self, mbr) -> float:
+        """Lemma 3 via shared corner distances — half the hypot count.
+
+        ``min_max_trans_dist`` is ``min`` over the four CCW sides of
+        ``max`` over the side's two endpoints of the corner transitive
+        distance; the scalar helper in :mod:`repro.geometry.transitive`
+        recomputes each corner for both adjacent sides.  Evaluating the
+        four corners once and replaying the same max/min order is
+        bit-identical (identical hypot calls, identical sums) at 8 hypots
+        instead of 16.  Kept on the frontier path so the scalar oracle
+        stays the seed implementation.
+        """
+        p, r = self.start, self.end
+        c0, c1, c2, c3 = mbr.corners()
+        t0 = distance(p, c0) + distance(c0, r)
+        t1 = distance(p, c1) + distance(c1, r)
+        t2 = distance(p, c2) + distance(c2, r)
+        t3 = distance(p, c3) + distance(c3, r)
+        return min(max(t0, t1), max(t1, t2), max(t2, t3), max(t3, t0))
+
+    def _certified_keep(self, node: RTreeNode) -> bool:
+        """Certified over-estimate test: provably *not* prunable.
+
+        Two tiers of upper bounds on Lemma 1, each inflated by the
+        rounding margin: the transitive distance through the MBR's center
+        (two hypots; the center lies in the MBR) and, failing that, the
+        best corner transitive distance (eight hypots; Lemma 1's case-3
+        candidate set).  Either one falling at or below ``upper_bound``
+        certifies the exact scalar test would have kept the node — no
+        Lemma 1 evaluation needed.
+        """
+        p, r = self.start, self.end
+        xmin, ymin, xmax, ymax = node.mbr
+        cx = (xmin + xmax) / 2.0
+        cy = (ymin + ymax) / 2.0
+        u = math.hypot(p.x - cx, p.y - cy) + math.hypot(cx - r.x, cy - r.y)
+        bound = self.upper_bound
+        if u * _CERT_INFLATE <= bound:
+            return True
+        t = min(
+            math.hypot(p.x - xmin, p.y - ymin)
+            + math.hypot(xmin - r.x, ymin - r.y),
+            math.hypot(p.x - xmax, p.y - ymin)
+            + math.hypot(xmax - r.x, ymin - r.y),
+            math.hypot(p.x - xmax, p.y - ymax)
+            + math.hypot(xmax - r.x, ymax - r.y),
+            math.hypot(p.x - xmin, p.y - ymax)
+            + math.hypot(xmin - r.x, ymax - r.y),
+        )
+        return t * _CERT_INFLATE <= bound
+
     def _batch_threshold(self, leaf: bool) -> int:
         """Smallest batch worth a kernel call under the current metric.
 
@@ -116,11 +216,27 @@ class BroadcastNNSearch(ArrivalQueueMixin):
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Process one queued node (prune it or download and expand it)."""
-        node = self._pop_head()
+        node, lb, weak = self._pop_head_bound(self._metric_epoch)
+        if lb is None:
+            if self._frontier is not None and self.mode is SearchMode.POINT:
+                # Frontier bounds live in the frontier lanes, so a miss
+                # here never has a dict entry either — go straight to the
+                # one-hypot metric.
+                lb = node.mbr.mindist(self.query)
+            else:
+                lb = self._lower_bound(node)
+            weak = False
 
-        if self._lower_bound(node) > self.upper_bound:
+        if lb > self.upper_bound:
             return  # exact pruning: provably cannot improve the answer
-        if self.policy.should_prune(self._prune_context(node)):
+        if weak and not self._certified_keep(node):
+            # The weak bound could not prove the prune; fall back to the
+            # exact metric for the genuinely borderline entries.
+            if self._lower_bound(node) > self.upper_bound:
+                return
+        if not self._policy_trivial and self.policy.should_prune(
+            self._prune_context(node)
+        ):
             return  # ANN pruning: unlikely to improve the answer
 
         self.tuner.download_index_page(node.page_id)
@@ -184,9 +300,13 @@ class BroadcastNNSearch(ArrivalQueueMixin):
                     self.start, mbrs, self.end
                 )
             epoch = self._metric_epoch
-            for child, lb in zip(node.children, lower.tolist()):
-                self._push(child)  # delayed pruning: push everything
-                self._lb_cache[child.page_id] = (epoch, lb)
+            if self._frontier is not None:
+                # delayed pruning: push everything, bounds pre-cached
+                self._frontier.push_many(node.children, lower.tolist(), epoch)
+            else:
+                for child, lb in zip(node.children, lower.tolist()):
+                    self._push(child)  # delayed pruning: push everything
+                    self._lb_cache[child.page_id] = (epoch, lb)
             backed = np.where(
                 node.child_count_array() > 0, guaranteed, math.inf
             )
@@ -194,6 +314,43 @@ class BroadcastNNSearch(ArrivalQueueMixin):
             if math.isfinite(backed[i]):
                 best_guarantee = float(backed[i])
                 best_child = node.children[i]
+        elif self._frontier is not None:
+            # Small fan-out on the frontier: cache a cheap certified lower
+            # bound per child next to the queue entry, and let it also skip
+            # guarantee evaluations that provably cannot tighten the best
+            # (the guarantee always dominates the lower bound:
+            # MinMaxDist >= MinDist, MinMaxTransDist >= MinTransDist).
+            children = node.children
+            epoch = self._metric_epoch
+            if self.mode is SearchMode.POINT:
+                # The exact one-hypot MinDist doubles as the pop-time
+                # bound, so the pop never recomputes it.
+                q = self.query
+                lbs = [child.mbr.mindist(q) for child in children]
+                self._frontier.push_many(children, lbs, epoch)
+                for k, child in enumerate(children):
+                    if child.point_count <= 0:
+                        continue  # empty subtree: nothing backs a guarantee
+                    if lbs[k] * _CERT_DEFLATE >= best_guarantee:
+                        continue
+                    z = child.mbr.minmaxdist(q)
+                    if z < best_guarantee:
+                        best_guarantee = z
+                        best_child = child
+            else:
+                # Transitive: the weak two-hypot under-estimate prunes
+                # ~99% of pops without touching Lemma 1.
+                lbs = [self._weak_lower(child.mbr) for child in children]
+                self._frontier.push_many(children, lbs, epoch, weak=True)
+                for k, child in enumerate(children):
+                    if child.point_count <= 0:
+                        continue  # empty subtree: nothing backs a guarantee
+                    if lbs[k] >= best_guarantee:
+                        continue
+                    z = self._corner_minmax_trans(child.mbr)
+                    if z < best_guarantee:
+                        best_guarantee = z
+                        best_child = child
         else:
             for child in node.children:
                 self._push(child)  # delayed pruning: push everything
@@ -258,6 +415,11 @@ class BroadcastNNSearch(ArrivalQueueMixin):
         self.start = start
         self.end = end
         self.query = None
+        if self._frontier is not None:
+            # Pop-time misses now batch-evaluate every pending queue entry
+            # in one Lemma 1 kernel call, whatever each node's fan-out was
+            # (arrival-tick batching across the queue).
+            self._frontier.lower_evaluator = self._batch_lower_eval
         if self.best_point is not None:
             self.best_dist = distance(start, self.best_point) + distance(
                 self.best_point, end
@@ -269,36 +431,63 @@ class BroadcastNNSearch(ArrivalQueueMixin):
         self._rescan_queue_bounds()
 
     def _rescan_queue_bounds(self) -> None:
-        """Initial upper-bound update over every queued MBR (Section 4.2.3)."""
-        if kernels.enabled() and len(self._queue) >= self._batch_threshold(
+        """Initial upper-bound update over every queued MBR (Section 4.2.3).
+
+        Both paths also refresh every queued entry's cached lower bound
+        under the new metric epoch — the rescan touches every MBR anyway,
+        so the pop-time delayed-pruning test stays a cache hit after a
+        Hybrid-NN mode switch on the kernel *and* the scalar path.
+        """
+        front = self._frontier
+        if front is not None:
+            nodes = front.active_nodes()
+        else:
+            nodes = [node for _, _, node in self._queue]
+        if not nodes:
+            return
+        epoch = self._metric_epoch
+        if kernels.enabled() and len(nodes) >= self._batch_threshold(
             leaf=False
         ):
-            backed = [n for _, _, n in self._queue if n.point_count > 0]
-            if not backed:
-                return
-            mbrs = kernels.as_mbr_array([n.mbr for n in backed])
+            mbrs = kernels.as_mbr_array([n.mbr for n in nodes])
+            counts = np.array([n.point_count for n in nodes], dtype=np.int64)
             if self.mode is SearchMode.POINT:
                 lower, bounds = kernels.point_bounds(self.query, mbrs)
             else:
                 lower, bounds = kernels.trans_bounds(self.start, mbrs, self.end)
-            # Refresh the pushed lower bounds under the new metric too: the
-            # rescan already touches every queued MBR, so the pop-time
-            # delayed-pruning test stays a cache hit after a mode switch.
-            epoch = self._metric_epoch
-            for n, lb in zip(backed, lower.tolist()):
-                self._lb_cache[n.page_id] = (epoch, lb)
-            i = int(np.argmin(bounds))
-            if float(bounds[i]) < self.upper_bound:
-                self.upper_bound = float(bounds[i])
-                self._witness_page = backed[i].page_id
+            if front is not None:
+                front.store_lower(range(len(nodes)), lower, epoch)
+            else:
+                for n, lb in zip(nodes, lower.tolist()):
+                    self._lb_cache[n.page_id] = (epoch, lb)
+            # Only subtrees holding at least one point back their
+            # MinMaxDist-style guarantee (cf. _absorb_internal).
+            backed = np.where(counts > 0, bounds, math.inf)
+            i = int(np.argmin(backed))
+            if math.isfinite(backed[i]) and float(backed[i]) < self.upper_bound:
+                self.upper_bound = float(backed[i])
+                self._witness_page = nodes[i].page_id
             return
-        for _, _, node in self._queue:
+        rows: list[int] = []
+        lbs: list[float] = []
+        for row, node in enumerate(nodes):
+            if self.mode is SearchMode.POINT:
+                lb = node.mbr.mindist(self.query)
+            else:
+                lb = min_trans_dist(self.start, node.mbr, self.end)
+            if front is not None:
+                rows.append(row)
+                lbs.append(lb)
+            else:
+                self._lb_cache[node.page_id] = (epoch, lb)
             if node.point_count <= 0:
                 continue  # empty subtree: no point backs its guarantee
             z = self._guaranteed_bound(node)
             if z < self.upper_bound:
                 self.upper_bound = z
                 self._witness_page = node.page_id
+        if front is not None and rows:
+            front.store_lower(rows, np.array(lbs, dtype=np.float64), epoch)
 
     # ------------------------------------------------------------------
     # Results

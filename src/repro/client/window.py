@@ -3,22 +3,31 @@
 Section 2.2 of the paper uses window queries as the canonical example of
 R-tree search; the filter phase's circle query is a special case.  This
 class completes the client API with the rectangular variant.
+
+The window never moves, so unlike the NN searches there is nothing delayed
+pruning could save: children are filtered against the window **at push
+time** (one vectorised intersect mask per expanded node on the kernel
+path), which keeps the arrival queue to exactly the nodes that will be
+downloaded.  Leaf containment runs as one comparison mask over the leaf's
+``points_array()``.  Queue plumbing — head-state caching, batched arrival
+refresh and ``max_queue_size`` accounting — comes from
+:class:`ArrivalQueueMixin`, shared with every other steppable search.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import math
-from typing import List, Tuple
+from typing import List
+
+import numpy as np
 
 from repro.broadcast.tuner import ChannelTuner
-from repro.geometry import Point, Rect
+from repro.client.arrival_queue import ArrivalQueueMixin
+from repro.geometry import Point, Rect, kernels
 from repro.rtree.node import RTreeNode
 from repro.rtree.tree import RTree
 
 
-class BroadcastWindowSearch:
+class BroadcastWindowSearch(ArrivalQueueMixin):
     """Collects every indexed point inside a closed rectangle."""
 
     def __init__(
@@ -32,44 +41,51 @@ class BroadcastWindowSearch:
         self.tuner = tuner
         self.window = window
         self.results: List[Point] = []
-        self._counter = itertools.count()
-        self._queue: List[Tuple[float, int, RTreeNode]] = []
+        self._init_queue()
         tuner.advance_to(start_time)
-        self._push(tree.root)
-
-    def _push(self, node: RTreeNode) -> None:
-        arrival = self.tuner.peek_index_arrival(node.page_id)
-        heapq.heappush(self._queue, (arrival, next(self._counter), node))
-
-    def _normalize_head(self) -> None:
-        while self._queue:
-            arrival, seq, node = self._queue[0]
-            true_arrival = self.tuner.peek_index_arrival(node.page_id)
-            if true_arrival <= arrival:
-                return
-            heapq.heapreplace(self._queue, (true_arrival, seq, node))
-
-    def finished(self) -> bool:
-        return not self._queue
-
-    def next_event_time(self) -> float:
-        self._normalize_head()
-        return self._queue[0][0] if self._queue else math.inf
+        if window.intersects_rect(tree.root.mbr):
+            self._push(tree.root)
 
     def step(self) -> None:
-        if not self._queue:
-            raise RuntimeError("step() on a finished search")
-        self._normalize_head()
-        _, _, node = heapq.heappop(self._queue)
-        if not self.window.intersects_rect(node.mbr):
-            return
+        """Download and absorb one queued (intersecting) node."""
+        node = self._pop_head()
         self.tuner.download_index_page(node.page_id)
         if node.is_leaf:
-            self.results.extend(
-                p for p in node.points if self.window.contains_point(p)
-            )
+            self._absorb_leaf(node)
         else:
-            for child in node.children:
+            self._push_intersecting(node)
+
+    def _absorb_leaf(self, node: RTreeNode) -> None:
+        w = self.window
+        if kernels.enabled() and node.fanout >= kernels.min_batch_leaf():
+            pts = node.points_array()
+            inside = (
+                (w.xmin <= pts[:, 0])
+                & (pts[:, 0] <= w.xmax)
+                & (w.ymin <= pts[:, 1])
+                & (pts[:, 1] <= w.ymax)
+            )
+            self.results.extend(
+                node.points[i] for i in np.flatnonzero(inside).tolist()
+            )
+            return
+        self.results.extend(p for p in node.points if w.contains_point(p))
+
+    def _push_intersecting(self, node: RTreeNode) -> None:
+        w = self.window
+        if kernels.enabled() and node.fanout >= kernels.min_batch():
+            mbrs = node.child_mbr_array()
+            hit = ~(
+                (mbrs[:, 0] > w.xmax)
+                | (mbrs[:, 2] < w.xmin)
+                | (mbrs[:, 1] > w.ymax)
+                | (mbrs[:, 3] < w.ymin)
+            )
+            for i in np.flatnonzero(hit).tolist():
+                self._push(node.children[i])
+            return
+        for child in node.children:
+            if w.intersects_rect(child.mbr):
                 self._push(child)
 
     def run_to_completion(self) -> List[Point]:

@@ -50,20 +50,24 @@ class HybridNN(TNNAlgorithm):
         nn_r = BroadcastNNSearch(env.r_tree, tuner_r, query, policy_r)
         steered = False
 
-        def coordinator(_stepped) -> None:
+        def coordinator(finished_search) -> None:
+            # Fires exactly when one channel's search completes — the only
+            # moment a re-steer can trigger (a search finishes only by its
+            # own step, so polling every step would be equivalent, just
+            # slower).
             nonlocal steered
             if steered:
                 return
-            if nn_s.finished() and not nn_r.finished():
+            if finished_search is nn_s and not nn_r.finished():
                 s, _ = nn_s.result()
                 nn_r.retarget(s)  # Case 2
                 steered = True
-            elif nn_r.finished() and not nn_s.finished():
+            elif finished_search is nn_r and not nn_s.finished():
                 r, _ = nn_r.result()
                 nn_s.switch_to_transitive(query, r)  # Case 3
                 steered = True
 
-        run_all([nn_s, nn_r], after_step=coordinator)
+        run_all([nn_s, nn_r], on_finish=coordinator)
         s, _ = nn_s.result()
         r, _ = nn_r.result()
         radius = query.distance_to(s) + s.distance_to(r)

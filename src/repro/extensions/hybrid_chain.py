@@ -59,7 +59,10 @@ class HybridChainTNN:
                     nxt.retarget(hop)
                     retargeted[i + 1] = True
 
-        run_all(searches, after_step=coordinator)
+        # The coordinator only ever acts on a finish transition (hop i
+        # finishing unlocks re-steering hop i+1), so finish-driven
+        # scheduling is equivalent to polling after every step.
+        run_all(searches, on_finish=coordinator)
         hops = [s.result()[0] for s in searches]
         radius = _route_length(query, hops)
         estimate_finish = max(t.now for t in tuners)

@@ -149,3 +149,87 @@ def test_knn_tracks_max_queue_size():
     assert search.max_queue_size > 1
     # The queue can never have outgrown the whole tree.
     assert search.max_queue_size <= tree.node_count()
+
+
+def test_window_tracks_max_queue_size():
+    """The window search rides the shared queue mixin's accounting."""
+    pts, tree, tuner = make_setup(n=300, seed=13)
+    search = BroadcastWindowSearch(tree, tuner, Rect(100, 100, 900, 900))
+    assert search.max_queue_size == 1  # the root is queued at construction
+    search.run_to_completion()
+    assert search.max_queue_size > 1
+    assert search.max_queue_size <= tree.node_count()
+
+
+# ----------------------------------------------------------------------
+# Kernel path vs scalar oracle: bit-identical answers and tuner state
+# ----------------------------------------------------------------------
+def _setup_for(capacity, n, seed, phase):
+    rng = random.Random(seed)
+    pts = [Point(rng.random() * 1000, rng.random() * 1000) for _ in range(n)]
+    params = SystemParameters(page_capacity=capacity)
+    tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+    program = BroadcastProgram(tree, params, m=2)
+    return pts, tree, ChannelTuner(BroadcastChannel(program, phase=phase))
+
+
+@pytest.mark.parametrize("capacity", [64, 512])
+@pytest.mark.parametrize("seed", range(6))
+def test_knn_kernel_path_bit_identical(capacity, seed):
+    """Seeded sweep: kernel and scalar kNN agree exactly, incl. tune-in."""
+    from repro.geometry import kernels
+
+    rng = random.Random(1000 + seed)
+    q = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+    k = rng.choice([1, 3, 7, 20])
+    phase = rng.uniform(0, 100)
+    n = 400 + 60 * seed
+
+    results = {}
+    for flag in (False, True):
+        _, tree, tuner = _setup_for(capacity, n, seed, phase)
+        with kernels.use_kernels(flag):
+            got = BroadcastKNNSearch(tree, tuner, q, k).run_to_completion()
+        results[flag] = (got, tuner.now, tuner.index_pages, tuple(tuner.log))
+    assert results[False] == results[True]
+
+
+@pytest.mark.parametrize("capacity", [64, 512])
+@pytest.mark.parametrize("seed", range(6))
+def test_window_kernel_path_bit_identical(capacity, seed):
+    """Seeded sweep: kernel and scalar window queries agree exactly."""
+    from repro.geometry import kernels
+
+    rng = random.Random(2000 + seed)
+    x0, y0 = rng.uniform(0, 800), rng.uniform(0, 800)
+    win = Rect(x0, y0, x0 + rng.uniform(10, 400), y0 + rng.uniform(10, 400))
+    phase = rng.uniform(0, 100)
+    n = 400 + 60 * seed
+
+    results = {}
+    for flag in (False, True):
+        _, tree, tuner = _setup_for(capacity, n, seed, phase)
+        with kernels.use_kernels(flag):
+            got = BroadcastWindowSearch(tree, tuner, win).run_to_completion()
+        results[flag] = (got, tuner.now, tuner.index_pages, tuple(tuner.log))
+    assert results[False] == results[True]
+
+
+def test_knn_kernel_path_handles_duplicate_distance_ties():
+    """Exact distance ties at the k-th slot: both paths keep the same set."""
+    from repro.geometry import kernels
+
+    # A ring of symmetric points: many exactly-equal distances from q.
+    pts = [Point(500 + dx, 500 + dy) for dx in range(-20, 21, 2)
+           for dy in range(-20, 21, 2)]
+    params = SystemParameters(page_capacity=512)
+    q = Point(500, 500)
+    results = {}
+    for flag in (False, True):
+        tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+        program = BroadcastProgram(tree, params, m=2)
+        tuner = ChannelTuner(BroadcastChannel(program))
+        with kernels.use_kernels(flag):
+            got = BroadcastKNNSearch(tree, tuner, q, 7).run_to_completion()
+        results[flag] = got
+    assert results[False] == results[True]

@@ -75,6 +75,40 @@ def test_range_step_on_finished_raises():
         s.step()
 
 
+# ----------------------------------------------------------------------
+# Kernel path vs scalar oracle: bit-identical answers and tuner state
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("capacity", [64, 512])
+@pytest.mark.parametrize("seed", range(6))
+def test_range_kernel_path_bit_identical(capacity, seed):
+    """Seeded sweep: kernel and scalar range queries agree exactly."""
+    from repro.geometry import kernels
+
+    rng = random.Random(3000 + seed)
+    circle = Circle(
+        Point(rng.uniform(0, 1000), rng.uniform(0, 1000)),
+        rng.uniform(20, 350),
+    )
+    phase = rng.uniform(0, 100)
+    n = 400 + 60 * seed
+
+    results = {}
+    for flag in (False, True):
+        rng2 = random.Random(seed)
+        pts = [
+            Point(rng2.random() * 1000, rng2.random() * 1000)
+            for _ in range(n)
+        ]
+        params = SystemParameters(page_capacity=capacity)
+        tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+        program = BroadcastProgram(tree, params, m=2)
+        tuner = ChannelTuner(BroadcastChannel(program, phase=phase))
+        with kernels.use_kernels(flag):
+            got = BroadcastRangeSearch(tree, tuner, circle).run_to_completion()
+        results[flag] = (got, tuner.now, tuner.index_pages, tuple(tuner.log))
+    assert results[False] == results[True]
+
+
 def test_range_boundary_points_included():
     pts = [Point(0, 0), Point(3, 0), Point(5, 0)]
     params = SystemParameters(page_capacity=64)

@@ -315,3 +315,104 @@ def test_empty_internal_node_cannot_poison_upper_bound():
     got, got_d = search.result()
     want_d = min(distance(q, p) for p in pts)
     assert math.isclose(got_d, want_d, rel_tol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Kernel path (arrival frontier + certified bounds) vs scalar oracle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("capacity", [64, 512])
+@pytest.mark.parametrize("seed", range(5))
+def test_nn_kernel_path_bit_identical(capacity, seed):
+    """Seeded sweep: the frontier's cached/weak bounds change nothing."""
+    from repro.geometry import kernels
+
+    rng = random.Random(4000 + seed)
+    q = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+    phase = rng.uniform(0, 100)
+    results = {}
+    for flag in (False, True):
+        _, tree, tuner = make_setup(
+            n=300 + 50 * seed, seed=seed, phase=phase, capacity=capacity
+        )
+        with kernels.use_kernels(flag):
+            search = BroadcastNNSearch(tree, tuner, q)
+            search.run_to_completion()
+        results[flag] = (
+            search.result(),
+            search.max_queue_size,
+            tuner.now,
+            tuner.index_pages,
+            tuple(tuner.log),
+        )
+    assert results[False] == results[True]
+
+
+@pytest.mark.parametrize("capacity", [64, 512])
+@pytest.mark.parametrize("seed", range(5))
+def test_hybrid_mutations_kernel_path_bit_identical(capacity, seed):
+    """Mid-flight retarget + transitive switch, kernel vs scalar oracle.
+
+    Exercises the certified weak transitive bounds and the rescan's
+    epoch-refreshed lower bounds on both paths.
+    """
+    from repro.geometry import kernels
+
+    rng = random.Random(5000 + seed)
+    q = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+    target = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+    phase = rng.uniform(0, 100)
+    switch_after = rng.randrange(3, 12)
+    results = {}
+    for flag in (False, True):
+        _, tree, tuner = make_setup(
+            n=300 + 50 * seed, seed=seed, phase=phase, capacity=capacity
+        )
+        with kernels.use_kernels(flag):
+            search = BroadcastNNSearch(tree, tuner, q)
+            steps = 0
+            while not search.finished():
+                search.step()
+                steps += 1
+                if steps == switch_after and not search.finished():
+                    search.switch_to_transitive(q, target)
+            trace = (
+                search.result(),
+                search.mode.value,
+                search.max_queue_size,
+                tuner.now,
+                tuner.index_pages,
+                tuple(tuner.log),
+            )
+        results[flag] = trace
+    assert results[False] == results[True]
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_retarget_kernel_path_bit_identical(seed):
+    """Case 2 re-steering: retarget mid-run, kernel vs scalar oracle."""
+    from repro.geometry import kernels
+
+    rng = random.Random(6000 + seed)
+    q = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+    new_q = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+    phase = rng.uniform(0, 100)
+    retarget_after = rng.randrange(2, 10)
+    results = {}
+    for flag in (False, True):
+        _, tree, tuner = make_setup(n=400, seed=seed, phase=phase)
+        with kernels.use_kernels(flag):
+            search = BroadcastNNSearch(tree, tuner, q)
+            steps = 0
+            while not search.finished():
+                search.step()
+                steps += 1
+                if steps == retarget_after and not search.finished():
+                    search.retarget(new_q)
+            trace = (
+                search.result(),
+                tuner.now,
+                tuner.index_pages,
+                tuple(tuner.log),
+            )
+        results[flag] = trace
+    assert results[False] == results[True]
