@@ -1,0 +1,149 @@
+"""Shared-scan batch executor A/B — page-major vs per-query kernel path.
+
+The headline workload of the shared-scan PR: the seeded 1,000-query
+Hybrid-NN TNN workload at the paper's 64-byte page geometry (leaf capacity
+6, fanout M = 3 — the geometry PR 3's ``bench_small_geometry`` optimised
+one query at a time).  The per-query kernel path replays the broadcast
+cycle once per query; :class:`~repro.engine.batch.SharedScanRunner`
+advances it page-major, serving every active query per arrival tick and
+batching the bound geometry across the workload in multi-query kernel
+calls.
+
+Protocol: interleaved best-of-``REPRO_BENCH_ROUNDS`` on the same host —
+one per-query pass and one shared-scan pass per round, alternating, best
+times compared — with a mandatory assertion that the two paths produce
+**bit-identical** ``TNNResult`` streams.  ``REPRO_BENCH_MIN_SPEEDUP``
+gates the speedup on full-size local runs (CI smoke runs are too small
+and too noisy to gate).
+
+Writes ``BENCH_shared_scan.json`` at the repository root, including the
+PR 3 per-query reference time from ``BENCH_small_geometry.json`` when
+present.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import time
+
+from repro.broadcast import SystemParameters
+from repro.core.environment import TNNEnvironment
+from repro.core.hybrid import HybridNN
+from repro.datasets import sized_uniform
+from repro.engine import QueryWorkload, SharedScanRunner
+from repro.geometry import kernels
+from repro.sim import format_table
+
+N_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", 1_000))
+N_POINTS = int(os.environ.get("REPRO_BENCH_POINTS", 30_000))
+PAGE_CAPACITY = int(os.environ.get("REPRO_BENCH_CAPACITY", 64))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", 4))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", 0.0))
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_shared_scan.json"
+SMALL_GEOMETRY_JSON = ROOT / "BENCH_small_geometry.json"
+
+
+def _build():
+    params = SystemParameters(page_capacity=PAGE_CAPACITY)
+    env = TNNEnvironment.build(
+        sized_uniform(N_POINTS, seed=1),
+        sized_uniform(N_POINTS, seed=2),
+        params=params,
+    )
+    workload = QueryWorkload(N_QUERIES, seed=0)
+    return env, workload
+
+
+def test_shared_scan_speedup(benchmark, record_experiment):
+    env, workload = _build()
+    algo = HybridNN()
+    runner = SharedScanRunner(env, workload, workers=0)
+    queries = workload.queries(env)
+
+    def per_query():
+        return [algo.run(env, q, ps, pr) for q, ps, pr in queries]
+
+    def measure():
+        with kernels.use_kernels(True):
+            # Warm both paths, then interleave best-of-N so neither side
+            # owns a quieter stretch of the host.
+            pq_res = per_query()
+            shared_res = runner.run_algorithm(algo)
+            pq_best = shared_best = None
+            for _ in range(ROUNDS):
+                t0 = time.perf_counter()
+                pq_res = per_query()
+                dt = time.perf_counter() - t0
+                pq_best = dt if pq_best is None else min(pq_best, dt)
+                t0 = time.perf_counter()
+                shared_res = runner.run_algorithm(algo)
+                dt = time.perf_counter() - t0
+                shared_best = dt if shared_best is None else min(shared_best, dt)
+        return pq_res, shared_res, pq_best, shared_best
+
+    pq_res, shared_res, pq_s, shared_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    # The acceptance bar: the full TNNResult streams are bit-identical.
+    assert shared_res == pq_res
+    speedup = pq_s / shared_s
+
+    pr3_reference = None
+    if SMALL_GEOMETRY_JSON.exists():
+        try:
+            pr3_reference = json.loads(SMALL_GEOMETRY_JSON.read_text()).get(
+                "kernel_seconds"
+            )
+        except (ValueError, OSError):  # pragma: no cover - defensive
+            pr3_reference = None
+
+    params = SystemParameters(page_capacity=PAGE_CAPACITY)
+    payload = {
+        "benchmark": "shared_scan",
+        "workload": "Hybrid-NN TNN queries, shared-scan vs per-query",
+        "n_queries": N_QUERIES,
+        "n_points_per_dataset": N_POINTS,
+        "page_capacity": PAGE_CAPACITY,
+        "leaf_capacity": params.leaf_capacity,
+        "fanout": params.internal_fanout,
+        "protocol": f"interleaved best-of-{ROUNDS}, same host",
+        "per_query_seconds": round(pq_s, 6),
+        "shared_scan_seconds": round(shared_s, 6),
+        "speedup": round(speedup, 3),
+        "bit_identical": shared_res == pq_res,
+        "pr3_per_query_reference_seconds": pr3_reference,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    record_experiment(
+        "shared_scan",
+        format_table(
+            [
+                "queries",
+                "points",
+                "leaf/fanout",
+                "per-query (s)",
+                "shared scan (s)",
+                "speedup",
+            ],
+            [[
+                N_QUERIES,
+                N_POINTS,
+                f"{params.leaf_capacity}/{params.internal_fanout}",
+                f"{pq_s:.3f}",
+                f"{shared_s:.3f}",
+                f"{speedup:.2f}x",
+            ]],
+            title=(
+                "[shared_scan] per-query vs page-major shared scan, "
+                "1,000-query Hybrid-TNN at 64-byte pages"
+            ),
+        ),
+    )
+    assert speedup >= MIN_SPEEDUP

@@ -54,6 +54,11 @@ class ChannelTuner:
         it, and is appended to ``log`` as a ``(kind, ref, arrival, ok)``
         event for trace tooling.
         """
+        # NOTE: the shared-scan executor's serve loops inline this success
+        # path for lossless tuners (``now = arrival + 1.0``, one page
+        # counted, one ``(kind, ref, arrival, True)`` log entry) — see
+        # repro/engine/shared_scan.py.  Any change to the accounting here
+        # must be mirrored there to preserve the bit-identity contract.
         attempts = 0
         while True:
             arrival = next_arrival(self.now)

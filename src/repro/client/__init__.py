@@ -37,7 +37,12 @@ from repro.client.search import BroadcastNNSearch, SearchMode
 from repro.client.range_query import BroadcastRangeSearch
 from repro.client.knn import BroadcastKNNSearch
 from repro.client.window import BroadcastWindowSearch
-from repro.client.scheduler import run_all, run_all_scan, run_sequential
+from repro.client.scheduler import (
+    SearchGroup,
+    run_all,
+    run_all_scan,
+    run_sequential,
+)
 
 __all__ = [
     "ArrivalFrontier",
@@ -51,6 +56,7 @@ __all__ = [
     "PruneContext",
     "fixed_alpha",
     "dynamic_alpha",
+    "SearchGroup",
     "run_all",
     "run_all_scan",
     "run_sequential",

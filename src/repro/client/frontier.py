@@ -34,8 +34,8 @@ regardless of how small each node's fan-out was.  A Hybrid-NN metric
 switch invalidates every cached bound wholesale by bumping the epoch; the
 stamps make that O(1).
 
-Entry state is struct-of-arrays: parallel per-slot lanes with a free-list,
-plus the (page, slot) order lists.  The hot scalar lanes are plain python
+Entry state is struct-of-arrays: parallel append-only per-slot lanes plus
+the (page, slot) order lists.  The hot scalar lanes are plain python
 lists — a list store is ~5x cheaper than a numpy scalar write, and at
 R-tree queue sizes the lanes are only materialised as numpy arrays at
 batch boundaries (rescan / pending-batch evaluation), where the kernels
@@ -59,11 +59,6 @@ import numpy as np
 from repro.geometry import kernels
 from repro.rtree.node import RTreeNode
 
-#: Smallest pending-unevaluated set worth one batched kernel call.  The
-#: only installed evaluator (the transitive metric) already wins around
-#: two lanes; a single stale entry is evaluated scalar by the caller.
-_MIN_EVAL_BATCH = 2
-
 
 class ArrivalFrontier:
     """Arrival-ordered candidate frontier with epoch-stamped bound lanes."""
@@ -76,12 +71,13 @@ class ArrivalFrontier:
         "_order_slots",
         "_nodes",
         "_bounds",
-        "_free",
         "_version",
         "_peek_now",
         "_peek_version",
         "_peek_value",
         "_peek_head",
+        "_push_ops",
+        "_eval_guard",
         "max_size",
         "lower_evaluator",
     )
@@ -94,16 +90,24 @@ class ArrivalFrontier:
         #: Queued page ids in ascending order plus their parallel slots.
         self._order_pages: List[int] = []
         self._order_slots: List[int] = []
-        #: Per-slot lanes (parallel, free-listed): the queued node and its
-        #: bound record ``(epoch, lower_bound, weak)`` or ``None``.
-        self._nodes: List[Optional[RTreeNode]] = []
+        #: Per-slot lanes (parallel, append-only): the queued node and its
+        #: bound record ``(epoch, lower_bound, weak)`` or ``None``.  Slots
+        #: are never recycled — a frontier lives for one search, so slot
+        #: growth is bounded by the nodes the search visits, and skipping
+        #: the free-list bookkeeping keeps pushes and pops branch-free.
+        self._nodes: List[RTreeNode] = []
         self._bounds: List[Optional[Tuple[int, float, bool]]] = []
-        self._free: List[int] = []
         self._version = 0
         self._peek_now = math.nan
         self._peek_version = -1
         self._peek_value = math.inf
         self._peek_head = 0
+        #: Monotone count of push operations, and the (epoch, push-count)
+        #: state as of which every queued record was known to carry a valid
+        #: bound — lets :meth:`_eval_pending` skip its stale scan entirely
+        #: when nothing new was queued since the last full evaluation.
+        self._push_ops = 0
+        self._eval_guard: Tuple[int, int] = (-2, -1)
         #: Largest queue size reached — the client's memory footprint.
         self.max_size = 0
         #: ``fn(mbrs) -> lower_bounds`` under the owner's current metric;
@@ -138,20 +142,16 @@ class ArrivalFrontier:
         No arrival is computed — cyclic page order *is* arrival order, so
         queueing is one sorted insert plus the slot-lane writes.
         """
-        record = None if lb is None else (epoch, lb, weak)
-        if self._free:
-            slot = self._free.pop()
-            self._nodes[slot] = node
-            self._bounds[slot] = record
-        else:
-            slot = len(self._nodes)
-            self._nodes.append(node)
-            self._bounds.append(record)
+        nodes = self._nodes
+        slot = len(nodes)
+        nodes.append(node)
+        self._bounds.append(None if lb is None else (epoch, lb, weak))
         page = node.page_id
         i = bisect_left(self._order_pages, page)
         self._order_pages.insert(i, page)
         self._order_slots.insert(i, slot)
         self._version += 1
+        self._push_ops += 1
         if len(self._order_pages) > self.max_size:
             self.max_size = len(self._order_pages)
 
@@ -176,21 +176,14 @@ class ArrivalFrontier:
         order_slots = self._order_slots
         slot_nodes = self._nodes
         slot_bounds = self._bounds
-        free = self._free
-        pages = []
-        slots = []
-        for k, node in enumerate(nodes):
-            record = None if lbs is None else (epoch, lbs[k], weak)
-            if free:
-                slot = free.pop()
-                slot_nodes[slot] = node
-                slot_bounds[slot] = record
-            else:
-                slot = len(slot_nodes)
-                slot_nodes.append(node)
-                slot_bounds.append(record)
-            pages.append(node.page_id)
-            slots.append(slot)
+        base_slot = len(slot_nodes)
+        pages = [node.page_id for node in nodes]
+        slots = range(base_slot, base_slot + len(pages))
+        slot_nodes.extend(nodes)
+        if lbs is None:
+            slot_bounds.extend([None] * len(pages))
+        else:
+            slot_bounds.extend([(epoch, lb, weak) for lb in lbs])
         # An expanded node's children occupy one gap of the sorted order:
         # their DFS-preorder ids ascend, and every page id strictly between
         # two siblings belongs to the earlier sibling's (unexpanded, hence
@@ -207,6 +200,7 @@ class ArrivalFrontier:
                 order_pages.insert(j, page)
                 order_slots.insert(j, slot)
         self._version += 1
+        self._push_ops += 1
         if len(order_pages) > self.max_size:
             self.max_size = len(order_pages)
 
@@ -245,6 +239,25 @@ class ArrivalFrontier:
         self._peek_value = value
         self._peek_head = i
         return value
+
+    def peek_page(self) -> Optional[int]:
+        """Page id of the truly-next queued entry (``None`` when empty).
+
+        The "next page needed" half of the external-driver protocol: which
+        page this search is waiting for, without computing its arrival
+        time.  (The shared-scan executor's specialised serve loops inline
+        the same head selection; this is the reference form for drivers
+        that want one page at a time, property-tested against
+        :meth:`pop_with_arrival`.)
+        """
+        if not self._order_pages:
+            return None
+        if (
+            self._tuner.now == self._peek_now
+            and self._version == self._peek_version
+        ):
+            return self._order_pages[self._peek_head]
+        return self._order_pages[self._head_index()]
 
     # ------------------------------------------------------------------
     # Popping with lazily batched bounds
@@ -285,24 +298,138 @@ class ArrivalFrontier:
             weak = record[2]
         elif self.lower_evaluator is not None:
             lb = self._eval_pending(node, epoch)
-        self._nodes[slot] = None
-        self._bounds[slot] = None
-        self._free.append(slot)
         return node, lb, weak
+
+    def pop_with_arrival(
+        self, epoch: int = -1
+    ) -> Tuple[RTreeNode, Optional[float], bool, float]:
+        """:meth:`pop` plus the popped page's arrival time at this clock.
+
+        The "absorb this page" half of the external-driver protocol: a
+        driver that downloads the popped page itself needs its arrival —
+        one closed-form expression, identical to
+        :meth:`~repro.broadcast.tuner.ChannelTuner.peek_index_arrival` —
+        returned alongside the entry instead of recomputed.  Reuses the
+        head index *and* arrival cached by a preceding
+        :meth:`peek_arrival` at the same (clock, queue) state.  (The
+        shared-scan executor's kNN/range/window drains inline this exact
+        arithmetic for whole runs of pops; this method is the reference
+        one-pop form, property-tested against them.)
+        """
+        if not self._order_pages:
+            raise RuntimeError("step() on a finished search")
+        now = self._tuner.now
+        if now == self._peek_now and self._version == self._peek_version:
+            i = self._peek_head
+            arrival = self._peek_value
+        else:
+            base = math.ceil(now - self._phase)
+            i = bisect_left(self._order_pages, base % self._cycle)
+            if i == len(self._order_pages):
+                i = 0
+            page = self._order_pages[i]
+            arrival = base + (page - base) % self._cycle + self._phase
+        self._order_pages.pop(i)
+        slot = self._order_slots.pop(i)
+        self._version += 1
+        node = self._nodes[slot]
+        record = self._bounds[slot]
+        lb: Optional[float] = None
+        weak = False
+        if record is not None and record[0] == epoch:
+            lb = record[1]
+            weak = record[2]
+        elif self.lower_evaluator is not None:
+            lb = self._eval_pending(node, epoch)
+        return node, lb, weak, arrival
+
+    def pop_until(
+        self,
+        upper_bound: float,
+        epoch: int,
+        limit: float = math.inf,
+        strict: bool = False,
+    ) -> Optional[Tuple[RTreeNode, Optional[float], bool, float]]:
+        """Pop and prune entries until one needs the caller; batch form.
+
+        Consumes the truly-next entries in arrival order while each one's
+        cached bound *proves* a prune — an exact or weak record under
+        ``epoch`` with ``lb > upper_bound`` (a weak bound is a certified
+        under-estimate, so it proves prunes, never keeps) — and its arrival
+        lies within ``limit`` (``<=``, or ``<`` when ``strict``; the
+        shared-scan driver passes the sibling search's next event time
+        here, reproducing ``run_all``'s pair ping-pong tie rule).  Stops
+        and returns ``(node, lb, weak, arrival)`` at the first entry the
+        caller must handle: a keeper (exact ``lb <= upper_bound``), a weak
+        bound that could not prove its prune, or a missing bound.  Returns
+        ``None`` when the queue empties or the next arrival falls outside
+        ``limit``.
+
+        One call replaces a pop-per-prune driver round-trip: pruning pops
+        never move the channel clock, so the cyclic-order base is computed
+        once for the whole run.
+        """
+        order_pages = self._order_pages
+        if not order_pages:
+            return None
+        order_slots = self._order_slots
+        nodes = self._nodes
+        bounds = self._bounds
+        cycle = self._cycle
+        phase = self._phase
+        base = math.ceil(self._tuner.now - phase)
+        start = base % cycle
+        while order_pages:
+            i = bisect_left(order_pages, start)
+            if i == len(order_pages):
+                i = 0
+            page = order_pages[i]
+            arrival = base + (page - base) % cycle + phase
+            if arrival > limit or (strict and arrival == limit):
+                return None
+            order_pages.pop(i)
+            slot = order_slots.pop(i)
+            self._version += 1
+            record = bounds[slot]
+            if record is not None and record[0] == epoch:
+                lb = record[1]
+                if lb > upper_bound:
+                    continue  # certified prune (weak or exact)
+                return nodes[slot], lb, record[2], arrival
+            node = nodes[slot]
+            if self.lower_evaluator is not None:
+                lb = self._eval_pending(node, epoch)
+                if lb is not None:
+                    if lb > upper_bound:
+                        continue  # exact prune from the batch evaluation
+                    return node, lb, False, arrival
+            return node, None, False, arrival
+        return None
 
     def _eval_pending(self, popped: RTreeNode, epoch: int) -> Optional[float]:
         """Batch-evaluate every stale entry plus the popped node.
 
         One kernel call covers the whole pending-unevaluated set — the
         arrival-tick batch that makes the bound evaluation independent of
-        any single node's fan-out.
+        any single node's fan-out.  Entries whose epoch-stamped bound is
+        still valid are never re-evaluated, and the stale scan itself is
+        skipped entirely when no push happened since the queue was last
+        known fully stamped under this epoch (the ``_eval_guard`` state) —
+        a pop can only remove entries, never un-stamp one.
         """
+        if self._eval_guard == (epoch, self._push_ops):
+            return None
         stale = [
             slot
             for slot in self._order_slots
             if (rec := self._bounds[slot]) is None or rec[0] != epoch
         ]
-        if len(stale) + 1 < _MIN_EVAL_BATCH:
+        if not stale:
+            # Nothing pending besides the popped head: a one-lane kernel
+            # call cannot beat the caller's scalar evaluation (the only
+            # installed evaluator, the transitive metric, wins from two
+            # lanes up), and the guard spares future scans.
+            self._eval_guard = (epoch, self._push_ops)
             return None
         nodes = [self._nodes[slot] for slot in stale]
         nodes.append(popped)
@@ -311,6 +438,7 @@ class ArrivalFrontier:
         values = self.lower_evaluator(mbrs)
         for slot, value in zip(stale, values.tolist()):
             self._bounds[slot] = (epoch, value, False)
+        self._eval_guard = (epoch, self._push_ops)
         return float(values[-1])
 
     # ------------------------------------------------------------------
@@ -330,3 +458,7 @@ class ArrivalFrontier:
         vals = values.tolist()
         for k, row in enumerate(rows):
             self._bounds[self._order_slots[row]] = (epoch, vals[k], False)
+        if len(vals) == len(self._order_slots):
+            # A whole-queue rescan leaves every record stamped: pop-misses
+            # under this epoch need no stale scan until the next push.
+            self._eval_guard = (epoch, self._push_ops)

@@ -82,6 +82,17 @@ class BroadcastKNNSearch(ArrivalQueueMixin):
         if node.is_leaf:
             self._absorb_leaf(node)
         else:
+            self._push_children(node)
+
+    def _push_children(self, node: RTreeNode) -> None:
+        """Queue a whole fan-out (kNN pushes without pre-computed bounds).
+
+        The frontier backend takes the whole sibling run in one sorted
+        splice; the oracle heap keeps its per-entry pushes.
+        """
+        if self._frontier is not None:
+            self._frontier.push_many(node.children)
+        else:
             for child in node.children:
                 self._push(child)
 
@@ -95,7 +106,16 @@ class BroadcastKNNSearch(ArrivalQueueMixin):
         # One kernel call covers the whole leaf; each element is
         # bit-identical to math.hypot, so replaying the offer loop on the
         # precomputed distances reproduces the scalar heap exactly.
-        d = kernels.point_dists(self.query, node.points_array())
+        self._absorb_leaf_known(node, kernels.point_dists(self.query, node.points_array()))
+
+    def _absorb_leaf_known(self, node: RTreeNode, d: np.ndarray) -> None:
+        """Replay the offer loop on a precomputed leaf distance row.
+
+        ``d`` may come from the per-leaf kernel call above or from a
+        multi-query batch row of the shared-scan executor — each element is
+        bit-identical to ``math.hypot``, so the candidate heap evolves
+        exactly as on the scalar path.
+        """
         if len(self._best) < self.k:
             for i, pt in enumerate(node.points):
                 self._offer_known(pt, float(d[i]))

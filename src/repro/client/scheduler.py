@@ -165,3 +165,82 @@ def run_sequential(searches: Sequence[Steppable]) -> None:
     for s in searches:
         while not s.finished():
             s.step()
+
+
+class SearchGroup:
+    """One query's searches, scheduled by an external page-major driver.
+
+    The shared-scan executor (:mod:`repro.engine.shared_scan`) multiplexes
+    *many* queries' searches over the broadcast cycle; a ``SearchGroup``
+    carries the per-query scheduling contract that :func:`run_all` enforced
+    when each query was driven alone:
+
+    * ``paired=True`` — exactly **two** members, coupled through an
+      ``on_finish`` callback that mutates the sibling (Hybrid-NN's
+      re-steering), so only the member :func:`run_all` would step next
+      (:meth:`due`) may be served per driver round.  A sibling must never
+      advance past the finisher's completion event, or it would process a
+      page under the wrong metric.
+    * ``paired=False`` — the members are mutually independent (no callback
+      observes another member: Double-NN's estimate phase, the filter
+      phase's two range queries, any single-search query).  The driver may
+      serve every unfinished member each round, in any order: each member's
+      own step sequence — and therefore every answer, access time, tune-in
+      count and queue size — is the same as under :func:`run_all`.
+
+    ``on_finish(search)`` fires once per member, directly after the serve
+    that finishes it — the same moment :func:`run_all` fires it.  ``tag``
+    is the owner's cookie (the executor stores its job there).
+
+    ``pending`` is the members still running.  The driver owns it: it
+    removes a member right after the serve that finishes it, so group
+    bookkeeping costs one ``finished()`` probe per serve instead of a
+    per-round sweep over every member of every group.  Members already
+    finished at construction never enter it (and, matching
+    :func:`run_all`, never see ``on_finish``).
+    """
+
+    __slots__ = ("searches", "pending", "paired", "on_finish", "tag")
+
+    def __init__(
+        self,
+        searches: Sequence[Steppable],
+        paired: bool = False,
+        on_finish: Optional[Callable[[Steppable], None]] = None,
+        tag: object = None,
+    ) -> None:
+        self.searches = list(searches)
+        if paired and len(self.searches) != 2:
+            raise ValueError(
+                f"a paired group holds exactly two searches, "
+                f"got {len(self.searches)}"
+            )
+        self.pending = [s for s in self.searches if not s.finished()]
+        self.paired = paired
+        self.on_finish = on_finish
+        self.tag = tag
+
+    def due(self) -> Optional[Steppable]:
+        """The member :func:`run_all` would step next (``None`` when done).
+
+        Earliest ``next_event_time`` wins, ties break to the earlier
+        member — exactly the scan reference's argmin (and, for two members,
+        ``run_all``'s ``ta <= tb`` ping-pong).  This is the reference
+        selection rule; the shared-scan executor inlines the two-member
+        case in its round loop and is tested against it.
+        """
+        pending = self.pending
+        if len(pending) == 1:
+            return pending[0]
+        best = None
+        nxt = None
+        for s in pending:
+            t = s.next_event_time()
+            if best is None or t < best:
+                best = t
+                nxt = s
+        return nxt
+
+    def finished(self) -> bool:
+        """True when every member has run to completion."""
+        return not self.pending

@@ -217,6 +217,24 @@ class BroadcastNNSearch(ArrivalQueueMixin):
     def step(self) -> None:
         """Process one queued node (prune it or download and expand it)."""
         node, lb, weak = self._pop_head_bound(self._metric_epoch)
+        if not self._decide_keep(node, lb, weak):
+            return
+
+        self.tuner.download_index_page(node.page_id)
+        if node.is_leaf:
+            self._absorb_leaf(node)
+        else:
+            self._absorb_internal(node)
+
+    def _decide_keep(
+        self, node: RTreeNode, lb: Optional[float], weak: bool
+    ) -> bool:
+        """The pop-time pruning decision for one dequeued node.
+
+        Shared verbatim by :meth:`step` and the shared-scan executor's
+        phase-A serve loop, so an externally driven search prunes exactly
+        like a self-stepping one.
+        """
         if lb is None:
             if self._frontier is not None and self.mode is SearchMode.POINT:
                 # Frontier bounds live in the frontier lanes, so a miss
@@ -228,22 +246,23 @@ class BroadcastNNSearch(ArrivalQueueMixin):
             weak = False
 
         if lb > self.upper_bound:
-            return  # exact pruning: provably cannot improve the answer
-        if weak and not self._certified_keep(node):
-            # The weak bound could not prove the prune; fall back to the
-            # exact metric for the genuinely borderline entries.
-            if self._lower_bound(node) > self.upper_bound:
-                return
+            return False  # exact pruning: provably cannot improve the answer
+        if weak:
+            # The weak bound could not prove the prune; certify the keep or
+            # fall back to the exact metric for the borderline entries.
+            if self.mode is SearchMode.POINT:
+                # Weak point bounds (shared-scan batches): MINDIST is one
+                # hypot, so the exact test *is* the cheap resolution.
+                if node.mbr.mindist(self.query) > self.upper_bound:
+                    return False
+            elif not self._certified_keep(node):
+                if self._lower_bound(node) > self.upper_bound:
+                    return False
         if not self._policy_trivial and self.policy.should_prune(
             self._prune_context(node)
         ):
-            return  # ANN pruning: unlikely to improve the answer
-
-        self.tuner.download_index_page(node.page_id)
-        if node.is_leaf:
-            self._absorb_leaf(node)
-        else:
-            self._absorb_internal(node)
+            return False  # ANN pruning: unlikely to improve the answer
+        return True
 
     def run_to_completion(self) -> None:
         while not self.finished():
@@ -381,6 +400,99 @@ class BroadcastNNSearch(ArrivalQueueMixin):
             # The downloaded node carried the bound's guarantee; hand the
             # witness role to the child that inherits it so ANN pruning can
             # never orphan the upper bound.
+            self._witness_page = best_child.page_id
+
+    # ------------------------------------------------------------------
+    # Shared-scan absorb hooks (externally batched bounds)
+    # ------------------------------------------------------------------
+    def _absorb_internal_shared(
+        self, node: RTreeNode, lbs: list, gi: int, gv: float
+    ) -> None:
+        """Absorb an internal node whose exact bounds were batched.
+
+        The point-metric lane of the shared-scan executor: ``lbs`` are the
+        exact per-child MINDIST bounds, ``(gi, gv)`` the masked argmin over
+        the children's backed MINMAXDIST guarantees (``inf`` when no child
+        subtree holds a point).  This is the whole-fan-out kernel branch of
+        :meth:`_absorb_internal` with the kernel evaluation hoisted out —
+        same pushes, same guarantee selection, same witness hand-off.
+        """
+        was_witness = node.page_id == self._witness_page
+        self._frontier.push_many(node.children, lbs, self._metric_epoch)
+        if gv == math.inf:
+            # Every child subtree is empty: no guarantee to inherit (cf.
+            # the best_child-is-None branch of _absorb_internal).
+            if was_witness:
+                self.upper_bound = self.best_dist
+                self._witness_page = None
+                self._rescan_queue_bounds()
+            return
+        if gv < self.upper_bound:
+            self.upper_bound = gv
+            self._witness_page = node.children[gi].page_id
+        elif was_witness:
+            self._witness_page = node.children[gi].page_id
+
+    def _absorb_leaf_shared(self, node: RTreeNode, i: int, d: float) -> None:
+        """Absorb a leaf from its batched distance row's argmin ``(i, d)``.
+
+        Mirrors the kernel branch of :meth:`_absorb_leaf`: only the row
+        minimum can improve the incumbent, and ``np.argmin`` picks the
+        first minimum exactly like the scalar strict-``<`` offer loop.
+        """
+        if d < self.best_dist:
+            self.best_dist = d
+            self.best_point = node.points[i]
+        if self.best_dist < self.upper_bound:
+            self.upper_bound = self.best_dist
+            self._witness_page = None  # a concrete point witnesses the bound
+
+    def _absorb_internal_weak(
+        self, node: RTreeNode, lbs: list, need_guarantee: bool
+    ) -> None:
+        """Absorb an internal node with batch-certified weak child bounds.
+
+        The transitive-metric lane of the shared-scan executor (point-mode
+        lanes use the exact :meth:`_absorb_internal_shared`): ``lbs`` are
+        certified weak (deflated under-estimate) lower bounds per child,
+        queued for the delayed-pruning pop tests exactly like
+        :meth:`_absorb_internal` queues its own weak bounds.
+        ``need_guarantee`` is the batch's deflate-gated verdict on the
+        MinMaxTransDist guarantee scan: when ``False`` the raw estimates
+        prove that no backed child guarantee can tighten ``upper_bound``
+        (and this node does not witness the bound), so skipping the scan
+        is observationally identical; when ``True`` the scan runs here
+        with the exact scalar metrics, making every stored value
+        bit-identical to the per-query path.
+        """
+        was_witness = node.page_id == self._witness_page
+        self._frontier.push_many(
+            node.children, lbs, self._metric_epoch, weak=True
+        )
+        if not need_guarantee:
+            return
+        best_child = None
+        best_guarantee = math.inf
+        for k, child in enumerate(node.children):
+            if child.point_count <= 0:
+                continue  # empty subtree: nothing backs a guarantee
+            if lbs[k] >= best_guarantee:
+                continue  # the weak bound already rules this child out
+            z = self._corner_minmax_trans(child.mbr)
+            if z < best_guarantee:
+                best_guarantee = z
+                best_child = child
+        if best_child is None:
+            # Every child subtree is empty (cf. _absorb_internal).
+            if was_witness:
+                self.upper_bound = self.best_dist
+                self._witness_page = None
+                self._rescan_queue_bounds()
+            return
+        if best_guarantee < self.upper_bound:
+            self.upper_bound = best_guarantee
+            self._witness_page = best_child.page_id
+        elif was_witness:
             self._witness_page = best_child.page_id
 
     # ------------------------------------------------------------------

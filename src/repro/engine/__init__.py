@@ -8,21 +8,49 @@ The substrate every bulk workload runs on:
 * :class:`BatchRunner` — executes a workload in-process or fanned out over
   a process pool, bit-identically, with vectorised aggregation and cached
   oracle results for failure-rate comparisons;
-* :class:`QueryEngine` — one facade over NN / kNN / range / TNN queries on
-  an environment, so callers stop hand-wiring tuners and searches.
+* :class:`SharedScanRunner` — the same API, page-major: one shared
+  broadcast scan serves every query per page arrival, with geometry
+  kernels batched across the workload (:mod:`repro.engine.shared_scan`);
+* :class:`QueryEngine` — one facade over NN / kNN / range / window / TNN
+  queries on an environment, so callers stop hand-wiring tuners and
+  searches; :meth:`QueryEngine.run_many` routes mixed client batches
+  through the shared-scan executor.
 
 ``repro.sim.runner`` keeps the historical ``ExperimentRunner`` API as a
 thin wrapper over this package.
 """
 
-from repro.engine.batch import BatchRunner, default_workers
-from repro.engine.query import ClientQueryAnswer, QueryEngine
+from repro.engine.batch import (
+    BatchRunner,
+    SharedScanRunner,
+    default_workers,
+    pool_chunk_count,
+)
+from repro.engine.query import (
+    ClientQueryAnswer,
+    ClientRequest,
+    KNNRequest,
+    NNRequest,
+    QueryEngine,
+    RangeRequest,
+    WindowRequest,
+)
+from repro.engine.shared_scan import SharedScanExecutor, execute_tnn_batch
 from repro.engine.workload import QueryWorkload
 
 __all__ = [
     "BatchRunner",
+    "SharedScanRunner",
+    "SharedScanExecutor",
     "ClientQueryAnswer",
+    "ClientRequest",
+    "NNRequest",
+    "KNNRequest",
+    "RangeRequest",
+    "WindowRequest",
     "QueryEngine",
     "QueryWorkload",
     "default_workers",
+    "execute_tnn_batch",
+    "pool_chunk_count",
 ]

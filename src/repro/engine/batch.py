@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 from repro.core.base import TNNAlgorithm
 from repro.core.environment import TNNEnvironment
 from repro.core.result import TNNResult
+from repro.engine.shared_scan import execute_tnn_batch, shared_scan_supported
 from repro.engine.workload import QueryWorkload
 from repro.geometry import Point
 
@@ -50,6 +51,38 @@ def _pool_run_chunk(
     algorithm, chunk = task
     env = _POOL_STATE["env"]
     return [(i, algorithm.run(env, p, ps, pr)) for i, p, ps, pr in chunk]
+
+
+def _pool_run_shared_shard(
+    task: Tuple[TNNAlgorithm, List[Tuple[int, Point, float, float]]]
+) -> List[Tuple[int, TNNResult]]:
+    """Pool worker: run one phase-grouped shard through the shared scan."""
+    algorithm, shard = task
+    env = _POOL_STATE["env"]
+    results = execute_tnn_batch(
+        env, algorithm, [(p, ps, pr) for _, p, ps, pr in shard]
+    )
+    return [(item[0], res) for item, res in zip(shard, results)]
+
+
+#: Round-robin chunks handed to each pool worker, per worker.  More than
+#: one chunk per worker lets a straggler chunk overlap with the rest of
+#: the pool instead of serialising the tail.
+_CHUNKS_PER_WORKER = 4
+
+
+def pool_chunk_count(n_queries: int, workers: int) -> int:
+    """Number of pool chunks for a workload of ``n_queries``.
+
+    Derived from ``len(workload) / workers``: the pool aims at
+    ``_CHUNKS_PER_WORKER`` chunks per worker (chunk size ~``n/(4w)``) so
+    load imbalance amortises, but never fewer than one chunk per worker
+    nor more chunks than queries — a small workload spreads over every
+    worker instead of serialising behind one oversized chunk.
+    """
+    if workers < 1:
+        return 1
+    return max(1, min(n_queries, workers * _CHUNKS_PER_WORKER))
 
 
 def default_workers() -> int:
@@ -108,8 +141,11 @@ class BatchRunner:
             (i, p, ps, pr) for i, (p, ps, pr) in enumerate(self._queries)
         ]
         # Deterministic round-robin chunking: queries carry their own
-        # pre-seeded state, so placement affects wall-clock only.
-        chunks = [indexed[w::workers] for w in range(workers)]
+        # pre-seeded state, so placement affects wall-clock only.  The
+        # chunk count follows the workload size (see pool_chunk_count), so
+        # stragglers overlap instead of serialising the pool's tail.
+        n_chunks = pool_chunk_count(len(indexed), workers)
+        chunks = [indexed[c::n_chunks] for c in range(n_chunks)]
         tasks = [(algorithm, c) for c in chunks if c]
         results: List[Optional[TNNResult]] = [None] * len(indexed)
         if pool is None:
@@ -180,6 +216,92 @@ class BatchRunner:
             if got.failed or got.distance > ref.distance * (1 + rel_tol):
                 failures += 1
         return failures / len(self._queries)
+
+
+class SharedScanRunner(BatchRunner):
+    """A :class:`BatchRunner` that executes the workload page-major.
+
+    Same constructor, same API, same results bit for bit — but supported
+    algorithms (exact Double-NN / Hybrid-NN: see
+    :func:`~repro.engine.shared_scan.shared_scan_supported`) run through
+    the shared-scan executor, which serves every active query per page
+    arrival and batches the geometry kernels across the whole workload
+    (:mod:`repro.engine.shared_scan`).  Unsupported configurations (ANN
+    optimizations, data retrieval, custom algorithms) silently fall back
+    to the per-query path, so the runner is a drop-in default.
+
+    In pool mode the workload is sharded **by channel phase group**:
+    queries are ordered by their s-channel phase and cut into one
+    contiguous shard per worker, so each worker's queries start at nearby
+    positions of the broadcast cycle and its round lanes stay full.
+    Sharding is pure placement — per-query state is self-contained — and
+    results are reassembled in workload order.
+    """
+
+    def run_algorithm(
+        self, algorithm: TNNAlgorithm, workers: Optional[int] = None
+    ) -> List[TNNResult]:
+        workers = self.workers if workers is None else workers
+        if not shared_scan_supported(algorithm):
+            return super().run_algorithm(algorithm, workers)
+        queries = self._queries
+        if workers >= 2 and len(queries) > 1:
+            with self._make_pool(workers) as pool:
+                return self._run_shared_pool(algorithm, workers, pool)
+        return execute_tnn_batch(self.env, algorithm, queries)
+
+    def _run_shared_pool(
+        self,
+        algorithm: TNNAlgorithm,
+        workers: int,
+        pool: ProcessPoolExecutor,
+    ) -> List[TNNResult]:
+        queries = self._queries
+        tasks = [
+            (algorithm, [(i, *queries[i]) for i in shard])
+            for shard in self._phase_shards(workers)
+            if shard
+        ]
+        results: List[Optional[TNNResult]] = [None] * len(queries)
+        for part in pool.map(_pool_run_shared_shard, tasks):
+            for i, res in part:
+                results[i] = res
+        return results  # type: ignore[return-value]
+
+    def run(self, algorithms: Mapping[str, TNNAlgorithm]) -> Dict[str, "ResultStats"]:
+        """Summary statistics per algorithm, via the shared-scan executor.
+
+        Like the per-query runner, pool mode shares one worker pool (and
+        one pickled environment per worker) across every algorithm in the
+        mapping — shared-scan shards and per-query fallback chunks alike.
+        """
+        from repro.sim.stats import summarize_batch
+
+        if self.workers >= 2 and len(self._queries) > 1:
+            with self._make_pool(self.workers) as pool:
+                out = {}
+                for name, algo in algorithms.items():
+                    if shared_scan_supported(algo):
+                        results = self._run_shared_pool(
+                            algo, self.workers, pool
+                        )
+                    else:
+                        results = self._run_pool(algo, self.workers, pool=pool)
+                    out[name] = summarize_batch(results)
+                return out
+        return {
+            name: summarize_batch(self.run_algorithm(algo, workers=0))
+            for name, algo in algorithms.items()
+        }
+
+    def _phase_shards(self, workers: int) -> List[List[int]]:
+        """Workload indices cut into contiguous s-phase-ordered shards."""
+        order = sorted(
+            range(len(self._queries)),
+            key=lambda i: (self._queries[i][1], i),
+        )
+        size = -(-len(order) // workers)  # ceil division
+        return [order[w * size : (w + 1) * size] for w in range(workers)]
 
 
 def _algorithm_key(algorithm: TNNAlgorithm) -> str:

@@ -1,31 +1,83 @@
 """One facade over every query type the broadcast client supports.
 
 :class:`QueryEngine` binds a :class:`~repro.core.environment.TNNEnvironment`
-and exposes NN, kNN, range and TNN queries behind one object, so callers
-(benchmarks, services, the batch runner) stop hand-wiring tuners, channels
-and steppable searches for every request.  Single queries run through the
-same substrate as batches — the per-program cached arrival tables make the
-per-query setup cost a handful of attribute lookups.
+and exposes NN, kNN, range, window and TNN queries behind one object, so
+callers (benchmarks, services, the batch runner) stop hand-wiring tuners,
+channels and steppable searches for every request.  Single queries run
+through the same substrate as batches — the per-program cached arrival
+tables make the per-query setup cost a handful of attribute lookups.
+
+Mixed client batches go through :meth:`QueryEngine.run_many`: requests are
+declared as :class:`NNRequest` / :class:`KNNRequest` / :class:`RangeRequest`
+/ :class:`WindowRequest` records and executed page-major by the shared-scan
+executor (:mod:`repro.engine.shared_scan`), which serves every request per
+page arrival and batches the geometry kernels across the batch.  Answers
+are bit-identical to issuing each request through the corresponding
+single-query method.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.broadcast import BroadcastChannel, ChannelTuner
 from repro.client import (
     BroadcastKNNSearch,
     BroadcastNNSearch,
     BroadcastRangeSearch,
+    BroadcastWindowSearch,
+    SearchGroup,
 )
 from repro.core.base import TNNAlgorithm
 from repro.core.double import DoubleNN
 from repro.core.environment import TNNEnvironment
 from repro.core.result import TNNResult
-from repro.engine.batch import BatchRunner
+from repro.engine.batch import BatchRunner, SharedScanRunner
+from repro.engine.shared_scan import SharedScanExecutor, tree_all_backed
 from repro.engine.workload import QueryWorkload
-from repro.geometry import Circle, Point
+from repro.geometry import Circle, Point, Rect
+
+
+@dataclass(frozen=True)
+class NNRequest:
+    """One nearest-neighbour request for :meth:`QueryEngine.run_many`."""
+
+    point: Point
+    phase: float = 0.0
+    channel: str = "s"
+
+
+@dataclass(frozen=True)
+class KNNRequest:
+    """One k-nearest-neighbours request for :meth:`QueryEngine.run_many`."""
+
+    point: Point
+    k: int = 1
+    phase: float = 0.0
+    channel: str = "s"
+
+
+@dataclass(frozen=True)
+class RangeRequest:
+    """One circular range request for :meth:`QueryEngine.run_many`."""
+
+    center: Point
+    radius: float = 0.0
+    phase: float = 0.0
+    channel: str = "s"
+
+
+@dataclass(frozen=True)
+class WindowRequest:
+    """One rectangular window request for :meth:`QueryEngine.run_many`."""
+
+    window: Rect
+    phase: float = 0.0
+    channel: str = "s"
+
+
+ClientRequest = Union[NNRequest, KNNRequest, RangeRequest, WindowRequest]
 
 
 @dataclass(frozen=True)
@@ -68,30 +120,17 @@ class QueryEngine:
         self, query: Point, phase: float = 0.0, channel: str = "s"
     ) -> ClientQueryAnswer:
         """Exact nearest neighbour of ``query`` on one channel."""
-        tuner = self._tuner(channel, phase)
-        search = BroadcastNNSearch(self._tree(channel), tuner, query)
+        search = self._build(NNRequest(query, phase, channel))
         search.run_to_completion()
-        point, dist = search.result()
-        return ClientQueryAnswer(
-            answers=((point, dist),),
-            access_time=tuner.now,
-            tune_in=tuner.pages_downloaded,
-            max_queue_size=search.max_queue_size,
-        )
+        return self._finish(search)
 
     def knn(
         self, query: Point, k: int, phase: float = 0.0, channel: str = "s"
     ) -> ClientQueryAnswer:
         """The ``k`` nearest neighbours of ``query`` on one channel."""
-        tuner = self._tuner(channel, phase)
-        search = BroadcastKNNSearch(self._tree(channel), tuner, query, k)
-        answers = tuple(search.run_to_completion())
-        return ClientQueryAnswer(
-            answers=answers,
-            access_time=tuner.now,
-            tune_in=tuner.pages_downloaded,
-            max_queue_size=search.max_queue_size,
-        )
+        search = self._build(KNNRequest(query, k, phase, channel))
+        search.run_to_completion()
+        return self._finish(search)
 
     def range(
         self,
@@ -101,14 +140,80 @@ class QueryEngine:
         channel: str = "s",
     ) -> ClientQueryAnswer:
         """All points within ``radius`` of ``center`` on one channel."""
-        tuner = self._tuner(channel, phase)
-        search = BroadcastRangeSearch(
-            self._tree(channel), tuner, Circle(center, radius)
+        search = self._build(RangeRequest(center, radius, phase, channel))
+        search.run_to_completion()
+        return self._finish(search)
+
+    def window(
+        self, window: Rect, phase: float = 0.0, channel: str = "s"
+    ) -> ClientQueryAnswer:
+        """All points inside a closed rectangle on one channel.
+
+        Window answers carry distance ``0.0`` (a window has no centre) in
+        broadcast discovery order.
+        """
+        search = self._build(WindowRequest(window, phase, channel))
+        search.run_to_completion()
+        return self._finish(search)
+
+    # ------------------------------------------------------------------
+    # Mixed client batches (shared-scan executor)
+    # ------------------------------------------------------------------
+    def run_many(
+        self, requests: Sequence["ClientRequest"]
+    ) -> List[ClientQueryAnswer]:
+        """Answer a mixed NN/kNN/range/window batch through the shared scan.
+
+        Every request gets its own tuner (its ``phase`` models when its
+        client tuned in), and the shared-scan executor serves all of them
+        page-major: one round per page arrival tick, geometry kernels
+        batched across the whole batch.  Answers come back in request
+        order, bit-identical to the corresponding single-query methods.
+        """
+        searches = [self._build(req) for req in requests]
+        executor = SharedScanExecutor(
+            all_trees_backed=tree_all_backed(self.env.s_tree)
+            and tree_all_backed(self.env.r_tree)
         )
-        points = search.run_to_completion()
-        answers = tuple(
-            sorted(((p, center.distance_to(p)) for p in points), key=lambda a: a[1])
-        )
+        for search in searches:
+            executor.add(SearchGroup([search]))
+        executor.run()
+        return [self._finish(search) for search in searches]
+
+    def _build(self, req: "ClientRequest"):
+        """One steppable search (with its own tuner) for a client request."""
+        tuner = self._tuner(req.channel, req.phase)
+        tree = self._tree(req.channel)
+        if isinstance(req, NNRequest):
+            return BroadcastNNSearch(tree, tuner, req.point)
+        if isinstance(req, KNNRequest):
+            return BroadcastKNNSearch(tree, tuner, req.point, req.k)
+        if isinstance(req, RangeRequest):
+            return BroadcastRangeSearch(
+                tree, tuner, Circle(req.center, req.radius)
+            )
+        if isinstance(req, WindowRequest):
+            return BroadcastWindowSearch(tree, tuner, req.window)
+        raise TypeError(f"unsupported client request: {req!r}")
+
+    def _finish(self, search) -> ClientQueryAnswer:
+        """The answer record of one completed search, uniform across kinds."""
+        if isinstance(search, BroadcastNNSearch):
+            point, dist = search.result()
+            answers: Tuple[Tuple[Point, float], ...] = ((point, dist),)
+        elif isinstance(search, BroadcastKNNSearch):
+            answers = tuple(search.results())
+        elif isinstance(search, BroadcastRangeSearch):
+            center = search.circle.center
+            answers = tuple(
+                sorted(
+                    ((p, center.distance_to(p)) for p in search.results),
+                    key=lambda a: a[1],
+                )
+            )
+        else:
+            answers = tuple((p, 0.0) for p in search.results)
+        tuner = search.tuner
         return ClientQueryAnswer(
             answers=answers,
             access_time=tuner.now,
@@ -131,7 +236,17 @@ class QueryEngine:
         return algo.run(self.env, query, phase_s, phase_r)
 
     def batch(
-        self, workload: QueryWorkload, workers: Optional[int] = None
+        self,
+        workload: QueryWorkload,
+        workers: Optional[int] = None,
+        shared: bool = True,
     ) -> BatchRunner:
-        """A batch runner executing ``workload`` on this environment."""
-        return BatchRunner(self.env, workload, workers=workers)
+        """A batch runner executing ``workload`` on this environment.
+
+        ``shared=True`` (default) returns the page-major
+        :class:`SharedScanRunner` — bit-identical results, one broadcast
+        scan shared by every query; ``shared=False`` keeps the per-query
+        :class:`BatchRunner`.
+        """
+        cls = SharedScanRunner if shared else BatchRunner
+        return cls(self.env, workload, workers=workers)

@@ -1,0 +1,825 @@
+"""Shared-scan batch executor: page-major execution of a query workload.
+
+A broadcast channel is physically a *shared scan*: every client hears the
+same cyclic page sequence.  The per-query path replays the whole broadcast
+cycle once per query — a 1,000-query workload decodes the same pages and
+pays the same kernel dispatches 1,000 times over.  This module flips the
+loop to **page-major** order:
+
+* every query's steppable searches are registered with one
+  :class:`SharedScanExecutor`; the executor repeatedly runs *rounds*;
+* each round serves, for every active query, the one search
+  :func:`~repro.client.scheduler.run_all` would step next (its
+  :class:`~repro.client.scheduler.SearchGroup` — paired ping-pong for
+  Hybrid-NN's callback-coupled estimate searches, every unfinished member
+  for independent ones): the search pops its arrival-frontier head, applies
+  its pop-time pruning decision on the cached bound, and downloads the page
+  when it survives — all per-query work, but a few hundred nanoseconds
+  each;
+* the expensive part — the Lemma 1–3 bounds and leaf distances of every
+  node expanded this round — is then evaluated in a handful of
+  **multi-query kernel calls** (:func:`repro.geometry.kernels
+  .point_bounds_multi` and friends): one ``(k, 2)`` query block against one
+  ``(k, n, 4)`` child-MBR / ``(k, n, 2)`` point block, grouped by (metric,
+  node kind, fan-out).  At the paper's 64-byte page geometry (M = 3) a
+  single query never reaches the kernel dispatch floor; ``k`` queries
+  expanding nodes on the same round clear it together, so the fixed
+  per-ufunc cost amortises across the *workload* instead of one fan-out.
+
+Because the geometry kernels are elementwise, a round batches expansions of
+*different* pages just as well as same-page fan-outs — the round is the
+arrival tick of the shared scan, not a single page's bucket, which is
+strictly more batching than per-page grouping.
+
+**Bit-identity contract.**  The per-query path remains the oracle: for
+every query, the executor produces the same answers, access times, tune-in
+counts and max queue sizes, bit for bit.  The contract holds by
+construction:
+
+* each search's *step sequence* is exactly the one ``run_all`` produces —
+  groups encode ``run_all``'s ordering rules, and searches in different
+  groups share no state, so interleaving across queries is free;
+* each step's *values* are exactly the per-query values — exact
+  multi-query kernels replay the scalar operation order per lane (the
+  exact vectorised hypot is bit-identical to ``math.hypot``), while the
+  transitive lanes run raw-hypot *certified estimates* whose deflated
+  margins can only decide provably-identical outcomes (prunes, skipped
+  guarantee scans) with every stored value still computed by the exact
+  scalar metrics; the absorb hooks
+  (:meth:`~repro.client.search.BroadcastNNSearch._absorb_internal_shared`,
+  :meth:`~repro.client.search.BroadcastNNSearch._absorb_internal_weak`)
+  replay the per-query absorb logic on the batched rows, and the inlined
+  page download replays the tuner's arrival arithmetic;
+* everything that cannot batch falls back to the search's own per-query
+  code path: sub-threshold lanes, heap-backed searches (distributed
+  layouts), lossy tuners, unknown search types, and the whole executor
+  under ``REPRO_NO_KERNELS=1`` — where it degrades to a pure multiplexer
+  over the scalar oracle.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.client.knn import BroadcastKNNSearch
+from repro.client.range_query import BroadcastRangeSearch
+from repro.client.scheduler import SearchGroup
+from repro.client.search import (
+    _CERT_DEFLATE,
+    _CERT_INFLATE,
+    BroadcastNNSearch,
+    SearchMode,
+)
+from repro.client.window import BroadcastWindowSearch
+from repro.core.environment import TNNEnvironment
+from repro.core.join import transitive_join
+from repro.core.result import TNNResult
+from repro.geometry import Circle, Point, kernels
+
+#: Smallest same-shape survivor lane worth one multi-query kernel call.
+#: Below it the per-search scalar absorb (itself adaptive) is cheaper than
+#: array packing plus dispatch; results are identical either way, so this
+#: is purely a performance dial.
+_MIN_LANE = int(os.environ.get("REPRO_SHARED_MIN_LANE", "4"))
+
+
+def tree_all_backed(tree) -> bool:
+    """True when every internal node's children all hold points (cached).
+
+    Holds for every standard packer (a leaf always stores at least one
+    point); only hand-assembled degenerate trees fail it.  Computed once
+    per tree and cached on the tree object, so executors can skip the
+    per-node backed-guarantee masks for the entire run.
+    """
+    try:
+        return tree._all_subtrees_backed
+    except AttributeError:
+        ok = all(
+            node.children_all_backed()
+            for node in tree.root.iter_preorder()
+            if not node.is_leaf
+        )
+        tree._all_subtrees_backed = ok
+        return ok
+
+
+# ----------------------------------------------------------------------
+# The round-based executor
+# ----------------------------------------------------------------------
+class SharedScanExecutor:
+    """Drives many queries' searches through one page-major loop.
+
+    Add :class:`~repro.client.scheduler.SearchGroup` instances (their
+    ``tag``, when set, must provide ``advance() -> Optional[SearchGroup]``
+    — the query's continuation once the group completes, e.g. the TNN
+    estimate-to-filter hand-off), then :meth:`run` to completion.
+
+    Serve shapes, chosen per search by what its pop-time prune test reads:
+
+    * **NN searches** — the prune bound (``upper_bound``) evolves at every
+      absorb, so a serve is one :meth:`ArrivalFrontier.pop_until` run:
+      consume certified-prunable entries, stop at the first survivor,
+      download it, and defer its expansion to the round's multi-query
+      kernel batch.  Hybrid pairs pass the sibling's next event time as the
+      pop limit (``run_all``'s ping-pong tie rule); independent searches
+      run unlimited.
+    * **kNN searches** — internal expansions never move the k-th-best
+      bound, so a serve drains pops and internal downloads in one loop and
+      stops only at a leaf download, whose distance row joins the round's
+      batch.
+    * **range / window searches** — the prune test is static (the circle
+      and window never move), so one serve drains the whole search;
+      collected leaves are resolved afterwards in one flat per-search
+      kernel call that preserves leaf pop order.
+    * anything else (heap backends, lossy tuners, non-trivial pruning
+      policies, ``REPRO_NO_KERNELS=1``, unknown types) — a burst of the
+      search's own ``step()`` while it stays eligible: the executor
+      degrades to a pure multiplexer over the per-query oracle.
+    """
+
+    def __init__(self, all_trees_backed: bool = False) -> None:
+        self._active: List[SearchGroup] = []
+        self._use_kernels = True
+        #: Callers pass True after checking every involved tree with
+        #: :func:`tree_all_backed`: no expanded node can then have an
+        #: empty child subtree, and the absorb lanes skip the per-node
+        #: backed-guarantee masks wholesale.  False is always safe.
+        self._all_trees_backed = all_trees_backed
+
+    def add(self, group: Optional[SearchGroup]) -> None:
+        # A group whose members were all born finished (a window that
+        # misses the root, a degenerate request) completes immediately —
+        # chase its continuation until a live group (or nothing) remains.
+        while group is not None and not group.pending:
+            group = group.tag.advance() if group.tag is not None else None
+        if group is not None:
+            self._active.append(group)
+
+    def run(self) -> None:
+        self._use_kernels = kernels.enabled()
+        while self._active:
+            self._round()
+
+    # ------------------------------------------------------------------
+    def _round(self) -> None:
+        # (is_point, is_leaf, fanout) -> [searches, nodes] parallel lists
+        lanes: dict = {}
+        point_leaves: dict = {}  # fanout -> [searches, nodes]  (kNN leaves)
+        flat_leaves: List[Tuple[object, List]] = []  # (search, leaf nodes)
+        #: Searches verified finished by their serve, with their groups.
+        probe: List[Tuple[SearchGroup, object]] = []
+        serve_nn = self._serve_nn_one
+        serve = {
+            BroadcastNNSearch: serve_nn,
+            BroadcastKNNSearch: self._serve_knn_one,
+            BroadcastRangeSearch: self._serve_range_one,
+            BroadcastWindowSearch: self._serve_window_one,
+        }
+        ctx = (lanes, point_leaves, flat_leaves, probe)
+        for g in self._active:
+            pending = g.pending
+            if g.paired and len(pending) > 1:
+                # run_all's two-float ping-pong: the earlier next event is
+                # served, ties to the first member; the sibling's time caps
+                # how far the serve may pop ahead.
+                s0, s1 = pending
+                t0 = s0.next_event_time()
+                t1 = s1.next_event_time()
+                if t0 <= t1:
+                    s, limit, strict = s0, t1, False
+                else:
+                    s, limit, strict = s1, t0, True
+                if type(s) is BroadcastNNSearch:
+                    serve_nn(g, s, limit, strict, ctx)
+                else:
+                    # Paired members of any other kind advance through
+                    # their own eligible steps (run_all semantics hold for
+                    # every steppable).
+                    self._burst(g, s, limit, strict, probe)
+            else:
+                for s in pending:
+                    fn = serve.get(type(s))
+                    if fn is not None:
+                        fn(g, s, math.inf, False, ctx)
+                    else:
+                        s.step()  # unknown search type: per-query verbatim
+                        if s.finished():
+                            probe.append((g, s))
+
+        if lanes:
+            self._absorb_nn_lanes(lanes)
+        if point_leaves:
+            self._absorb_point_leaves(point_leaves)
+        for s, leaves in flat_leaves:
+            self._absorb_flat_leaves(s, leaves)
+
+        # Finish bookkeeping: every probe entry was verified finished by
+        # its serve (an emptied queue never refills).  on_finish fires
+        # directly after the serve (and deferred absorb) that completed a
+        # search — before any member of the same group is served again —
+        # which is exactly run_all's on_finish moment.
+        completed: Optional[List[SearchGroup]] = None
+        for g, s in probe:
+            g.pending.remove(s)
+            if g.on_finish is not None:
+                g.on_finish(s)
+            if not g.pending:
+                if completed is None:
+                    completed = [g]
+                else:
+                    completed.append(g)
+        if completed is not None:
+            self._active = [g for g in self._active if g.pending]
+            for g in completed:
+                if g.tag is not None:
+                    self.add(g.tag.advance())
+
+    # ------------------------------------------------------------------
+    # Phase A: per-search serves
+    # ------------------------------------------------------------------
+    def _burst(self, g, s, limit: float, strict: bool, probe) -> None:
+        """Per-query fallback: the search's own steps while eligible."""
+        while not s.finished():
+            t = s.next_event_time()
+            if t > limit or (strict and t == limit):
+                return
+            s.step()
+        probe.append((g, s))
+
+    def _fast(self, s, trivial_policy: bool) -> bool:
+        """Batched-serve eligibility of one search, cached on the search."""
+        try:
+            return s._shared_fast
+        except AttributeError:
+            fast = (
+                s._frontier is not None
+                and s.tuner.loss is None
+                and (not trivial_policy or s._policy_trivial)
+            )
+            s._shared_fast = fast
+            return fast
+
+    def _serve_nn_one(self, g, s, limit, strict, ctx) -> None:
+        if not self._use_kernels or not self._fast(s, True):
+            self._burst(g, s, limit, strict, ctx[3])
+            return
+        f = s._frontier
+        lanes, _, _, probe = ctx
+        epoch = s._metric_epoch
+        tuner = s.tuner
+        while True:
+            res = f.pop_until(s.upper_bound, epoch, limit, strict)
+            if res is None:
+                if not f._order_pages:
+                    probe.append((g, s))
+                return
+            node, lb, weak, arrival = res
+            if (lb is None or weak) and not s._decide_keep(node, lb, weak):
+                continue
+            # Survivor: download now, defer the expansion to the batch.
+            tuner.now = arrival + 1.0
+            tuner.index_pages += 1
+            tuner.log.append(("index", node.page_id, arrival, True))
+            if node.level == 0:
+                key = (s.mode is SearchMode.POINT, True, node.fanout)
+                if not f._order_pages:
+                    probe.append((g, s))  # leaf absorbs never push
+            else:
+                key = (s.mode is SearchMode.POINT, False, node.fanout)
+            lane = lanes.get(key)
+            if lane is None:
+                lanes[key] = [[s], [node]]
+            else:
+                lane[0].append(s)
+                lane[1].append(node)
+            return
+
+    def _serve_knn_one(self, g, s, limit, strict, ctx) -> None:
+        if not self._use_kernels or not self._fast(s, False):
+            self._burst(g, s, limit, strict, ctx[3])
+            return
+        f = s._frontier
+        _, point_leaves, _, probe = ctx
+        order_pages = f._order_pages
+        order_slots = f._order_slots
+        slot_nodes = f._nodes
+        cycle = f._cycle
+        fphase = f._phase
+        q = s.query
+        tuner = s.tuner
+        log = tuner.log
+        now = tuner.now
+        # The k-th-best bound moves only when a leaf is absorbed, and the
+        # serve stops there — so it is constant for this whole drain.
+        bound = s.bound
+        pops = 0
+        base = math.ceil(now - fphase)
+        start = base % cycle
+        while order_pages:
+            i = bisect_left(order_pages, start)
+            if i == len(order_pages):
+                i = 0
+            page = order_pages.pop(i)
+            slot = order_slots.pop(i)
+            pops += 1
+            node = slot_nodes[slot]
+            if node.mbr.mindist(q) > bound:
+                continue
+            arrival = base + (page - base) % cycle + fphase
+            now = arrival + 1.0
+            tuner.index_pages += 1
+            log.append(("index", page, arrival, True))
+            if node.level == 0:
+                # The leaf's absorption moves the k-th-best bound, which
+                # the next pop's prune test reads: stop for the batch.
+                tuner.now = now
+                f._version += pops
+                if not order_pages:
+                    probe.append((g, s))
+                lane = point_leaves.get(node.fanout)
+                if lane is None:
+                    point_leaves[node.fanout] = [[s], [node]]
+                else:
+                    lane[0].append(s)
+                    lane[1].append(node)
+                return
+            f.push_many(node.children)  # expansions never move the bound
+            base = math.ceil(now - fphase)
+            start = base % cycle
+        tuner.now = now
+        f._version += pops
+        probe.append((g, s))
+
+    def _serve_range_one(self, g, s, limit, strict, ctx) -> None:
+        if not self._use_kernels or not self._fast(s, False):
+            self._burst(g, s, limit, strict, ctx[3])
+            return
+        f = s._frontier
+        _, _, flat_leaves, probe = ctx
+        order_pages = f._order_pages
+        order_slots = f._order_slots
+        slot_nodes = f._nodes
+        cycle = f._cycle
+        fphase = f._phase
+        circle = s.circle
+        center = circle.center
+        radius = circle.radius
+        tuner = s.tuner
+        log = tuner.log
+        now = tuner.now
+        leaves: List = []
+        pops = 0
+        base = math.ceil(now - fphase)
+        start = base % cycle
+        # The circle never moves, so the whole traversal drains in one
+        # serve; leaf membership is resolved afterwards in one flat batch.
+        while order_pages:
+            i = bisect_left(order_pages, start)
+            if i == len(order_pages):
+                i = 0
+            page = order_pages.pop(i)
+            slot = order_slots.pop(i)
+            pops += 1
+            node = slot_nodes[slot]
+            if node.mbr.mindist(center) > radius:
+                continue  # circle.intersects_rect is mindist <= radius
+            arrival = base + (page - base) % cycle + fphase
+            now = arrival + 1.0
+            tuner.index_pages += 1
+            log.append(("index", page, arrival, True))
+            if node.level == 0:
+                leaves.append(node)
+            else:
+                f.push_many(node.children)
+            base = math.ceil(now - fphase)
+            start = base % cycle
+        tuner.now = now
+        f._version += pops
+        if leaves:
+            flat_leaves.append((s, leaves))
+        probe.append((g, s))
+
+    def _serve_window_one(self, g, s, limit, strict, ctx) -> None:
+        if not self._use_kernels or not self._fast(s, False):
+            self._burst(g, s, limit, strict, ctx[3])
+            return
+        f = s._frontier
+        _, _, flat_leaves, probe = ctx
+        order_pages = f._order_pages
+        order_slots = f._order_slots
+        slot_nodes = f._nodes
+        cycle = f._cycle
+        fphase = f._phase
+        tuner = s.tuner
+        log = tuner.log
+        now = tuner.now
+        leaves: List = []
+        pops = 0
+        # The window never moves either; children were filtered at push
+        # time, so every queued node is downloaded.
+        while order_pages:
+            base = math.ceil(now - fphase)
+            i = bisect_left(order_pages, base % cycle)
+            if i == len(order_pages):
+                i = 0
+            page = order_pages.pop(i)
+            slot = order_slots.pop(i)
+            pops += 1
+            node = slot_nodes[slot]
+            arrival = base + (page - base) % cycle + fphase
+            now = arrival + 1.0
+            tuner.index_pages += 1
+            log.append(("index", page, arrival, True))
+            if node.level == 0:
+                leaves.append(node)
+            else:
+                s._push_intersecting(node)
+        tuner.now = now
+        f._version += pops
+        if leaves:
+            flat_leaves.append((s, leaves))
+        probe.append((g, s))
+
+    # ------------------------------------------------------------------
+    # Phase B: cross-query batched absorbs (certified estimate lanes)
+    # ------------------------------------------------------------------
+    def _absorb_nn_lanes(self, lanes: dict) -> None:
+        """Absorb the round's surviving NN expansions, batched per shape.
+
+        Point-metric lanes evaluate the exact fused MINDIST/MINMAXDIST (or
+        leaf distance) kernel and feed each search its row — no pop-time
+        verification, no scalar scan.  Transitive lanes, whose exact
+        Lemma 1-3 kernel costs an order of magnitude more, run raw-hypot
+        *certified estimates* instead: deflated weak lower bounds are
+        queued for the delayed-pruning pop tests, and a deflated row
+        minimum of the guarantee estimates proves for most rows that the
+        exact guarantee scan is a no-op — only the remaining rows (and
+        bound-witness nodes) run the exact scalar scan.  Every *stored*
+        value is exact, so the estimates only decide provably-identical
+        skips.
+        """
+        min_lane = _MIN_LANE
+        deflate = _CERT_DEFLATE
+        for (is_point, is_leaf, n), (searches, nodes) in lanes.items():
+            k = len(nodes)
+            if k < min_lane:
+                for s, node in zip(searches, nodes):
+                    if is_leaf:
+                        s._absorb_leaf(node)
+                    else:
+                        s._absorb_internal(node)
+                continue
+            if is_leaf:
+                pts = np.concatenate(
+                    [node.points_array() for node in nodes]
+                ).reshape(k, n, 2)
+                if is_point:
+                    # Point metric: exact distances are one fused hypot
+                    # pass; batch the exact row argmins.
+                    d = kernels.point_dists_multi(
+                        np.array([s.query for s in searches]), pts
+                    )
+                    idx = np.argmin(d, axis=1)
+                    vals = d[np.arange(k), idx].tolist()
+                    for s, node, i, v in zip(
+                        searches, nodes, idx.tolist(), vals
+                    ):
+                        s._absorb_leaf_shared(node, i, v)
+                else:
+                    # Transitive metric: the incumbent is already tight
+                    # when leaves arrive, so the deflated raw estimate
+                    # proves most leaf absorbs are no-ops.
+                    d = kernels.trans_dists_raw(
+                        np.array([s.start for s in searches]),
+                        pts,
+                        np.array([s.end for s in searches]),
+                    )
+                    for s, node, m in zip(
+                        searches, nodes, d.min(axis=1).tolist()
+                    ):
+                        # A deflated row minimum at or above the incumbent
+                        # proves the scalar offer loop changes nothing
+                        # (the upper bound never exceeds the incumbent,
+                        # which the second test re-checks defensively).
+                        if (
+                            m * deflate < s.best_dist
+                            or s.best_dist < s.upper_bound
+                        ):
+                            s._absorb_leaf(node)
+            else:
+                mbrs = np.concatenate(
+                    [node.child_mbr_array() for node in nodes]
+                ).reshape(k, n, 4)
+                if self._all_trees_backed:
+                    all_backed = True
+                else:
+                    all_backed = all(
+                        node.children_all_backed() for node in nodes
+                    )
+                if is_point:
+                    # Point metric: MINDIST/MINMAXDIST share one fused
+                    # exact hypot pass; push exact bounds and inherit the
+                    # masked argmin guarantee.
+                    lower, guar = kernels.point_bounds_multi(
+                        np.array([s.query for s in searches]), mbrs
+                    )
+                    if all_backed:
+                        backed = guar
+                    else:
+                        counts = np.concatenate(
+                            [node.child_count_array() for node in nodes]
+                        ).reshape(k, n)
+                        backed = np.where(counts > 0, guar, math.inf)
+                    gi = np.argmin(backed, axis=1)
+                    gv = backed[np.arange(k), gi].tolist()
+                    lower = lower.tolist()
+                    for j, (s, node) in enumerate(zip(searches, nodes)):
+                        s._absorb_internal_shared(node, lower[j], gi[j], gv[j])
+                else:
+                    weak, est = kernels.trans_weak_bounds_multi(
+                        np.array([s.start for s in searches]),
+                        mbrs,
+                        np.array([s.end for s in searches]),
+                        deflate,
+                    )
+                    gates = (est.min(axis=1) * deflate).tolist()
+                    weak = weak.tolist()
+                    for j, (s, node) in enumerate(zip(searches, nodes)):
+                        # The exact guarantee scan runs when the deflated
+                        # estimate admits an improvement, when the node
+                        # witnesses the bound (hand-off), or when an empty
+                        # child subtree voids the estimate's backing.
+                        need = (
+                            not all_backed
+                            or gates[j] < s.upper_bound
+                            or node.page_id == s._witness_page
+                        )
+                        s._absorb_internal_weak(node, weak[j], need)
+
+    def _absorb_point_leaves(self, point_leaves: dict) -> None:
+        """Batched exact ``dis(q, p)`` rows for the round's kNN leaves.
+
+        kNN rows must be exact — the distances enter the candidate heap
+        and the reported answers — so this lane keeps the exact vectorised
+        hypot.
+        """
+        for n, (searches, nodes) in point_leaves.items():
+            if len(nodes) < _MIN_LANE:
+                for s, node in zip(searches, nodes):
+                    s._absorb_leaf(node)
+                continue
+            k = len(nodes)
+            d = kernels.point_dists_multi(
+                np.array([s.query for s in searches]),
+                np.concatenate(
+                    [node.points_array() for node in nodes]
+                ).reshape(k, n, 2),
+            )
+            for j, (s, node) in enumerate(zip(searches, nodes)):
+                s._absorb_leaf_known(node, d[j])
+
+    def _absorb_flat_leaves(self, s, leaves: List) -> None:
+        """Resolve a drained range/window search's leaves in one flat pass.
+
+        The flat concatenation preserves leaf pop order and in-leaf point
+        order, so ``results`` fills exactly as the per-query absorbs
+        would.  Range membership runs on raw-hypot estimates with
+        inflate/deflate certification; only points inside the rounding
+        margin band pay the exact metric.
+        """
+        total = 0
+        for node in leaves:
+            total += node.fanout
+        if total < kernels.min_batch_leaf():
+            for node in leaves:
+                s._absorb_leaf(node)
+            return
+        pts = (
+            leaves[0].points_array()
+            if len(leaves) == 1
+            else np.concatenate([node.points_array() for node in leaves])
+        )
+        flat: List = []
+        for node in leaves:
+            flat.extend(node.points)
+        if isinstance(s, BroadcastRangeSearch):
+            circle = s.circle
+            center = circle.center
+            radius = circle.radius
+            d = np.hypot(center.x - pts[:, 0], center.y - pts[:, 1])
+            inside = d * _CERT_INFLATE <= radius
+            border = ~(inside | (d * _CERT_DEFLATE > radius))
+            if border.any():
+                # The margin band: resolve each point with the exact
+                # scalar containment test, like the per-query absorb.
+                for i in np.flatnonzero(border).tolist():
+                    inside[i] = circle.contains_point(flat[i])
+            idx = np.flatnonzero(inside).tolist()
+        else:
+            w = s.window
+            xs, ys = pts[:, 0], pts[:, 1]
+            idx = np.flatnonzero(
+                (w.xmin <= xs)
+                & (xs <= w.xmax)
+                & (w.ymin <= ys)
+                & (ys <= w.ymax)
+            ).tolist()
+        if idx:
+            s.results.extend(flat[i] for i in idx)
+
+
+# ----------------------------------------------------------------------
+# TNN query jobs (estimate -> filter -> join state machine)
+# ----------------------------------------------------------------------
+class _TNNJob:
+    """One TNN query's lifecycle under the shared scan.
+
+    Mirrors :meth:`repro.core.base.TNNAlgorithm.run` stage by stage —
+    estimate searches, re-steering coordinator (Hybrid-NN), filter-phase
+    range queries from ``estimate_finish``, transitive join, metrics — so
+    the assembled :class:`TNNResult` is field-for-field the per-query one.
+    """
+
+    __slots__ = (
+        "env",
+        "algorithm",
+        "hybrid",
+        "query",
+        "tuner_s",
+        "tuner_r",
+        "nn_s",
+        "nn_r",
+        "range_s",
+        "range_r",
+        "radius",
+        "seed_pair",
+        "estimate_finish",
+        "estimate_pages",
+        "in_filter",
+        "result",
+        "_steered",
+    )
+
+    def __init__(
+        self,
+        env: TNNEnvironment,
+        algorithm,
+        hybrid: bool,
+        query: Point,
+        phase_s: float,
+        phase_r: float,
+    ) -> None:
+        self.env = env
+        self.algorithm = algorithm
+        self.hybrid = hybrid
+        self.query = query
+        self.tuner_s, self.tuner_r = env.tuners(phase_s, phase_r)
+        policy_s, policy_r = algorithm._policies(env)
+        self.nn_s = BroadcastNNSearch(env.s_tree, self.tuner_s, query, policy_s)
+        self.nn_r = BroadcastNNSearch(env.r_tree, self.tuner_r, query, policy_r)
+        # Pre-stamp the executor's serve-eligibility flag (the searches
+        # were built right here, so the conditions are known); it must
+        # match SharedScanExecutor._fast exactly — in particular a lossy
+        # tuner forces the per-query burst path, whose _receive retry loop
+        # the inlined downloads do not replay.
+        self.nn_s._shared_fast = (
+            self.nn_s._frontier is not None
+            and self.tuner_s.loss is None
+            and self.nn_s._policy_trivial
+        )
+        self.nn_r._shared_fast = (
+            self.nn_r._frontier is not None
+            and self.tuner_r.loss is None
+            and self.nn_r._policy_trivial
+        )
+        self.in_filter = False
+        self.result: Optional[TNNResult] = None
+        self._steered = False
+
+    def start(self) -> SearchGroup:
+        if self.hybrid:
+            # Hybrid-NN: the finish of either channel re-steers the other,
+            # so the pair keeps run_all's exact step interleaving.
+            return SearchGroup(
+                [self.nn_s, self.nn_r],
+                paired=True,
+                on_finish=self._coordinator,
+                tag=self,
+            )
+        # Double-NN: two independent searches, order-free.
+        return SearchGroup([self.nn_s, self.nn_r], tag=self)
+
+    def _coordinator(self, finished_search) -> None:
+        # Verbatim HybridNN._estimate coordination (Cases 2 and 3).
+        if self._steered:
+            return
+        if finished_search is self.nn_s and not self.nn_r.finished():
+            s, _ = self.nn_s.result()
+            self.nn_r.retarget(s)  # Case 2
+            self._steered = True
+        elif finished_search is self.nn_r and not self.nn_s.finished():
+            r, _ = self.nn_r.result()
+            self.nn_s.switch_to_transitive(self.query, r)  # Case 3
+            self._steered = True
+
+    def advance(self) -> Optional[SearchGroup]:
+        if not self.in_filter:
+            s, _ = self.nn_s.result()
+            r, _ = self.nn_r.result()
+            self.radius = self.query.distance_to(s) + s.distance_to(r)
+            self.seed_pair = (s, r)
+            self.estimate_finish = max(self.tuner_s.now, self.tuner_r.now)
+            self.estimate_pages = (
+                self.tuner_s.pages_downloaded + self.tuner_r.pages_downloaded
+            )
+            circle = Circle(self.query, self.radius)
+            self.range_s = BroadcastRangeSearch(
+                self.env.s_tree, self.tuner_s, circle, self.estimate_finish
+            )
+            self.range_r = BroadcastRangeSearch(
+                self.env.r_tree, self.tuner_r, circle, self.estimate_finish
+            )
+            self.in_filter = True
+            return SearchGroup([self.range_s, self.range_r], tag=self)
+
+        s0, r0 = self.seed_pair
+        seed_bound = self.query.distance_to(s0) + s0.distance_to(r0)
+        s, r, dist = transitive_join(
+            self.query,
+            self.range_s.results,
+            self.range_r.results,
+            initial_bound=seed_bound,
+            initial_pair=self.seed_pair,
+        )
+        tuner_s, tuner_r = self.tuner_s, self.tuner_r
+        self.result = TNNResult(
+            algorithm=self.algorithm.name,
+            query=self.query,
+            s=s,
+            r=r,
+            distance=dist,
+            radius=self.radius,
+            access_time=max(tuner_s.now, tuner_r.now),
+            tune_in_s=tuner_s.pages_downloaded,
+            tune_in_r=tuner_r.pages_downloaded,
+            estimate_pages=self.estimate_pages,
+            filter_pages=(
+                tuner_s.pages_downloaded
+                + tuner_r.pages_downloaded
+                - self.estimate_pages
+            ),
+            estimate_finish=self.estimate_finish,
+            data_pages=0,
+            failed=s is None or r is None,
+        )
+        return None
+
+
+def shared_scan_supported(algorithm) -> bool:
+    """True when :func:`execute_tnn_batch` can run this algorithm.
+
+    The page-major job mirrors the exact Double-NN / Hybrid-NN lifecycles
+    stage by stage; subclasses (which may override ``_estimate``), ANN
+    optimizations, and data-page retrieval keep the per-query path.
+    """
+    from repro.core.double import DoubleNN
+    from repro.core.hybrid import HybridNN
+
+    return (
+        type(algorithm) in (DoubleNN, HybridNN)
+        and algorithm.optimization is None
+        and not algorithm.include_data_retrieval
+    )
+
+
+def execute_tnn_batch(
+    env: TNNEnvironment,
+    algorithm,
+    queries: Sequence[Tuple[Point, float, float]],
+) -> List[TNNResult]:
+    """Run a TNN workload page-major; results in workload order.
+
+    ``algorithm`` must satisfy :func:`shared_scan_supported`; the returned
+    :class:`TNNResult` stream is bit-identical to running
+    ``algorithm.run(env, q, phase_s, phase_r)`` per query.
+    """
+    from repro.core.hybrid import HybridNN
+
+    hybrid = isinstance(algorithm, HybridNN)
+    jobs = [
+        _TNNJob(env, algorithm, hybrid, q, phase_s, phase_r)
+        for q, phase_s, phase_r in queries
+    ]
+    executor = SharedScanExecutor(
+        all_trees_backed=tree_all_backed(env.s_tree)
+        and tree_all_backed(env.r_tree)
+    )
+    for job in jobs:
+        executor.add(job.start())
+    executor.run()
+    return [job.result for job in jobs]  # type: ignore[misc]

@@ -49,6 +49,17 @@ Lemma map (paper Definitions/Lemmas 1-3; see ``transitive.py``):
   into one hypot pass for the NN expansion loop.
 * :func:`point_dists` / :func:`trans_dists` — leaf fan-out kernels for
   ``dis(q, s)`` and ``dis(p, s) + dis(s, r)``.
+* the ``*_multi`` family — the same bounds for a whole **query batch** at
+  once: a ``(k, 2)`` array of query points (or ``(k, 2)`` start/end pairs
+  for the transitive metrics) against a ``(k, n, 4)`` block of per-query
+  child MBRs or a ``(k, n, 2)`` block of per-query leaf points, returning
+  ``(k, n)``.  These are the kernels of the shared-scan batch executor
+  (:mod:`repro.engine.shared_scan`): when many queries expand R-tree nodes
+  on the same page arrival tick, one kernel dispatch serves every query,
+  so the per-ufunc floor amortises across the *workload* instead of a
+  single fan-out.  Every lane replays the exact scalar operation order, so
+  the batch results are bit-identical to the per-query kernels (and hence
+  to the scalar oracle).
 
 Because answers are path-independent, dispatch is free to be adaptive: the
 fixed kernel overhead only amortises over enough lanes, so callers consult
@@ -91,6 +102,15 @@ __all__ = [
     "min_max_trans_dist",
     "trans_bounds",
     "segment_intersects_rects",
+    "point_dists_multi",
+    "trans_dists_multi",
+    "mindist_multi",
+    "point_bounds_multi",
+    "trans_bounds_multi",
+    "point_weak_bounds_multi",
+    "trans_weak_bounds_multi",
+    "point_dists_raw",
+    "trans_dists_raw",
 ]
 
 #: Global switch: ``REPRO_NO_KERNELS=1`` forces the scalar fallback path
@@ -513,3 +533,253 @@ def trans_bounds(
     and Lemma 3's side maxima, so computing them once halves the work.
     """
     return _trans_core(p, mbrs, r, want_lower=True, want_upper=True)
+
+
+# ----------------------------------------------------------------------
+# Query-batched kernels: (k, 2) query block against per-query fan-outs
+# ----------------------------------------------------------------------
+# The shared-scan executor serves every active query on one page arrival
+# tick; these kernels evaluate one bound family for the *whole* batch —
+# query row i against MBR/point block row i — in a single dispatch.  All
+# lanes replay the per-query kernels' exact operation order (which in turn
+# replays the scalar oracle), so every element is bit-identical to the
+# corresponding single-query evaluation.
+
+
+def point_dists_multi(queries: np.ndarray, pts: np.ndarray) -> np.ndarray:
+    """``dis(q_i, s_ij)``: ``(k, 2)`` queries vs ``(k, n, 2)`` leaf blocks."""
+    return hypot(
+        queries[:, 0, None] - pts[..., 0], queries[:, 1, None] - pts[..., 1]
+    )
+
+
+def trans_dists_multi(
+    starts: np.ndarray, pts: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """``dis(p_i, s_ij) + dis(s_ij, r_i)`` over ``(k, n, 2)`` leaf blocks."""
+    xs = pts[..., 0]
+    ys = pts[..., 1]
+    d = hypot(
+        np.stack((starts[:, 0, None] - xs, xs - ends[:, 0, None])),
+        np.stack((starts[:, 1, None] - ys, ys - ends[:, 1, None])),
+    )
+    return d[0] + d[1]
+
+
+def _mindist_xy_multi(
+    qx: np.ndarray, qy: np.ndarray, mbrs: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    dx = np.maximum(np.maximum(mbrs[..., 0] - qx, 0.0), qx - mbrs[..., 2])
+    dy = np.maximum(np.maximum(mbrs[..., 1] - qy, 0.0), qy - mbrs[..., 3])
+    return dx, dy
+
+
+def mindist_multi(queries: np.ndarray, mbrs: np.ndarray) -> np.ndarray:
+    """Per-query MINDIST: ``(k, 2)`` queries vs ``(k, 4)`` or ``(k, n, 4)``.
+
+    With one MBR per query (``(k, 4)``) this is the batched pop-time prune
+    test of the kNN/range clients; with per-query fan-out blocks it is the
+    lower-bound half of :func:`point_bounds_multi`.
+    """
+    if mbrs.ndim == 2:
+        qx, qy = queries[:, 0], queries[:, 1]
+    else:
+        qx, qy = queries[:, 0, None], queries[:, 1, None]
+    dx, dy = _mindist_xy_multi(qx, qy, mbrs)
+    return hypot(dx, dy)
+
+
+def point_bounds_multi(
+    queries: np.ndarray, mbrs: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(MINDIST, MINMAXDIST)`` per (query, child): ``(k, n, 4)`` blocks.
+
+    One fused hypot pass over three ``(k, n)`` lanes, exactly like the
+    single-query :func:`point_bounds` fuses its three ``(n,)`` lanes.
+    """
+    qx, qy = queries[:, 0, None], queries[:, 1, None]
+    mdx, mdy = _mindist_xy_multi(qx, qy, mbrs)
+    xmin, ymin = mbrs[..., 0], mbrs[..., 1]
+    xmax, ymax = mbrs[..., 2], mbrs[..., 3]
+    cx = (xmin + xmax) / 2.0
+    cy = (ymin + ymax) / 2.0
+    # Nearer x edge, farther y corner / nearer y edge, farther x corner.
+    rm_x = np.where(qx <= cx, xmin, xmax)
+    rM_y = np.where(qy >= cy, ymin, ymax)
+    rm_y = np.where(qy <= cy, ymin, ymax)
+    rM_x = np.where(qx >= cx, xmin, xmax)
+    d = hypot(
+        np.stack((mdx, qx - rm_x, qx - rM_x)),
+        np.stack((mdy, qy - rM_y, qy - rm_y)),
+    )
+    return d[0], np.minimum(d[1], d[2])
+
+
+def trans_bounds_multi(
+    starts: np.ndarray, mbrs: np.ndarray, ends: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(MinTransDist, MinMaxTransDist)`` per (query, child) over blocks.
+
+    Transcribes :func:`_trans_core` (both bounds wanted) onto ``(4, k, n)``
+    corner lanes with per-row ``(p_i, r_i)`` pairs: Lemma 1's three cases
+    and Lemma 3's side maxima for ``k`` queries in one fused evaluation.
+    """
+    xmin, ymin = mbrs[..., 0], mbrs[..., 1]
+    xmax, ymax = mbrs[..., 2], mbrs[..., 3]
+    cx = np.stack((xmin, xmax, xmax, xmin))
+    cy = np.stack((ymin, ymin, ymax, ymax))
+    ax, ay = cx, cy
+    bx, by = cx[_NEXT, :], cy[_NEXT, :]
+    px, py = starts[:, 0, None], starts[:, 1, None]
+    rx, ry = ends[:, 0, None], ends[:, 1, None]
+
+    with np.errstate(all="ignore"):
+        # Mirror r_i across each side's carrier line (case 2), replaying
+        # reflect_point's projection arithmetic per query row.
+        ux = _UX[:, :, None]
+        uy = _UY[:, :, None]
+        t = (rx - ax) * ux + (ry - ay) * uy
+        projx = ax + t * ux
+        projy = ay + t * uy
+        mx = 2.0 * projx - rx
+        my = 2.0 * projy - ry
+    d = hypot(
+        np.concatenate((px - cx, cx - rx, px - mx)),
+        np.concatenate((py - cy, cy - ry, py - my)),
+    )
+    d_pc, d_cr, cand = d[0:4], d[4:8], d[8:12]
+    corner_t = d_pc + d_cr  # dis(p_i, corner) + dis(corner, r_i), (4, k, n)
+
+    upper = _min_max_from_corners(corner_t)
+
+    # Case 3 safety net: the vertex bends, always evaluated.
+    best = corner_t.min(axis=0)
+
+    # Batched crossing tests, exactly as in _trans_core: lanes 0-3 are
+    # (p_i, r_i) x side k, lanes 4-7 are (p_i, mirror_k) x side k.
+    qx = np.concatenate((np.broadcast_to(rx, cx.shape), mx))
+    qy = np.concatenate((np.broadcast_to(ry, cy.shape), my))
+    sax = np.concatenate((ax, ax))
+    say = np.concatenate((ay, ay))
+    sbx = np.concatenate((bx, bx))
+    sby = np.concatenate((by, by))
+    o_p = _orient(ax, ay, bx, by, px, py)  # shared by both halves
+    d1 = np.concatenate((o_p, o_p))
+    d2 = _orient(sax, say, sbx, sby, qx, qy)
+    d3 = _orient(px, py, qx, qy, sax, say)
+    d4 = _orient(px, py, qx, qy, sbx, sby)
+    crosses = (((d1 > 0) & (d2 < 0)) | ((d1 < 0) & (d2 > 0))) & (
+        ((d3 > 0) & (d4 < 0)) | ((d3 < 0) & (d4 > 0))
+    )
+    z1, z2, z3, z4 = d1 == 0, d2 == 0, d3 == 0, d4 == 0
+    if (z1 | z2 | z3 | z4).any():
+        # Grazing/collinear lanes: the scalar code's endpoint-touch tests.
+        crosses = crosses | (
+            (z1 & _on_segment(sax, say, sbx, sby, px, py))
+            | (z2 & _on_segment(sax, say, sbx, sby, qx, qy))
+            | (z3 & _on_segment(px, py, qx, qy, sax, say))
+            | (z4 & _on_segment(px, py, qx, qy, sbx, sby))
+        )
+
+    # Case 2 gates: non-degenerate side, p_i and r_i strictly on the same
+    # side of the carrier line, straightened segment crosses the side.
+    width_ok = mbrs[..., 2] - mbrs[..., 0] > 0.0
+    height_ok = mbrs[..., 3] - mbrs[..., 1] > 0.0
+    nondegen = np.stack((width_ok, height_ok, width_ok, height_ok))
+    o_r = d2[0:4]
+    same_side = ((o_p > 0) & (o_r > 0)) | ((o_p < 0) & (o_r < 0))
+    valid = nondegen & same_side & crosses[4:8]
+    best = np.minimum(best, np.where(valid, cand, math.inf).min(axis=0))
+
+    # Case 1: the straight line p_i -> r_i already touches the rectangle.
+    inside_p = (xmin <= px) & (px <= xmax) & (ymin <= py) & (py <= ymax)
+    inside_r = (xmin <= rx) & (rx <= xmax) & (ymin <= ry) & (ry <= ymax)
+    case1 = inside_p | inside_r | crosses[0:4].any(axis=0)
+    direct = hypot(starts[:, 0] - ends[:, 0], starts[:, 1] - ends[:, 1])
+    lower = np.where(case1, direct[:, None], best)
+    return lower, upper
+
+
+# ----------------------------------------------------------------------
+# Certified estimate lanes (raw np.hypot behind deflate/inflate margins)
+# ----------------------------------------------------------------------
+# The exact vectorised hypot costs ~15 array passes; ``np.hypot`` costs
+# one, at the price of a last-ulp deviation from ``math.hypot``.  The
+# shared-scan executor therefore batches *certified estimates*: an
+# under-estimate deflated by a margin (~1e-9) that dwarfs both the
+# estimate's own slack and np.hypot's deviation can prove a prune (or
+# that a guarantee scan is a no-op) exactly like the oracle would, and
+# only the undecided margin band pays an exact scalar evaluation.  This
+# is the arrival-frontier's two-tier bound strategy, lifted to query
+# batches.  Estimate values are never stored into anything observable —
+# answers, bounds, times — only their gated *decisions* are.
+
+
+def point_weak_bounds_multi(
+    queries: np.ndarray, mbrs: np.ndarray, deflate: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(certified weak MINDIST, raw MINMAXDIST estimate) per (query, child).
+
+    The weak lane is ``MINDIST`` under raw ``np.hypot`` scaled by
+    ``deflate`` — a certified under-estimate of the exact MINDIST, usable
+    to prove pop-time prunes.  The second lane estimates MINMAXDIST to
+    within an ulp; callers may only gate with it (deflate/inflate), never
+    store it.
+    """
+    qx, qy = queries[:, 0, None], queries[:, 1, None]
+    mdx, mdy = _mindist_xy_multi(qx, qy, mbrs)
+    xmin, ymin = mbrs[..., 0], mbrs[..., 1]
+    xmax, ymax = mbrs[..., 2], mbrs[..., 3]
+    cx = (xmin + xmax) / 2.0
+    cy = (ymin + ymax) / 2.0
+    rm_x = np.where(qx <= cx, xmin, xmax)
+    rM_y = np.where(qy >= cy, ymin, ymax)
+    rm_y = np.where(qy <= cy, ymin, ymax)
+    rM_x = np.where(qx >= cx, xmin, xmax)
+    est = np.minimum(
+        np.hypot(qx - rm_x, qy - rM_y), np.hypot(qx - rM_x, qy - rm_y)
+    )
+    return np.hypot(mdx, mdy) * deflate, est
+
+
+def trans_weak_bounds_multi(
+    starts: np.ndarray, mbrs: np.ndarray, ends: np.ndarray, deflate: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(certified weak Lemma 1, raw Lemma 3 estimate) per (query, child).
+
+    The weak lane is ``MinDist(p, M) + MinDist(r, M)`` under raw
+    ``np.hypot`` scaled by ``deflate`` — the transitive metric's certified
+    under-estimate (cf. ``BroadcastNNSearch._weak_lower``).  The second
+    lane is Lemma 3's side maxima over raw corner transitive sums, within
+    an ulp of the exact MinMaxTransDist — gate-only, never store.
+    """
+    px, py = starts[:, 0, None], starts[:, 1, None]
+    rx, ry = ends[:, 0, None], ends[:, 1, None]
+    dxp, dyp = _mindist_xy_multi(px, py, mbrs)
+    dxr, dyr = _mindist_xy_multi(rx, ry, mbrs)
+    weak = (np.hypot(dxp, dyp) + np.hypot(dxr, dyr)) * deflate
+    cx, cy = _corner_lanes(mbrs.reshape(-1, 4))
+    shape = (4,) + mbrs.shape[:-1]
+    cx = cx.reshape(shape)
+    cy = cy.reshape(shape)
+    corner_t = np.hypot(px - cx, py - cy) + np.hypot(cx - rx, cy - ry)
+    est = np.maximum(corner_t, corner_t[_NEXT, :]).min(axis=0)
+    return weak, est
+
+
+def point_dists_raw(queries: np.ndarray, pts: np.ndarray) -> np.ndarray:
+    """Raw-``np.hypot`` ``dis(q_i, s_ij)`` estimates — gate-only."""
+    return np.hypot(
+        queries[:, 0, None] - pts[..., 0], queries[:, 1, None] - pts[..., 1]
+    )
+
+
+def trans_dists_raw(
+    starts: np.ndarray, pts: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Raw-``np.hypot`` transitive leaf estimates — gate-only."""
+    xs = pts[..., 0]
+    ys = pts[..., 1]
+    return np.hypot(starts[:, 0, None] - xs, starts[:, 1, None] - ys) + np.hypot(
+        xs - ends[:, 0, None], ys - ends[:, 1, None]
+    )

@@ -55,6 +55,12 @@ class RTreeNode:
     _points_arr: Optional[np.ndarray] = field(
         default=None, repr=False, compare=False
     )
+    #: Cached "every child subtree holds a point" flag — the common case
+    #: under STR packing, letting batch executors skip the per-child
+    #: backed-guarantee mask entirely.
+    _all_backed: Optional[bool] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_leaf(self) -> bool:
@@ -114,6 +120,19 @@ class RTreeNode:
             )
             self._child_counts = arr
         return arr
+
+    def children_all_backed(self) -> bool:
+        """True when every child subtree holds at least one point.
+
+        When it holds (always, for the standard packers), every child's
+        MinMaxDist-style guarantee is backed and batch executors can take
+        the plain row argmin instead of masking empty subtrees out.
+        """
+        v = self._all_backed
+        if v is None:
+            v = all(c.point_count > 0 for c in self.children)
+            self._all_backed = v
+        return v
 
     def points_array(self) -> np.ndarray:
         """Contiguous ``(n, 2)`` float64 array of this leaf's points."""

@@ -1,0 +1,455 @@
+"""Bit-identity A/B sweep and unit tests for the shared-scan executor.
+
+The contract under test: the page-major executor
+(:mod:`repro.engine.shared_scan`) must reproduce the per-query path —
+answers, access times, tune-in counts, max queue sizes — bit for bit, for
+every query type, at both the paper's page geometries, on the kernel path
+*and* under ``REPRO_NO_KERNELS``-style scalar execution, including
+workloads whose queries straddle different channel phases.
+"""
+
+import math
+
+import pytest
+
+from repro.broadcast import SystemParameters
+from repro.client import BroadcastNNSearch, SearchGroup, run_all
+from repro.core import DoubleNN, HybridNN, TNNEnvironment, WindowBasedTNN
+from repro.core.environment import TNNEnvironment as _Env
+from repro.datasets import sized_uniform
+from repro.engine import (
+    BatchRunner,
+    KNNRequest,
+    NNRequest,
+    QueryEngine,
+    QueryWorkload,
+    RangeRequest,
+    SharedScanRunner,
+    WindowRequest,
+    execute_tnn_batch,
+    pool_chunk_count,
+)
+from repro.engine.shared_scan import SharedScanExecutor, shared_scan_supported
+from repro.geometry import Point, Rect, kernels
+
+import random
+
+
+def _build_env(page_capacity, n=900):
+    return TNNEnvironment.build(
+        sized_uniform(n, seed=1),
+        sized_uniform(n, seed=2),
+        params=SystemParameters(page_capacity=page_capacity),
+    )
+
+
+@pytest.fixture(scope="module")
+def env64():
+    return _build_env(64)
+
+
+@pytest.fixture(scope="module")
+def env512():
+    return _build_env(512)
+
+
+def _random_queries(env, n, seed=0):
+    rng = random.Random(seed)
+    return [
+        (env.random_query_point(rng), *env.random_phases(rng))
+        for _ in range(n)
+    ]
+
+
+def _straddling_queries(env, n, seed=1):
+    """Queries spread evenly across both channels' cycle phases."""
+    rng = random.Random(seed)
+    cs = env.s_program.cycle_length
+    cr = env.r_program.cycle_length
+    return [
+        (env.random_query_point(rng), i * cs / n, ((n - i) * cr / n) % cr)
+        for i in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# TNN workloads: shared scan vs per-query oracle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("page_capacity", [64, 512])
+@pytest.mark.parametrize("use_kernels", [True, False])
+@pytest.mark.parametrize("algo_cls", [DoubleNN, HybridNN])
+def test_tnn_bit_identity(page_capacity, use_kernels, algo_cls, env64, env512):
+    env = env64 if page_capacity == 64 else env512
+    queries = _random_queries(env, 25)
+    algo = algo_cls()
+    with kernels.use_kernels(use_kernels):
+        want = [algo.run(env, q, ps, pr) for q, ps, pr in queries]
+        got = execute_tnn_batch(env, algo, queries)
+    assert got == want
+
+
+@pytest.mark.parametrize("use_kernels", [True, False])
+def test_tnn_bit_identity_phase_straddling(env64, use_kernels):
+    """Queries at evenly spread phases of both cycles stay bit-identical."""
+    queries = _straddling_queries(env64, 24)
+    algo = HybridNN()
+    with kernels.use_kernels(use_kernels):
+        want = [algo.run(env64, q, ps, pr) for q, ps, pr in queries]
+        got = execute_tnn_batch(env64, algo, queries)
+    assert got == want
+
+
+def test_shared_runner_matches_batch_runner(env64):
+    workload = QueryWorkload(15, seed=3)
+    base = BatchRunner(env64, workload, workers=0)
+    shared = SharedScanRunner(env64, workload, workers=0)
+    for algo_cls in (DoubleNN, HybridNN):
+        assert shared.run_algorithm(algo_cls()) == base.run_algorithm(
+            algo_cls()
+        )
+
+
+def test_shared_runner_falls_back_for_unsupported(env64):
+    workload = QueryWorkload(6, seed=4)
+    base = BatchRunner(env64, workload, workers=0)
+    shared = SharedScanRunner(env64, workload, workers=0)
+    # Foreign algorithm type, data retrieval, and subclasses all fall back.
+    assert not shared_scan_supported(WindowBasedTNN())
+    assert not shared_scan_supported(HybridNN(include_data_retrieval=True))
+
+    class TweakedDoubleNN(DoubleNN):
+        pass
+
+    assert not shared_scan_supported(TweakedDoubleNN())
+    assert shared_scan_supported(HybridNN())
+    for algo in (WindowBasedTNN(), HybridNN(include_data_retrieval=True)):
+        assert shared.run_algorithm(algo) == base.run_algorithm(algo)
+
+
+def test_shared_runner_pool_phase_sharding(env64):
+    workload = QueryWorkload(13, seed=5)
+    shared = SharedScanRunner(env64, workload)
+    serial = shared.run_algorithm(HybridNN(), workers=0)
+    pooled = shared.run_algorithm(HybridNN(), workers=2)
+    assert pooled == serial
+    # Shards cover the workload exactly once, ordered by s-phase.
+    shards = shared._phase_shards(3)
+    flat = [i for shard in shards for i in shard]
+    assert sorted(flat) == list(range(len(workload.queries(env64))))
+    phases = [workload.queries(env64)[i][1] for i in flat]
+    assert phases == sorted(phases)
+
+
+def test_shared_runner_run_summary(env64):
+    workload = QueryWorkload(8, seed=6)
+    base = BatchRunner(env64, workload, workers=0)
+    shared = SharedScanRunner(env64, workload, workers=0)
+    algos = {"double-nn": DoubleNN(), "hybrid-nn": HybridNN()}
+    assert shared.run(algos) == base.run(algos)
+
+
+def test_distributed_layout_uses_per_query_path(env64):
+    """Heap-backed searches (no cyclic page order) multiplex unchanged."""
+    env = TNNEnvironment.build(
+        sized_uniform(400, seed=1),
+        sized_uniform(400, seed=2),
+        params=SystemParameters(page_capacity=64),
+        distributed_levels=2,
+    )
+    queries = _random_queries(env, 8)
+    algo = HybridNN()
+    want = [algo.run(env, q, ps, pr) for q, ps, pr in queries]
+    assert execute_tnn_batch(env, algo, queries) == want
+
+
+# ----------------------------------------------------------------------
+# Mixed client batches (QueryEngine.run_many)
+# ----------------------------------------------------------------------
+def _mixed_requests(env, n, seed=9):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        p = env.random_query_point(rng)
+        channel = "s" if rng.random() < 0.5 else "r"
+        program = env.s_program if channel == "s" else env.r_program
+        phase = rng.uniform(0, program.cycle_length)
+        kind = i % 4
+        if kind == 0:
+            out.append(NNRequest(p, phase, channel))
+        elif kind == 1:
+            out.append(KNNRequest(p, 1 + i % 5, phase, channel))
+        elif kind == 2:
+            out.append(RangeRequest(p, rng.uniform(50, 2500), phase, channel))
+        else:
+            q = env.random_query_point(rng)
+            out.append(
+                WindowRequest(
+                    Rect(
+                        min(p.x, q.x), min(p.y, q.y), max(p.x, q.x), max(p.y, q.y)
+                    ),
+                    phase,
+                    channel,
+                )
+            )
+    return out
+
+
+@pytest.mark.parametrize("page_capacity", [64, 512])
+@pytest.mark.parametrize("use_kernels", [True, False])
+def test_run_many_bit_identity(page_capacity, use_kernels, env64, env512):
+    env = env64 if page_capacity == 64 else env512
+    engine = QueryEngine(env)
+    requests = _mixed_requests(env, 32)
+    with kernels.use_kernels(use_kernels):
+        got = engine.run_many(requests)
+        want = []
+        for r in requests:
+            if isinstance(r, NNRequest):
+                want.append(engine.nn(r.point, r.phase, r.channel))
+            elif isinstance(r, KNNRequest):
+                want.append(engine.knn(r.point, r.k, r.phase, r.channel))
+            elif isinstance(r, RangeRequest):
+                want.append(engine.range(r.center, r.radius, r.phase, r.channel))
+            else:
+                want.append(engine.window(r.window, r.phase, r.channel))
+    assert got == want
+
+
+def test_run_many_window_missing_root(env64):
+    """A window outside the dataset is born finished and answers empty."""
+    engine = QueryEngine(env64)
+    outside = Rect(1e9, 1e9, 1e9 + 1, 1e9 + 1)
+    answers = engine.run_many(
+        [WindowRequest(outside), NNRequest(Point(100.0, 100.0))]
+    )
+    assert answers[0].answers == ()
+    assert answers[0].tune_in == 0
+    assert answers[1] == engine.nn(Point(100.0, 100.0))
+
+
+def test_run_many_empty_batch(env64):
+    assert QueryEngine(env64).run_many([]) == []
+
+
+# ----------------------------------------------------------------------
+# Multi-query kernels: every lane bit-identical to the single-query form
+# ----------------------------------------------------------------------
+def test_multi_query_kernels_bit_identical_to_single_query():
+    import numpy as np
+
+    rng = random.Random(42)
+    k, n = 23, 5
+    Q, P, E, MB, PTS = [], [], [], [], []
+    for _ in range(k):
+        Q.append((rng.uniform(-10, 10), rng.uniform(-10, 10)))
+        P.append((rng.uniform(-10, 10), rng.uniform(-10, 10)))
+        E.append((rng.uniform(-10, 10), rng.uniform(-10, 10)))
+        rects = []
+        for _ in range(n):
+            x1, x2 = sorted((rng.uniform(-10, 10), rng.uniform(-10, 10)))
+            y1, y2 = sorted((rng.uniform(-10, 10), rng.uniform(-10, 10)))
+            if rng.random() < 0.2:
+                x2 = x1  # degenerate side
+            rects.append((x1, y1, x2, y2))
+        MB.append(rects)
+        PTS.append(
+            [(rng.uniform(-10, 10), rng.uniform(-10, 10)) for _ in range(n)]
+        )
+    # Exact-touch configurations (corner query, coincident pair).
+    Q[0] = (MB[0][0][0], MB[0][0][1])
+    P[1] = E[1]
+    Qa, Pa, Ea = np.array(Q), np.array(P), np.array(E)
+    Ma, Pt = np.array(MB), np.array(PTS)
+
+    lo_m, gu_m = kernels.point_bounds_multi(Qa, Ma)
+    md_m = kernels.mindist_multi(Qa, Ma)
+    md1_m = kernels.mindist_multi(Qa, Ma[:, 0, :])
+    tl_m, tu_m = kernels.trans_bounds_multi(Pa, Ma, Ea)
+    pd_m = kernels.point_dists_multi(Qa, Pt)
+    td_m = kernels.trans_dists_multi(Pa, Pt, Ea)
+    deflate = 1.0 - 1e-9
+    wp_m, ep_m = kernels.point_weak_bounds_multi(Qa, Ma, deflate)
+    wt_m, et_m = kernels.trans_weak_bounds_multi(Pa, Ma, Ea, deflate)
+    pr_m = kernels.point_dists_raw(Qa, Pt)
+    tr_m = kernels.trans_dists_raw(Pa, Pt, Ea)
+
+    for i in range(k):
+        q, p, e = Point(*Q[i]), Point(*P[i]), Point(*E[i])
+        lo, gu = kernels.point_bounds(q, Ma[i])
+        assert (lo == lo_m[i]).all() and (gu == gu_m[i]).all()
+        assert (kernels.mindist(q, Ma[i]) == md_m[i]).all()
+        assert md1_m[i] == kernels.mindist(q, Ma[i, 0:1])[0]
+        tl, tu = kernels.trans_bounds(p, Ma[i], e)
+        assert (tl == tl_m[i]).all() and (tu == tu_m[i]).all()
+        assert (kernels.point_dists(q, Pt[i]) == pd_m[i]).all()
+        assert (kernels.trans_dists(p, Pt[i], e) == td_m[i]).all()
+        # Certified estimate lanes: deflated weak rows strictly
+        # under-estimate the exact bounds; raw estimates sit within a
+        # few ulp of the exact values (gate-only, never stored).
+        assert (wp_m[i] <= kernels.mindist(q, Ma[i])).all()
+        assert (wt_m[i] <= tl).all()
+        assert (ep_m[i] <= gu * (1 + 1e-12)).all()
+        assert (ep_m[i] >= gu * (1 - 1e-12)).all()
+        assert (et_m[i] <= tu * (1 + 1e-12)).all()
+        assert (et_m[i] >= tu * (1 - 1e-12)).all()
+        assert (abs(pr_m[i] - pd_m[i]) <= 1e-12 * (1 + pd_m[i])).all()
+        assert (abs(tr_m[i] - td_m[i]) <= 1e-12 * (1 + td_m[i])).all()
+
+
+def test_paired_group_requires_two_members():
+    with pytest.raises(ValueError):
+        SearchGroup([_Scripted([1.0])], paired=True)
+    with pytest.raises(ValueError):
+        SearchGroup(
+            [_Scripted([1.0]), _Scripted([2.0]), _Scripted([3.0])],
+            paired=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# SearchGroup scheduling semantics
+# ----------------------------------------------------------------------
+class _Scripted:
+    """A steppable with scripted event times, recording its step count."""
+
+    def __init__(self, times):
+        self.times = list(times)
+        self.steps = 0
+
+    def finished(self):
+        return not self.times
+
+    def next_event_time(self):
+        return self.times[0] if self.times else math.inf
+
+    def step(self):
+        self.times.pop(0)
+        self.steps += 1
+
+
+def test_search_group_due_matches_run_all_order():
+    a = _Scripted([1.0, 4.0, 5.0])
+    b = _Scripted([2.0, 3.0, 5.0])
+    group = SearchGroup([a, b], paired=True)
+    order = []
+    while not group.finished():
+        s = group.due()
+        order.append("a" if s is a else "b")
+        s.step()
+        group.pending = [x for x in group.searches if not x.finished()]
+    # run_all's argmin with ties to the earlier member: 1,2,3,4,(5,5)->a,b
+    assert order == ["a", "b", "b", "a", "a", "b"]
+
+
+def test_search_group_pending_excludes_born_finished():
+    done = _Scripted([])
+    live = _Scripted([1.0])
+    group = SearchGroup([done, live])
+    assert group.pending == [live]
+    assert not group.finished()
+
+
+def test_executor_drives_unknown_steppables_generically():
+    s = _Scripted([1.0, 2.0, 3.0])
+    executor = SharedScanExecutor()
+    executor.add(SearchGroup([s]))
+    executor.run()
+    assert s.steps == 3 and s.finished()
+
+
+# ----------------------------------------------------------------------
+# Pool chunking (BatchRunner satellite fix)
+# ----------------------------------------------------------------------
+def test_pool_chunk_count_tracks_workload_and_workers():
+    assert pool_chunk_count(1000, 4) == 16  # ~n/(4*workers) per chunk
+    assert pool_chunk_count(3, 4) == 3  # never more chunks than queries
+    assert pool_chunk_count(8, 2) == 8
+    assert pool_chunk_count(100, 1) == 4
+    assert pool_chunk_count(0, 4) == 1
+    assert pool_chunk_count(5, 0) == 1
+
+
+def test_batch_runner_pool_still_bit_identical(env64):
+    workload = QueryWorkload(9, seed=12)
+    runner = BatchRunner(env64, workload)
+    assert runner.run_algorithm(DoubleNN(), workers=2) == runner.run_algorithm(
+        DoubleNN(), workers=0
+    )
+
+
+# ----------------------------------------------------------------------
+# Frontier micro-fix: _eval_pending skip-guard
+# ----------------------------------------------------------------------
+def test_eval_pending_guard_skips_fully_stamped_queues(env64):
+    from repro.broadcast import BroadcastChannel, ChannelTuner
+    from repro.client.frontier import ArrivalFrontier
+
+    tuner = ChannelTuner(BroadcastChannel(env64.s_program))
+    front = ArrivalFrontier(tuner)
+    root = env64.s_tree.root
+    nodes = list(root.children)
+    calls = []
+
+    def evaluator(mbrs):
+        calls.append(mbrs.shape[0])
+        return kernels.mindist(Point(0.0, 0.0), mbrs)
+
+    front.lower_evaluator = evaluator
+    # Push with records from an older epoch: the first pop under epoch 1
+    # batch-evaluates every stale entry, later pops reuse the stamps.
+    front.push_many(nodes, [0.0] * len(nodes), epoch=0)
+    n = len(nodes)
+    got = front.pop(epoch=1)
+    assert got[1] is not None
+    assert calls == [n]
+    for _ in range(n - 1):
+        node, lb, weak, _ = front.pop_with_arrival(1)
+        assert lb is not None and not weak
+    assert calls == [n]  # guard: no further scans, all records were valid
+
+    # A fresh stale push re-arms the scan exactly once.
+    front.push_many(nodes, [0.0] * len(nodes), epoch=0)
+    front.pop(epoch=1)
+    assert len(calls) == 2
+
+
+def test_peek_page_matches_next_pop(env64):
+    """The "next page needed" hook names exactly the page the pop serves."""
+    from repro.broadcast import BroadcastChannel, ChannelTuner
+    from repro.client.frontier import ArrivalFrontier
+
+    tuner = ChannelTuner(BroadcastChannel(env64.s_program, phase=7.0))
+    front = ArrivalFrontier(tuner)
+    nodes = list(env64.s_tree.root.children)
+    front.push_many(nodes)
+    tuner.advance_to(123.0)
+    while not front.finished():
+        page = front.peek_page()
+        node, _, _, arrival = front.pop_with_arrival()
+        assert node.page_id == page
+        assert arrival == tuner.peek_index_arrival(page)
+        tuner.advance_to(arrival + 1.0)
+    assert front.peek_page() is None
+
+
+def test_pop_until_prunes_and_respects_limit(env64):
+    from repro.broadcast import BroadcastChannel, ChannelTuner
+    from repro.client.frontier import ArrivalFrontier
+
+    tuner = ChannelTuner(BroadcastChannel(env64.s_program))
+    front = ArrivalFrontier(tuner)
+    nodes = list(env64.s_tree.root.children)
+    # Bounds above the upper bound are consumed silently; the survivor
+    # (lb <= ub) is returned with its arrival.
+    lbs = [10.0] * (len(nodes) - 1) + [1.0]
+    front.push_many(nodes, lbs, epoch=0)
+    res = front.pop_until(5.0, 0)
+    assert res is not None
+    node, lb, weak, arrival = res
+    assert lb == 1.0 and not weak
+    assert node is nodes[-1]
+    assert front.finished()  # all pruned entries were consumed
+    # With an arrival limit below every queued arrival, nothing pops.
+    front.push_many(nodes, lbs, epoch=0)
+    assert front.pop_until(5.0, 0, limit=-1.0) is None
+    assert len(front) == len(nodes)
