@@ -102,6 +102,15 @@ def test_shared_scan_speedup(benchmark, record_experiment):
             )
         except (ValueError, OSError):  # pragma: no cover - defensive
             pr3_reference = None
+    # The previous recording (the last PR's shared-scan time) is carried
+    # forward so the arena PR's before/after lives in the artifact itself.
+    previous_shared = None
+    if JSON_PATH.exists():
+        try:
+            prev = json.loads(JSON_PATH.read_text())
+            previous_shared = prev.get("shared_scan_seconds")
+        except (ValueError, OSError):  # pragma: no cover - defensive
+            previous_shared = None
 
     params = SystemParameters(page_capacity=PAGE_CAPACITY)
     payload = {
@@ -112,12 +121,14 @@ def test_shared_scan_speedup(benchmark, record_experiment):
         "page_capacity": PAGE_CAPACITY,
         "leaf_capacity": params.leaf_capacity,
         "fanout": params.internal_fanout,
+        "frontier": "columnar-arena",
         "protocol": f"interleaved best-of-{ROUNDS}, same host",
         "per_query_seconds": round(pq_s, 6),
         "shared_scan_seconds": round(shared_s, 6),
         "speedup": round(speedup, 3),
         "bit_identical": shared_res == pq_res,
         "pr3_per_query_reference_seconds": pr3_reference,
+        "previous_shared_scan_seconds": previous_shared,
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -153,6 +153,16 @@ def test_small_geometry_frontier_speedup(benchmark, record_experiment):
     scan_s = time.perf_counter() - t0
     assert _fleet_results(heap_searches) == _fleet_results(scan_searches)
 
+    # Carry the previous recording forward: the per-query reference the
+    # arena PR must not regress lives in the artifact itself.
+    previous_kernel = None
+    if JSON_PATH.exists():
+        try:
+            prev = json.loads(JSON_PATH.read_text())
+            previous_kernel = prev.get("kernel_seconds")
+        except (ValueError, OSError):  # pragma: no cover - defensive
+            previous_kernel = None
+
     params = SystemParameters(page_capacity=PAGE_CAPACITY)
     payload = {
         "benchmark": "small_geometry",
@@ -165,6 +175,7 @@ def test_small_geometry_frontier_speedup(benchmark, record_experiment):
         "protocol": f"interleaved best-of-{ROUNDS}, same host",
         "scalar_seconds": round(scalar_s, 6),
         "kernel_seconds": round(kernel_s, 6),
+        "previous_kernel_seconds": previous_kernel,
         "speedup": round(speedup, 3),
         "bit_identical": scalar_res == kernel_res,
         "scheduler_fleet": {

@@ -1,0 +1,153 @@
+"""Per-phase time breakdown of the Hybrid-TNN hot path.
+
+The shared-scan PR measured (informally) that ~75% of the 1,000-query
+Hybrid-TNN workload at 64-byte pages is per-entry python queue work.  This
+harness turns that claim into a recorded number: it runs the workload once
+uninstrumented for an honest wall-clock, then once under ``cProfile`` and
+buckets every function's *total* (self) time into four phases by module:
+
+* **queue** — the arrival frontier / columnar arena and the heap mixin
+  (`client/frontier.py`, `client/arrival_queue.py`): pushes, pops,
+  head selection, prune-run consumption;
+* **geometry** — the vectorised kernels and the scalar metrics
+  (`geometry/`): bounds, leaf distances, certified estimates;
+* **download** — broadcast arrival arithmetic and tuner accounting
+  (`broadcast/`): page arithmetic, clock moves, reception logs;
+* **bookkeeping** — everything else on the hot path (`engine/`,
+  `client/search.py` absorb logic, `core/`, scheduler, numpy glue).
+
+Shares are of the *profiled* run (cProfile inflates python-call-heavy
+phases, so they are an upper bound on the queue share and a lower bound on
+the numpy-kernel share); the uninstrumented wall-clock is recorded
+alongside.  Both the per-query and the shared-scan paths are profiled, so
+the before/after of queue-floor work is measured, not asserted.
+
+Writes ``BENCH_profile_hot_path.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import os
+import pathlib
+import pstats
+import time
+
+from repro.broadcast import SystemParameters
+from repro.core.environment import TNNEnvironment
+from repro.core.hybrid import HybridNN
+from repro.datasets import sized_uniform
+from repro.engine import QueryWorkload, SharedScanRunner
+from repro.geometry import kernels
+
+N_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", 300))
+N_POINTS = int(os.environ.get("REPRO_BENCH_POINTS", 30_000))
+PAGE_CAPACITY = int(os.environ.get("REPRO_BENCH_CAPACITY", 64))
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_profile_hot_path.json"
+
+#: Module-path fragments -> phase buckets, first match wins.
+PHASES = (
+    ("queue", ("client/frontier.py", "client/arrival_queue.py")),
+    ("geometry", ("repro/geometry/",)),
+    ("download", ("repro/broadcast/",)),
+)
+
+
+def _bucket(filename: str) -> str:
+    path = filename.replace("\\", "/")
+    for phase, fragments in PHASES:
+        for fragment in fragments:
+            if fragment in path:
+                return phase
+    return "bookkeeping"
+
+
+def _phase_breakdown(profile: cProfile.Profile) -> dict:
+    stats = pstats.Stats(profile)
+    totals: dict = {"queue": 0.0, "geometry": 0.0, "download": 0.0, "bookkeeping": 0.0}
+    for (filename, _, _), (_, _, tottime, _, _) in stats.stats.items():
+        totals[_bucket(filename)] += tottime
+    profiled_total = sum(totals.values())
+    shares = {
+        phase: (round(t / profiled_total, 4) if profiled_total else 0.0)
+        for phase, t in totals.items()
+    }
+    return {
+        "profiled_seconds": {k: round(v, 6) for k, v in totals.items()},
+        "share": shares,
+    }
+
+
+def _measure(fn) -> tuple:
+    """(wall_seconds, breakdown) of one warmed call of ``fn``."""
+    fn()  # warm caches (trees, programs, arrival tables)
+    t0 = time.perf_counter()
+    fn()
+    wall = time.perf_counter() - t0
+    profile = cProfile.Profile()
+    profile.enable()
+    fn()
+    profile.disable()
+    return wall, _phase_breakdown(profile)
+
+
+def profile_hot_path() -> dict:
+    params = SystemParameters(page_capacity=PAGE_CAPACITY)
+    env = TNNEnvironment.build(
+        sized_uniform(N_POINTS, seed=1),
+        sized_uniform(N_POINTS, seed=2),
+        params=params,
+    )
+    workload = QueryWorkload(N_QUERIES, seed=0)
+    algo = HybridNN()
+    runner = SharedScanRunner(env, workload, workers=0)
+    queries = workload.queries(env)
+
+    with kernels.use_kernels(True):
+        pq_wall, pq_phases = _measure(
+            lambda: [algo.run(env, q, ps, pr) for q, ps, pr in queries]
+        )
+        shared_wall, shared_phases = _measure(
+            lambda: runner.run_algorithm(algo)
+        )
+
+    return {
+        "benchmark": "profile_hot_path",
+        "workload": "Hybrid-NN TNN queries, per-phase time breakdown",
+        "n_queries": N_QUERIES,
+        "n_points_per_dataset": N_POINTS,
+        "page_capacity": PAGE_CAPACITY,
+        "leaf_capacity": params.leaf_capacity,
+        "fanout": params.internal_fanout,
+        "note": (
+            "shares are of the cProfile'd run (python-call-heavy phases "
+            "inflated); wall_seconds is the uninstrumented reference"
+        ),
+        "per_query": {"wall_seconds": round(pq_wall, 6), **pq_phases},
+        "shared_scan": {"wall_seconds": round(shared_wall, 6), **shared_phases},
+    }
+
+
+def test_profile_hot_path(record_experiment):
+    payload = profile_hot_path()
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    lines = [f"[profile_hot_path] {payload['workload']}"]
+    for path in ("per_query", "shared_scan"):
+        entry = payload[path]
+        share = " ".join(
+            f"{phase}={entry['share'][phase]:.0%}"
+            for phase in ("queue", "geometry", "download", "bookkeeping")
+        )
+        lines.append(f"  {path}: {entry['wall_seconds']:.3f}s wall | {share}")
+    record_experiment("profile_hot_path", "\n".join(lines))
+    # The harness is a measurement, not a gate; the only invariant is that
+    # the buckets saw the hot path at all.
+    for path in ("per_query", "shared_scan"):
+        assert sum(payload[path]["profiled_seconds"].values()) > 0.0
+
+
+if __name__ == "__main__":
+    print(json.dumps(profile_hot_path(), indent=2))

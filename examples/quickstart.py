@@ -7,6 +7,21 @@ second section serves a mixed NN / kNN / range / window batch through the
 shared-scan executor (``QueryEngine.run_many``): every client request is
 answered from one page-major pass over the broadcast cycle.
 
+Architecture note — the columnar frontier arena.  Each steppable search
+queues its R-tree candidates in an arrival frontier ordered by cyclic
+page position.  Single searches (everything in this example's first
+section) keep the frontier's python list lanes, the fastest layout at
+per-query queue sizes.  When the shared-scan executor serves a whole
+workload, the fast NN searches' frontiers are *attached* to one
+``FrontierArena``: every queued entry of every search lives in shared
+numpy lanes addressed per search by an (offset, length) segment, and
+each round's head selection, certified prune consumption and fan-out
+staging run as whole-workload array passes instead of per-entry python.
+The boxed-tuple heap remains the bit-identity oracle and engages
+automatically wherever the cyclic closed form does not hold — scalar
+mode (``REPRO_NO_KERNELS=1``), lossy tuners, and distributed index
+layouts, which have no uniform replication to exploit.
+
 Run:  python examples/quickstart.py
 """
 

@@ -71,8 +71,9 @@ class ArrivalQueueMixin:
     @property
     def max_queue_size(self) -> int:
         """Largest queue size reached — the client's memory footprint."""
-        if self._frontier is not None:
-            return self._frontier.max_size
+        f = self._frontier
+        if f is not None:
+            return f.footprint()
         return self._heap_max
 
     def _push(

@@ -46,18 +46,49 @@ uniformly replicated programs; the original heap remains in place as the
 bit-identical scalar oracle (``kernels.use_kernels(False)`` /
 ``REPRO_NO_KERNELS=1``) and as the fallback for irregular layouts
 (distributed indexing, which has no cyclic page order to exploit).
+
+**The columnar arena.**  One search's frontier holds ~(H-1)(M-1) entries —
+far too few for numpy to beat python lists on any single operation.  A
+*workload* of active searches holds tens of thousands, and the shared-scan
+executor touches every one of them every round: one head selection per
+search (the pairing ping-pong) plus one certified-prune walk per serve.
+:class:`FrontierArena` therefore hoists the queued entries of **every**
+registered search into one set of struct-of-arrays lanes — page id, slot,
+lower bound, weak flag, epoch stamp, owner search id, MBR row — addressed
+per search by an (offset, length) segment.  Round execution becomes three
+whole-workload array passes (cyclic arrival keys, head/survivor segmented
+minima, certified prune-run consumption) plus O(1) python per *search*:
+the driver pops a round's worth of certified prunes without ever touching
+them one entry at a time.  An :class:`ArrivalFrontier` attached to an
+arena (``attach`` happens at executor registration) transparently routes
+its whole API — pushes, pops, rescans, ``pop_until`` — to its segment, so
+the search code is backend-agnostic; standalone frontiers (the per-query
+path, kNN/range/window) keep the list lanes above, which profiling shows
+are the fastest single-search representation.
 """
 
 from __future__ import annotations
 
 import math
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.geometry import kernels
 from repro.rtree.node import RTreeNode
+
+#: Bit width of the entry-index field in the packed ``key << BITS | index``
+#: comparison values of the arena's segmented argmin — supports 4M queued
+#: entries per arena, far beyond any workload's live frontier total.
+_IDX_BITS = 22
+_IDX_MASK = (1 << _IDX_BITS) - 1
+#: "No entry survives" sentinel for the packed comparisons (any real packed
+#: value is far below it; its decoded key is far above any cyclic key).
+_HUGE = np.int64(1) << np.int64(62)
+#: Epoch sentinel for entries pushed without a bound record: never equal to
+#: a search's metric epoch (epochs start at 0 and only grow).
+_NO_EPOCH = -1
 
 
 class ArrivalFrontier:
@@ -71,6 +102,8 @@ class ArrivalFrontier:
         "_order_slots",
         "_nodes",
         "_bounds",
+        "_mbr_bases",
+        "_mbr_chunks",
         "_version",
         "_peek_now",
         "_peek_version",
@@ -78,6 +111,10 @@ class ArrivalFrontier:
         "_peek_head",
         "_push_ops",
         "_eval_guard",
+        "_arena",
+        "_sid",
+        "_staged_n",
+        "_staged_ver",
         "max_size",
         "lower_evaluator",
     )
@@ -87,6 +124,18 @@ class ArrivalFrontier:
         channel = tuner.channel
         self._phase = channel.phase
         self._cycle = channel.program.super_page_length
+        #: Columnar arena this frontier is attached to (``None`` when the
+        #: frontier runs standalone on its own list lanes).
+        self._arena: Optional["FrontierArena"] = None
+        self._sid = -1
+        self._staged_n = 0
+        self._staged_ver = -1
+        #: Cached child-MBR chunk per ``push_many`` (base slot -> the
+        #: parent's contiguous ``(n, 4)`` array): rescans and pending-batch
+        #: evaluations gather rows from these instead of re-packing MBR
+        #: namedtuples into fresh arrays.
+        self._mbr_bases: List[int] = []
+        self._mbr_chunks: List[np.ndarray] = []
         #: Queued page ids in ascending order plus their parallel slots.
         self._order_pages: List[int] = []
         self._order_slots: List[int] = []
@@ -121,11 +170,39 @@ class ArrivalFrontier:
     # Membership
     # ------------------------------------------------------------------
     def __len__(self) -> int:
+        arena = self._arena
+        if arena is not None:
+            staged = (
+                self._staged_n if self._staged_ver == arena._flushes else 0
+            )
+            return int(arena._live[self._sid]) + staged
         return len(self._order_pages)
 
     def finished(self) -> bool:
         """True when no candidates remain queued."""
+        arena = self._arena
+        if arena is not None:
+            return not arena._live[self._sid] and (
+                self._staged_n == 0 or self._staged_ver != arena._flushes
+            )
         return not self._order_pages
+
+    def footprint(self) -> int:
+        """Largest queue size reached (the client's memory footprint).
+
+        Attached frontiers track the peak in the arena's ``_maxsz`` lane,
+        updated by one vector maximum per flush; entries staged since the
+        last flush are covered by the current length (pushes only grow a
+        queue, so the running peak is always one of the two).
+        """
+        arena = self._arena
+        if arena is not None:
+            return max(
+                self.max_size,
+                int(arena._maxsz[self._sid]),
+                arena.len_attached(self),
+            )
+        return self.max_size
 
     def push(
         self,
@@ -142,6 +219,10 @@ class ArrivalFrontier:
         No arrival is computed — cyclic page order *is* arrival order, so
         queueing is one sorted insert plus the slot-lane writes.
         """
+        if self._arena is not None:
+            self._arena.stage(self, [node], None if lb is None else [lb],
+                              epoch, weak, None)
+            return
         nodes = self._nodes
         slot = len(nodes)
         nodes.append(node)
@@ -161,28 +242,42 @@ class ArrivalFrontier:
         lbs=None,
         epoch: int = -1,
         weak: bool = False,
+        src: Optional[RTreeNode] = None,
     ) -> None:
         """Queue a whole fan-out in one call (one version/footprint update).
 
         ``lbs`` pre-caches one lower bound per node under ``epoch`` —
-        either the fused whole-fan-out kernel results or the certified
-        cheap estimates of the small-fan-out path.  ``nodes`` must be in
-        ascending ``page_id`` order (an R-tree node's children always are:
-        DFS preorder).
+        either the fused whole-fan-out kernel results (a float64 row) or
+        the certified cheap estimates of the small-fan-out path (a list).
+        ``nodes`` must be in ascending ``page_id`` order (an R-tree node's
+        children always are: DFS preorder).  ``src``, when given, is the
+        parent node whose **complete** fan-out is being queued: its cached
+        child page/MBR arrays replace the per-child repacking both here
+        and in later rescans.
         """
-        if not nodes:
+        if not len(nodes):
+            return
+        if self._arena is not None:
+            self._arena.stage(self, nodes, lbs, epoch, weak, src)
             return
         order_pages = self._order_pages
         order_slots = self._order_slots
         slot_nodes = self._nodes
         slot_bounds = self._bounds
         base_slot = len(slot_nodes)
-        pages = [node.page_id for node in nodes]
+        if src is not None:
+            pages = src.child_page_list()
+            self._mbr_bases.append(base_slot)
+            self._mbr_chunks.append(src.child_mbr_array())
+        else:
+            pages = [node.page_id for node in nodes]
         slots = range(base_slot, base_slot + len(pages))
         slot_nodes.extend(nodes)
         if lbs is None:
             slot_bounds.extend([None] * len(pages))
         else:
+            if isinstance(lbs, np.ndarray):
+                lbs = lbs.tolist()  # plain floats: cheaper pop-time compares
             slot_bounds.extend([(epoch, lb, weak) for lb in lbs])
         # An expanded node's children occupy one gap of the sorted order:
         # their DFS-preorder ids ascend, and every page id strictly between
@@ -223,6 +318,8 @@ class ArrivalFrontier:
         head's order index is cached alongside, so the pop that usually
         follows a peek at the same state skips its bisect entirely.
         """
+        if self._arena is not None:
+            return self._arena.peek_arrival_attached(self)
         if not self._order_pages:
             return math.inf
         now = self._tuner.now
@@ -250,6 +347,8 @@ class ArrivalFrontier:
         that want one page at a time, property-tested against
         :meth:`pop_with_arrival`.)
         """
+        if self._arena is not None:
+            return self._arena.peek_page_attached(self)
         if not self._order_pages:
             return None
         if (
@@ -275,6 +374,9 @@ class ArrivalFrontier:
         ``weak`` is True when the bound is a certified under-estimate (it
         can prove a prune, never a keep).
         """
+        if self._arena is not None:
+            node, lb, weak, _ = self._arena.pop_attached(self, epoch)
+            return node, lb, weak
         if not self._order_pages:
             raise RuntimeError("step() on a finished search")
         if (
@@ -316,6 +418,8 @@ class ArrivalFrontier:
         arithmetic for whole runs of pops; this method is the reference
         one-pop form, property-tested against them.)
         """
+        if self._arena is not None:
+            return self._arena.pop_attached(self, epoch)
         if not self._order_pages:
             raise RuntimeError("step() on a finished search")
         now = self._tuner.now
@@ -369,6 +473,10 @@ class ArrivalFrontier:
         never move the channel clock, so the cyclic-order base is computed
         once for the whole run.
         """
+        if self._arena is not None:
+            return self._arena.pop_until_attached(
+                self, upper_bound, epoch, limit, strict
+            )
         order_pages = self._order_pages
         if not order_pages:
             return None
@@ -431,21 +539,41 @@ class ArrivalFrontier:
             # lanes up), and the guard spares future scans.
             self._eval_guard = (epoch, self._push_ops)
             return None
-        nodes = [self._nodes[slot] for slot in stale]
-        nodes.append(popped)
         assert self.lower_evaluator is not None
-        mbrs = kernels.as_mbr_array([n.mbr for n in nodes])
+        mbrs = np.empty((len(stale) + 1, 4), dtype=np.float64)
+        for k, slot in enumerate(stale):
+            mbrs[k] = self._mbr_row(slot, self._nodes[slot])
+        mbrs[-1] = self._mbr_row(None, popped)
         values = self.lower_evaluator(mbrs)
         for slot, value in zip(stale, values.tolist()):
             self._bounds[slot] = (epoch, value, False)
         self._eval_guard = (epoch, self._push_ops)
         return float(values[-1])
 
+    def _mbr_row(self, slot: Optional[int], node: RTreeNode):
+        """One entry's MBR row, served from the cached parent chunk.
+
+        ``push_many`` records (base slot, parent child-MBR array) chunk
+        references, so a slot pushed as part of a complete fan-out reads
+        its row straight out of the pack-time cache; slots pushed loose
+        (the root, hand-built tests) fall back to the node's own MBR.
+        """
+        if slot is not None and self._mbr_bases:
+            c = bisect_right(self._mbr_bases, slot) - 1
+            if c >= 0:
+                base = self._mbr_bases[c]
+                chunk = self._mbr_chunks[c]
+                if slot - base < chunk.shape[0]:
+                    return chunk[slot - base]
+        return np.asarray(node.mbr, dtype=np.float64)
+
     # ------------------------------------------------------------------
     # Whole-queue access (Hybrid-NN's initial upper-bound rescan)
     # ------------------------------------------------------------------
     def active_nodes(self) -> List[RTreeNode]:
         """The queued nodes, in cyclic page order."""
+        if self._arena is not None:
+            return self._arena.active_nodes_attached(self)
         nodes = []
         for slot in self._order_slots:
             node = self._nodes[slot]
@@ -453,8 +581,25 @@ class ArrivalFrontier:
             nodes.append(node)
         return nodes
 
+    def active_mbrs(self) -> np.ndarray:
+        """The queued nodes' MBR rows, aligned with :meth:`active_nodes`.
+
+        Rows come from the cached pack-time child-MBR arrays (or the arena
+        MBR lane) — no repacking of MBR namedtuples per rescan.
+        """
+        if self._arena is not None:
+            return self._arena.active_mbrs_attached(self)
+        slots = self._order_slots
+        rows = np.empty((len(slots), 4), dtype=np.float64)
+        for k, slot in enumerate(slots):
+            rows[k] = self._mbr_row(slot, self._nodes[slot])
+        return rows
+
     def store_lower(self, rows, values: np.ndarray, epoch: int) -> None:
         """Cache exact lower bounds for the given :meth:`active_nodes` rows."""
+        if self._arena is not None:
+            self._arena.store_lower_attached(self, rows, values, epoch)
+            return
         vals = values.tolist()
         for k, row in enumerate(rows):
             self._bounds[self._order_slots[row]] = (epoch, vals[k], False)
@@ -462,3 +607,737 @@ class ArrivalFrontier:
             # A whole-queue rescan leaves every record stamped: pop-misses
             # under this epoch need no stale scan until the next push.
             self._eval_guard = (epoch, self._push_ops)
+
+
+# ----------------------------------------------------------------------
+# The shared columnar frontier arena
+# ----------------------------------------------------------------------
+class FrontierArena:
+    """Struct-of-arrays store for the frontiers of many active searches.
+
+    One arena serves one :class:`~repro.engine.shared_scan
+    .SharedScanExecutor` run.  Queued entries of every registered search
+    live in shared numpy lanes — page id, slot (into the owner frontier's
+    node list), lower bound, weak flag, epoch stamp, owner search id and
+    MBR row — grouped per search into one contiguous ``(offset, length)``
+    segment.  The executor's round then runs as whole-workload array
+    passes:
+
+    * :meth:`begin_round` — cyclic arrival keys for every entry plus one
+      segmented minimum: the head arrival of **every** search at once (the
+      pairing ping-pong's ``t0``/``t1`` reads, previously one python peek
+      per search per round);
+    * :meth:`serve` — one certified prune mask over all queued entries
+      (``stamped and lb > upper_bound`` under each owner's metric epoch)
+      and one segmented minimum over the non-prunable entries: each served
+      search's certified-prunable *run* is consumed as a mask write and
+      its survivor comes back as O(1) scalars.  This is
+      :meth:`ArrivalFrontier.pop_until` for the whole workload in a
+      handful of numpy dispatches.
+
+    Mutation is deferred and batched: pops tombstone entries (``dead``
+    lane), pushes stage per-fan-out runs referencing the pack-time child
+    arrays, and :meth:`flush` merges both into fresh compact lanes once
+    per round with vectorised scatters.  Registration is append-only: a
+    finished search keeps its (empty) segment and its slot in the
+    per-search lanes until the arena is dropped, so the per-round passes
+    scale with searches *ever registered* — the right trade for one
+    executor run over one workload (the intended lifetime); a very
+    long-lived arena over many generations of searches would want a
+    retire-and-compact step here.  Between flushes, attached
+    :class:`ArrivalFrontier` methods (the rare paths: re-steer rescans,
+    scalar ``pop_until`` continuations after a failed certified keep,
+    defensive pops) operate on the lanes directly, so every frontier
+    behaviour is available in attached form, bit-identical to the
+    standalone list lanes.
+    """
+
+    def __init__(self) -> None:
+        self._searches: List[object] = []
+        # Per-search state lanes (grown amortised; index = search id).
+        cap = 64
+        self._now = np.zeros(cap, dtype=np.float64)
+        self._phase = np.zeros(cap, dtype=np.float64)
+        self._cycle = np.ones(cap, dtype=np.int64)
+        self._ub = np.full(cap, math.inf, dtype=np.float64)
+        self._epoch = np.zeros(cap, dtype=np.int64)
+        #: Mirror of each search's ``_witness_page`` (-1 when a concrete
+        #: point, not a node guarantee, witnesses the upper bound) — lets
+        #: the executor vectorise the witness hand-off tests of a whole
+        #: absorb lane.
+        self._wit = np.full(cap, -1, dtype=np.int64)
+        self._qx = np.full(cap, math.nan, dtype=np.float64)
+        self._qy = np.full(cap, math.nan, dtype=np.float64)
+        self._sx = np.full(cap, math.nan, dtype=np.float64)
+        self._sy = np.full(cap, math.nan, dtype=np.float64)
+        self._ex = np.full(cap, math.nan, dtype=np.float64)
+        self._ey = np.full(cap, math.nan, dtype=np.float64)
+        self._live = np.zeros(cap, dtype=np.int64)
+        #: Mirror of each attached frontier's ``max_size`` footprint,
+        #: updated by one masked vector maximum per flush.
+        self._maxsz = np.zeros(cap, dtype=np.int64)
+        #: Flush generation — staged counters on frontiers are valid only
+        #: when stamped with the current generation, which lets the flush
+        #: skip a per-frontier reset loop entirely.
+        self._flushes = 0
+        # Entry lanes (compact, owner-grouped; rebuilt by flush()).
+        self._m = 0
+        self._e_page = np.empty(0, dtype=np.int64)
+        self._e_slot = np.empty(0, dtype=np.int64)
+        self._e_lb = np.empty(0, dtype=np.float64)
+        self._e_weak = np.empty(0, dtype=bool)
+        self._e_epoch = np.empty(0, dtype=np.int64)
+        self._e_owner = np.empty(0, dtype=np.int64)
+        self._dead = np.empty(0, dtype=bool)
+        self._n_dead = 0
+        self._seg_start = np.zeros(1, dtype=np.int64)
+        # Staged fan-out runs: (frontier, count, pages, base_slot,
+        # lbs-or-None, epoch, weak) — plus whole absorb lanes
+        # staged in one call each: (frontiers, n, pages, bases, lbs,
+        # epochs, weak).
+        self._staged: List[tuple] = []
+        self._staged_lanes: List[tuple] = []
+        self._dirty_adds = False
+        # Mutation counter: invalidates the per-search sorted-order cache.
+        self._ver = 0
+        self._order_cache: Tuple[int, int, Optional[np.ndarray]] = (-1, -1, None)
+        # Round state cached by begin_round() for the serve() that follows.
+        self._r_key: Optional[np.ndarray] = None
+        self._r_comp: Optional[np.ndarray] = None
+        self._r_base: Optional[np.ndarray] = None
+        self._r_occ: Optional[np.ndarray] = None
+        self._r_offsets: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Registration and state sync
+    # ------------------------------------------------------------------
+    def register(self, search) -> int:
+        """Attach one NN search's frontier to the arena; returns its id.
+
+        Any entries already queued standalone (normally just the tree
+        root) are imported as staged runs; the frontier's node slot list
+        stays where it is and keeps its numbering.
+        """
+        f = search._frontier
+        sid = len(self._searches)
+        self._searches.append(search)
+        if sid >= self._now.shape[0]:
+            self._grow_searches()
+        self._now[sid] = search.tuner.now
+        self._phase[sid] = f._phase
+        self._cycle[sid] = f._cycle
+        self._live[sid] = 0
+        self._maxsz[sid] = f.max_size
+        search._arena_sid = sid
+        # Import the standalone entries before flipping the backend.
+        order_pages = f._order_pages
+        order_slots = f._order_slots
+        f._arena = self
+        f._sid = sid
+        for page, slot in zip(order_pages, order_slots):
+            rec = f._bounds[slot]
+            if rec is None:
+                lbs, epoch, weak = None, _NO_EPOCH, False
+            else:
+                lbs, epoch, weak = (
+                    np.array([rec[1]], dtype=np.float64), rec[0], rec[2]
+                )
+            self._staged.append(
+                (f, 1, np.array([page], dtype=np.int64), slot, lbs,
+                 epoch, weak)
+            )
+            self._bump_staged(f, 1)
+        f._order_pages = None  # the arena segment is the queue now
+        f._order_slots = None
+        self.sync(search)
+        self._dirty_adds = True
+        self._ver += 1
+        return sid
+
+    def _grow_searches(self) -> None:
+        for name in ("_now", "_phase", "_cycle", "_ub", "_epoch", "_wit",
+                     "_qx", "_qy", "_sx", "_sy", "_ex", "_ey", "_live",
+                     "_maxsz"):
+            old = getattr(self, name)
+            new = np.empty(old.shape[0] * 2, dtype=old.dtype)
+            new[: old.shape[0]] = old
+            setattr(self, name, new)
+
+    def sync(self, search) -> None:
+        """Mirror one search's mutable serve state into the arena lanes.
+
+        Called after every absorb (``upper_bound`` moves) and after every
+        ``on_finish`` re-steer (metric epoch / query points move).  The
+        vectorised round reads exclusively from these lanes.
+        """
+        sid = search._arena_sid
+        self._ub[sid] = search.upper_bound
+        self._epoch[sid] = search._metric_epoch
+        wp = search._witness_page
+        self._wit[sid] = -1 if wp is None else wp
+        q = search.query
+        if q is not None:
+            self._qx[sid] = q.x
+            self._qy[sid] = q.y
+        start = search.start
+        if start is not None:
+            end = search.end
+            self._sx[sid] = start.x
+            self._sy[sid] = start.y
+            self._ex[sid] = end.x
+            self._ey[sid] = end.y
+
+    def queries_of(self, sids: List[int]) -> np.ndarray:
+        """``(k, 2)`` query-point block for a point-metric kernel lane."""
+        idx = np.asarray(sids, dtype=np.int64)
+        return np.column_stack((self._qx[idx], self._qy[idx]))
+
+    def transitive_of(self, sids: List[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """``(starts, ends)`` blocks for a transitive kernel lane."""
+        idx = np.asarray(sids, dtype=np.int64)
+        return (
+            np.column_stack((self._sx[idx], self._sy[idx])),
+            np.column_stack((self._ex[idx], self._ey[idx])),
+        )
+
+    # ------------------------------------------------------------------
+    # Staging and flushing
+    # ------------------------------------------------------------------
+    def stage(self, f: ArrivalFrontier, nodes, lbs, epoch, weak, src) -> None:
+        """Queue one fan-out run; merged into the lanes at the next flush.
+
+        O(1) python per *run*: cached child page/MBR views are staged by
+        reference, the bound row rides along as the kernel result array,
+        and even the ``max_size`` footprint accounting is deferred to the
+        flush (pushes only grow a queue, so the post-flush size dominates
+        every intermediate one).
+        """
+        n = len(nodes)
+        base = len(f._nodes)
+        f._nodes.extend(nodes)
+        if src is not None:
+            pages = src.child_page_array()
+            f._mbr_bases.append(base)
+            f._mbr_chunks.append(src.child_mbr_array())
+        else:
+            pages = np.array([nd.page_id for nd in nodes], dtype=np.int64)
+        if lbs is None:
+            run = (f, n, pages, base, None, _NO_EPOCH, False)
+        else:
+            run = (f, n, pages, base,
+                   lbs if isinstance(lbs, np.ndarray)
+                   else np.asarray(lbs, dtype=np.float64),
+                   epoch, weak)
+        self._staged.append(run)
+        self._bump_staged(f, n)
+
+    def stage_lane(self, searches, nodes, n: int, lbs: np.ndarray,
+                   weak: bool) -> None:
+        """Stage one absorb lane's fan-outs in a single call.
+
+        ``k`` searches each queue the ``n`` children of their expanded
+        node, with bounds from the lane's ``(k, n)`` kernel block and each
+        owner's current metric epoch.  One slim python pass over the lane
+        replaces ``k`` separate ``push_many`` calls; the flush expands the
+        lane into per-search runs with pure array arithmetic.
+        """
+        bases = []
+        fs = []
+        epochs = []
+        flushes = self._flushes
+        for s, node in zip(searches, nodes):
+            f = s._frontier
+            fs.append(f)
+            nl = f._nodes
+            base = len(nl)
+            bases.append(base)
+            nl.extend(node.children)
+            f._mbr_bases.append(base)
+            f._mbr_chunks.append(node.child_mbr_array())
+            if f._staged_ver == flushes:
+                f._staged_n += n
+            else:
+                f._staged_ver = flushes
+                f._staged_n = n
+            epochs.append(s._metric_epoch)
+        pages = np.concatenate([node.child_page_array() for node in nodes])
+        self._staged_lanes.append(
+            (fs, n, pages, np.array(bases, dtype=np.int64), lbs.ravel(),
+             np.array(epochs, dtype=np.int64), weak)
+        )
+
+    def _bump_staged(self, f: ArrivalFrontier, n: int) -> None:
+        if f._staged_ver == self._flushes:
+            f._staged_n += n
+        else:
+            f._staged_ver = self._flushes
+            f._staged_n = n
+
+    def len_attached(self, f: ArrivalFrontier) -> int:
+        staged = f._staged_n if f._staged_ver == self._flushes else 0
+        return int(self._live[f._sid]) + staged
+
+    def _fresh(self, f: ArrivalFrontier) -> None:
+        """Flush when ``f`` has staged entries or unmerged registrations."""
+        if self._dirty_adds or (
+            f._staged_n and f._staged_ver == self._flushes
+        ):
+            self.flush()
+
+    def flush(self) -> None:
+        """Merge staged runs and drop tombstoned entries — compact lanes.
+
+        One vectorised rebuild per executor round: surviving entries keep
+        their per-owner order, each owner's staged run lands at its
+        segment tail, and every lane is scattered in one fancy-index write
+        (python cost is O(1) per *staged run*, not per entry).
+        """
+        staged = self._staged
+        lanes = self._staged_lanes
+        if (not staged and not lanes and self._n_dead == 0
+                and not self._dirty_adds):
+            return
+        S = len(self._searches)
+        n = self._m
+        owner_old = self._e_owner[:n]
+        alive_idx = np.flatnonzero(~self._dead[:n])
+        counts_live = np.bincount(owner_old[alive_idx], minlength=S)
+        counts_new = counts_live
+        have_staged = bool(staged or lanes)
+        if have_staged:
+            # Normalise single runs and staged lanes into one run-level
+            # view: per-run owner/count/base/epoch/weak arrays plus the
+            # flat page and bound data in the same run order.
+            sid_parts: List[np.ndarray] = []
+            count_parts: List[np.ndarray] = []
+            base_parts: List[np.ndarray] = []
+            epoch_parts: List[np.ndarray] = []
+            weak_parts: List[np.ndarray] = []
+            page_parts: List[np.ndarray] = []
+            lb_parts: List[np.ndarray] = []
+            if staged:
+                fs, ns, pages_l, bases, lbs_l, epochs, weaks = map(
+                    list, zip(*staged)
+                )
+                k1 = len(fs)
+                sid_parts.append(np.fromiter(
+                    (ft._sid for ft in fs), dtype=np.int64, count=k1
+                ))
+                count_parts.append(np.array(ns, dtype=np.int64))
+                base_parts.append(np.array(bases, dtype=np.int64))
+                epoch_parts.append(np.array(epochs, dtype=np.int64))
+                weak_parts.append(np.array(weaks, dtype=bool))
+                page_parts.extend(pages_l)
+                lb_parts.extend(
+                    v if v is not None else np.full(c, math.nan)
+                    for v, c in zip(lbs_l, ns)
+                )
+            for lfs, ln, lpages, lbases, llbs, lepochs, lweak in lanes:
+                k = len(lfs)
+                sid_parts.append(np.fromiter(
+                    (ft._sid for ft in lfs), dtype=np.int64, count=k
+                ))
+                count_parts.append(np.full(k, ln, dtype=np.int64))
+                base_parts.append(lbases)
+                epoch_parts.append(lepochs)
+                weak_parts.append(np.full(k, lweak, dtype=bool))
+                page_parts.append(lpages)
+                lb_parts.append(llbs)
+            st_sids = (sid_parts[0] if len(sid_parts) == 1
+                       else np.concatenate(sid_parts))
+            st_counts = (count_parts[0] if len(count_parts) == 1
+                         else np.concatenate(count_parts))
+            st_bases = (base_parts[0] if len(base_parts) == 1
+                        else np.concatenate(base_parts))
+            st_epochs = (epoch_parts[0] if len(epoch_parts) == 1
+                         else np.concatenate(epoch_parts))
+            st_weaks = (weak_parts[0] if len(weak_parts) == 1
+                        else np.concatenate(weak_parts))
+            counts_new = counts_live + np.bincount(
+                st_sids, weights=st_counts, minlength=S
+            ).astype(np.int64)
+        seg = np.empty(S + 1, dtype=np.int64)
+        seg[0] = 0
+        np.cumsum(counts_new, out=seg[1:])
+        m = int(seg[-1])
+        if m >= (1 << _IDX_BITS):  # would corrupt the packed-key argmins
+            raise RuntimeError(
+                f"arena overflow: {m} queued entries exceed the "
+                f"{1 << _IDX_BITS}-entry packed-index capacity"
+            )
+        e_page = np.empty(m, dtype=np.int64)
+        e_slot = np.empty(m, dtype=np.int64)
+        e_lb = np.empty(m, dtype=np.float64)
+        e_weak = np.empty(m, dtype=bool)
+        e_epoch = np.empty(m, dtype=np.int64)
+        if alive_idx.size:
+            oa = owner_old[alive_idx]
+            cb = np.empty(S, dtype=np.int64)
+            cb[0] = 0
+            np.cumsum(counts_live[:-1], out=cb[1:])
+            dest = seg[:-1][oa] + (np.arange(alive_idx.size) - cb[oa])
+            e_page[dest] = self._e_page[alive_idx]
+            e_slot[dest] = self._e_slot[alive_idx]
+            e_lb[dest] = self._e_lb[alive_idx]
+            e_weak[dest] = self._e_weak[alive_idx]
+            e_epoch[dest] = self._e_epoch[alive_idx]
+        if have_staged:
+            total = int(st_counts.sum())
+            run_off = np.empty(st_counts.shape[0], dtype=np.int64)
+            run_off[0] = 0
+            np.cumsum(st_counts[:-1], out=run_off[1:])
+            intra = np.arange(total) - np.repeat(run_off, st_counts)
+            if np.unique(st_sids).shape[0] == st_sids.shape[0]:
+                # One staged run per owner (every executor round): each
+                # run lands at its segment tail in one vector expression.
+                dest = np.repeat(
+                    seg[:-1][st_sids] + counts_live[st_sids], st_counts
+                ) + intra
+            else:
+                # Multiple runs per owner (imports of a pre-stepped
+                # search, externally driven frontiers): place each run
+                # after the owner's previously placed ones.
+                dest = np.empty(total, dtype=np.int64)
+                fill: dict = {}
+                pos = 0
+                for sid, cnt in zip(st_sids.tolist(), st_counts.tolist()):
+                    off = fill.get(sid, 0)
+                    fill[sid] = off + cnt
+                    d0 = int(seg[sid]) + int(counts_live[sid]) + off
+                    dest[pos:pos + cnt] = np.arange(d0, d0 + cnt)
+                    pos += cnt
+            e_page[dest] = (
+                page_parts[0] if len(page_parts) == 1
+                else np.concatenate(page_parts)
+            )
+            e_slot[dest] = np.repeat(st_bases, st_counts) + intra
+            e_lb[dest] = (
+                lb_parts[0] if len(lb_parts) == 1
+                else np.concatenate(lb_parts)
+            )
+            e_epoch[dest] = np.repeat(st_epochs, st_counts)
+            e_weak[dest] = np.repeat(st_weaks, st_counts)
+            # Footprint accounting, deferred from stage(): pushes only
+            # grow a queue, so each frontier's largest size this flush
+            # window is its post-flush size (counts_new) — one vector
+            # maximum over every owner covers multiple staged runs per
+            # frontier too.  (Import runs were already counted standalone;
+            # their post-import size never exceeds that standalone peak,
+            # so folding them in here cannot overcount.)
+            self._maxsz[:S] = np.maximum(self._maxsz[:S], counts_new)
+        self._e_page, self._e_slot = e_page, e_slot
+        self._e_lb, self._e_weak, self._e_epoch = e_lb, e_weak, e_epoch
+        self._e_owner = np.repeat(np.arange(S, dtype=np.int64), counts_new)
+        self._m = m
+        self._dead = np.zeros(m, dtype=bool)
+        self._n_dead = 0
+        self._live[:S] = counts_new
+        self._seg_start = seg
+        self._staged = []
+        self._staged_lanes = []
+        self._flushes += 1
+        self._dirty_adds = False
+        self._ver += 1
+
+    # ------------------------------------------------------------------
+    # The vectorised round: heads and batched pop_until
+    # ------------------------------------------------------------------
+    def begin_round(self) -> np.ndarray:
+        """Head arrival of every registered search (inf when empty).
+
+        One pass over all queued entries: cyclic arrival keys from the
+        closed form (``base + (page - base) % L + phase``), then a
+        segmented minimum per search.  The keys are cached for the
+        :meth:`serve` call of the same round.
+        """
+        S = len(self._searches)
+        n = self._m
+        owner = self._e_owner
+        base = np.ceil(self._now[:S] - self._phase[:S]).astype(np.int64)
+        startk = base % self._cycle[:S]
+        key = (self._e_page - startk[owner]) % self._cycle[owner]
+        # Tie-break equal pages toward the newest entry (the standalone
+        # frontier's sorted insert places newer equal pages first); lane
+        # order is chronological per owner, so the reversed index wins.
+        comp = (key << _IDX_BITS) | (
+            _IDX_MASK - np.arange(n, dtype=np.int64)
+        )
+        if self._n_dead:
+            comp = np.where(self._dead, _HUGE, comp)
+        occ = self._live[:S] > 0
+        offsets = self._seg_start[:-1][occ]
+        heads = np.full(S, math.inf, dtype=np.float64)
+        if offsets.size:
+            head_comp = np.minimum.reduceat(comp, offsets)
+            heads[occ] = (
+                base[occ] + (head_comp >> _IDX_BITS)
+            ).astype(np.float64) + self._phase[:S][occ]
+        self._r_key = key
+        self._r_comp = comp
+        self._r_base = base
+        self._r_occ = occ
+        self._r_offsets = offsets
+        return heads
+
+    def serve(
+        self,
+        due: np.ndarray,
+        limits: np.ndarray,
+        stricts: np.ndarray,
+    ) -> dict:
+        """Batched ``pop_until`` for every due search of this round.
+
+        Consumes each due search's certified-prunable run (entries whose
+        epoch-stamped bound proves a prune, up to the first survivor and
+        within the pairing limit) with one mask write, and returns the
+        survivors as parallel python lists: entry index, arrival, slot,
+        bound, weak/stamped flags, plus the post-consumption live count.
+        The caller finishes each serve in O(1): verify the survivor's keep
+        (rare scalar work), download, and group it into the round's
+        absorb lanes.  Must follow :meth:`begin_round` in the same round.
+        """
+        S = len(self._searches)
+        owner = self._e_owner
+        key = self._r_key
+        comp = self._r_comp
+        base = self._r_base
+        limit_by = np.full(S, -math.inf, dtype=np.float64)
+        limit_by[due] = limits
+        strict_by = np.zeros(S, dtype=bool)
+        strict_by[due] = stricts
+        stamped = self._e_epoch == self._epoch[owner]
+        prunable = stamped & (self._e_lb > self._ub[owner])
+        npc = np.where(prunable, _HUGE, comp)
+        sur_comp_by = np.full(S, _HUGE, dtype=np.int64)
+        if self._r_offsets.size:
+            sur_comp_by[self._r_occ] = np.minimum.reduceat(
+                npc, self._r_offsets
+            )
+        arrival = (base[owner] + key).astype(np.float64) + self._phase[owner]
+        lim_e = limit_by[owner]
+        allowed = (arrival < lim_e) | (
+            (arrival == lim_e) & ~strict_by[owner]
+        )
+        consumed = prunable & allowed & (
+            key < (sur_comp_by >> _IDX_BITS)[owner]
+        )
+        cidx = np.flatnonzero(consumed)
+        if cidx.size:
+            self._dead[cidx] = True
+            self._n_dead += cidx.size
+            self._live[:S] -= np.bincount(owner[cidx], minlength=S)
+            self._ver += 1
+        sur_comp = sur_comp_by[due]
+        has = sur_comp < _HUGE
+        sidx = _IDX_MASK - (sur_comp & _IDX_MASK)
+        sarr = (
+            base[due] + (sur_comp >> _IDX_BITS)
+        ).astype(np.float64) + self._phase[due]
+        ok = has & ((sarr < limits) | ((sarr == limits) & ~stricts))
+        # Actionable survivors are consumed (and their owners' clocks
+        # advanced to arrival + 1) right here, in three vector writes —
+        # the caller's python loop only performs the download bookkeeping.
+        # The rare scalar fallbacks (failed certified keep, stale bounds)
+        # re-sync the owner's clock from its tuner.
+        kidx = sidx[ok]
+        if kidx.size:
+            kdue = due[ok]
+            self._dead[kidx] = True
+            self._n_dead += kidx.size
+            self._live[:S] -= np.bincount(kdue, minlength=S)
+            self._now[kdue] = sarr[ok] + 1.0
+            self._ver += 1
+        gidx = np.where(has, sidx, 0)
+        return {
+            "act": ok.tolist(),
+            "has": has.tolist(),
+            "idx": sidx.tolist(),
+            "arrival": sarr.tolist(),
+            "slot": self._e_slot[gidx].tolist(),
+            "lb": self._e_lb[gidx].tolist(),
+            "weak": self._e_weak[gidx].tolist(),
+            "stamped": stamped[gidx].tolist(),
+            "live": self._live[due].tolist(),
+        }
+
+    def kill(self, sid: int, idx: int) -> None:
+        """Tombstone one entry (a consumed survivor)."""
+        self._dead[idx] = True
+        self._n_dead += 1
+        self._live[sid] -= 1
+        self._ver += 1
+
+    # ------------------------------------------------------------------
+    # Attached-frontier operations (rare paths, full pop semantics)
+    # ------------------------------------------------------------------
+    def _alive_of(self, sid: int) -> np.ndarray:
+        s0 = int(self._seg_start[sid])
+        s1 = int(self._seg_start[sid + 1])
+        if self._n_dead:
+            return s0 + np.flatnonzero(~self._dead[s0:s1])
+        return np.arange(s0, s1)
+
+    def _keys_of(self, f: ArrivalFrontier, idxs: np.ndarray) -> np.ndarray:
+        base = math.ceil(f._tuner.now - f._phase)
+        return (self._e_page[idxs] - base % f._cycle) % f._cycle
+
+    def peek_arrival_attached(self, f: ArrivalFrontier) -> float:
+        self._fresh(f)
+        idxs = self._alive_of(f._sid)
+        if not idxs.size:
+            return math.inf
+        base = math.ceil(f._tuner.now - f._phase)
+        key = int(self._keys_of(f, idxs).min())
+        return base + key + f._phase
+
+    def peek_page_attached(self, f: ArrivalFrontier) -> Optional[int]:
+        self._fresh(f)
+        idxs = self._alive_of(f._sid)
+        if not idxs.size:
+            return None
+        keys = self._keys_of(f, idxs)
+        comp = (keys << _IDX_BITS) | (_IDX_MASK - idxs)
+        return int(self._e_page[idxs[int(np.argmin(comp))]])
+
+    def pop_attached(
+        self, f: ArrivalFrontier, epoch: int
+    ) -> Tuple[RTreeNode, Optional[float], bool, float]:
+        """Attached :meth:`ArrivalFrontier.pop_with_arrival` semantics."""
+        self._fresh(f)
+        sid = f._sid
+        idxs = self._alive_of(sid)
+        if not idxs.size:
+            raise RuntimeError("step() on a finished search")
+        base = math.ceil(f._tuner.now - f._phase)
+        keys = self._keys_of(f, idxs)
+        comp = (keys << _IDX_BITS) | (_IDX_MASK - idxs)
+        t = int(np.argmin(comp))
+        e = int(idxs[t])
+        arrival = base + int(keys[t]) + f._phase
+        self.kill(sid, e)
+        node = f._nodes[int(self._e_slot[e])]
+        lb: Optional[float] = None
+        weak = False
+        if int(self._e_epoch[e]) == epoch:
+            lb = float(self._e_lb[e])
+            weak = bool(self._e_weak[e])
+        elif f.lower_evaluator is not None:
+            lb = self._eval_stale_attached(f, e, epoch)
+        return node, lb, weak, arrival
+
+    def pop_until_attached(
+        self,
+        f: ArrivalFrontier,
+        upper_bound: float,
+        epoch: int,
+        limit: float = math.inf,
+        strict: bool = False,
+    ) -> Optional[Tuple[RTreeNode, Optional[float], bool, float]]:
+        """Attached :meth:`ArrivalFrontier.pop_until` semantics.
+
+        The scalar reference walk over one segment — used by the
+        executor's continuation after a failed certified keep (the
+        vectorised :meth:`serve` already consumed up to that survivor)
+        and by any external driver of an attached search.
+        """
+        self._fresh(f)
+        sid = f._sid
+        idxs = self._alive_of(sid)
+        if not idxs.size:
+            return None
+        base = math.ceil(f._tuner.now - f._phase)
+        keys = self._keys_of(f, idxs)
+        order = np.argsort((keys << _IDX_BITS) | (_IDX_MASK - idxs))
+        for t in order.tolist():
+            e = int(idxs[t])
+            arrival = base + int(keys[t]) + f._phase
+            if arrival > limit or (strict and arrival == limit):
+                return None
+            self.kill(sid, e)
+            if int(self._e_epoch[e]) == epoch:
+                lb = float(self._e_lb[e])
+                if lb > upper_bound:
+                    continue  # certified prune (weak or exact)
+                return (
+                    f._nodes[int(self._e_slot[e])], lb,
+                    bool(self._e_weak[e]), arrival,
+                )
+            node = f._nodes[int(self._e_slot[e])]
+            if f.lower_evaluator is not None:
+                lb = self._eval_stale_attached(f, e, epoch)
+                if lb is not None:
+                    if lb > upper_bound:
+                        continue
+                    return node, lb, False, arrival
+            return node, None, False, arrival
+        return None
+
+    def _eval_stale_attached(
+        self, f: ArrivalFrontier, popped_idx: int, epoch: int
+    ) -> Optional[float]:
+        """Attached ``_eval_pending``: batch-evaluate the stale entries."""
+        idxs = self._alive_of(f._sid)
+        stale = idxs[self._e_epoch[idxs] != epoch]
+        if not stale.size:
+            return None
+        nodes = f._nodes
+        slots = self._e_slot[stale].tolist()
+        slots.append(int(self._e_slot[popped_idx]))
+        rows = np.empty((len(slots), 4), dtype=np.float64)
+        for k, slot in enumerate(slots):
+            rows[k] = f._mbr_row(slot, nodes[slot])
+        values = f.lower_evaluator(rows)
+        self._e_lb[stale] = values[:-1]
+        self._e_epoch[stale] = epoch
+        self._e_weak[stale] = False
+        self._ver += 1
+        return float(values[-1])
+
+    # ------------------------------------------------------------------
+    # Whole-queue access for attached frontiers (re-steer rescans)
+    # ------------------------------------------------------------------
+    def _sorted_alive(self, f: ArrivalFrontier) -> np.ndarray:
+        """Live entry indices of one search, sorted by page id.
+
+        Page order is the standalone frontier's storage order, so rescans
+        observe the exact iteration order of the oracle (argmin ties in
+        the upper-bound scan resolve identically).
+        """
+        sid = f._sid
+        ver, cached_sid, cached = self._order_cache
+        if ver == self._ver and cached_sid == sid and cached is not None:
+            return cached
+        idxs = self._alive_of(sid)
+        # Equal pages order newest-first, like the standalone frontier's
+        # sorted insert (real searches queue each page at most once; this
+        # matters only for externally driven degenerate frontiers).
+        order = idxs[np.argsort(
+            (self._e_page[idxs] << _IDX_BITS) | (_IDX_MASK - idxs)
+        )]
+        self._order_cache = (self._ver, sid, order)
+        return order
+
+    def active_nodes_attached(self, f: ArrivalFrontier) -> List[RTreeNode]:
+        self._fresh(f)
+        nodes = f._nodes
+        return [nodes[slot] for slot in
+                self._e_slot[self._sorted_alive(f)].tolist()]
+
+    def active_mbrs_attached(self, f: ArrivalFrontier) -> np.ndarray:
+        self._fresh(f)
+        nodes = f._nodes
+        slots = self._e_slot[self._sorted_alive(f)].tolist()
+        rows = np.empty((len(slots), 4), dtype=np.float64)
+        for k, slot in enumerate(slots):
+            rows[k] = f._mbr_row(slot, nodes[slot])
+        return rows
+
+    def store_lower_attached(
+        self, f: ArrivalFrontier, rows, values: np.ndarray, epoch: int
+    ) -> None:
+        self._fresh(f)
+        order = self._sorted_alive(f)
+        sel = order[np.asarray(rows, dtype=np.int64)]
+        self._e_lb[sel] = values
+        self._e_epoch[sel] = epoch
+        self._e_weak[sel] = False

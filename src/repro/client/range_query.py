@@ -57,7 +57,7 @@ class BroadcastRangeSearch(ArrivalQueueMixin):
         splice; the oracle heap keeps its per-entry pushes.
         """
         if self._frontier is not None:
-            self._frontier.push_many(node.children)
+            self._frontier.push_many(node.children, src=node)
         else:
             for child in node.children:
                 self._push(child)

@@ -321,7 +321,9 @@ class BroadcastNNSearch(ArrivalQueueMixin):
             epoch = self._metric_epoch
             if self._frontier is not None:
                 # delayed pruning: push everything, bounds pre-cached
-                self._frontier.push_many(node.children, lower.tolist(), epoch)
+                self._frontier.push_many(
+                    node.children, lower, epoch, src=node
+                )
             else:
                 for child, lb in zip(node.children, lower.tolist()):
                     self._push(child)  # delayed pruning: push everything
@@ -346,7 +348,7 @@ class BroadcastNNSearch(ArrivalQueueMixin):
                 # bound, so the pop never recomputes it.
                 q = self.query
                 lbs = [child.mbr.mindist(q) for child in children]
-                self._frontier.push_many(children, lbs, epoch)
+                self._frontier.push_many(children, lbs, epoch, src=node)
                 for k, child in enumerate(children):
                     if child.point_count <= 0:
                         continue  # empty subtree: nothing backs a guarantee
@@ -360,7 +362,9 @@ class BroadcastNNSearch(ArrivalQueueMixin):
                 # Transitive: the weak two-hypot under-estimate prunes
                 # ~99% of pops without touching Lemma 1.
                 lbs = [self._weak_lower(child.mbr) for child in children]
-                self._frontier.push_many(children, lbs, epoch, weak=True)
+                self._frontier.push_many(
+                    children, lbs, epoch, weak=True, src=node
+                )
                 for k, child in enumerate(children):
                     if child.point_count <= 0:
                         continue  # empty subtree: nothing backs a guarantee
@@ -406,19 +410,22 @@ class BroadcastNNSearch(ArrivalQueueMixin):
     # Shared-scan absorb hooks (externally batched bounds)
     # ------------------------------------------------------------------
     def _absorb_internal_shared(
-        self, node: RTreeNode, lbs: list, gi: int, gv: float
+        self, node: RTreeNode, lbs, gi: int, gv: float
     ) -> None:
         """Absorb an internal node whose exact bounds were batched.
 
-        The point-metric lane of the shared-scan executor: ``lbs`` are the
-        exact per-child MINDIST bounds, ``(gi, gv)`` the masked argmin over
-        the children's backed MINMAXDIST guarantees (``inf`` when no child
-        subtree holds a point).  This is the whole-fan-out kernel branch of
-        :meth:`_absorb_internal` with the kernel evaluation hoisted out —
-        same pushes, same guarantee selection, same witness hand-off.
+        The point-metric lane of the shared-scan executor: ``lbs`` is the
+        exact per-child MINDIST bound row, ``(gi, gv)`` the masked argmin
+        over the children's backed MINMAXDIST guarantees (``inf`` when no
+        child subtree holds a point).  This is the whole-fan-out kernel
+        branch of :meth:`_absorb_internal` with the kernel evaluation
+        hoisted out — same pushes, same guarantee selection, same witness
+        hand-off.
         """
         was_witness = node.page_id == self._witness_page
-        self._frontier.push_many(node.children, lbs, self._metric_epoch)
+        self._frontier.push_many(
+            node.children, lbs, self._metric_epoch, src=node
+        )
         if gv == math.inf:
             # Every child subtree is empty: no guarantee to inherit (cf.
             # the best_child-is-None branch of _absorb_internal).
@@ -448,7 +455,7 @@ class BroadcastNNSearch(ArrivalQueueMixin):
             self._witness_page = None  # a concrete point witnesses the bound
 
     def _absorb_internal_weak(
-        self, node: RTreeNode, lbs: list, need_guarantee: bool
+        self, node: RTreeNode, lbs, need_guarantee: bool
     ) -> None:
         """Absorb an internal node with batch-certified weak child bounds.
 
@@ -465,12 +472,24 @@ class BroadcastNNSearch(ArrivalQueueMixin):
         with the exact scalar metrics, making every stored value
         bit-identical to the per-query path.
         """
-        was_witness = node.page_id == self._witness_page
         self._frontier.push_many(
-            node.children, lbs, self._metric_epoch, weak=True
+            node.children, lbs, self._metric_epoch, weak=True, src=node
         )
-        if not need_guarantee:
-            return
+        if need_guarantee:
+            self._guarantee_scan_weak(node, lbs)
+
+    def _guarantee_scan_weak(self, node: RTreeNode, lbs) -> None:
+        """The exact MinMaxTransDist guarantee scan of a weak absorb.
+
+        Split out of :meth:`_absorb_internal_weak` so the shared arena
+        path — which stages the whole lane's pushes in one call — can run
+        just the scan for the (minority of) nodes whose batched estimate
+        could not prove it a no-op.  Pushing first is equivalent: the
+        queue never enters the scan.
+        """
+        was_witness = node.page_id == self._witness_page
+        if isinstance(lbs, np.ndarray):
+            lbs = lbs.tolist()  # plain floats for the scalar scan below
         best_child = None
         best_guarantee = math.inf
         for k, child in enumerate(node.children):
@@ -561,7 +580,13 @@ class BroadcastNNSearch(ArrivalQueueMixin):
         if kernels.enabled() and len(nodes) >= self._batch_threshold(
             leaf=False
         ):
-            mbrs = kernels.as_mbr_array([n.mbr for n in nodes])
+            # The queued rows come from the pack-time child-MBR caches
+            # (frontier chunk refs / arena MBR lane) — no repacking of MBR
+            # namedtuples per rescan.
+            if front is not None:
+                mbrs = front.active_mbrs()
+            else:
+                mbrs = kernels.as_mbr_array([n.mbr for n in nodes])
             counts = np.array([n.point_count for n in nodes], dtype=np.int64)
             if self.mode is SearchMode.POINT:
                 lower, bounds = kernels.point_bounds(self.query, mbrs)

@@ -66,6 +66,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.client.frontier import FrontierArena
 from repro.client.knn import BroadcastKNNSearch
 from repro.client.range_query import BroadcastRangeSearch
 from repro.client.scheduler import SearchGroup
@@ -143,7 +144,23 @@ class SharedScanExecutor:
     """
 
     def __init__(self, all_trees_backed: bool = False) -> None:
-        self._active: List[SearchGroup] = []
+        #: Groups whose members all serve through the columnar arena
+        #: (fast-eligible NN searches) vs everything else.
+        self._arena_groups: List[SearchGroup] = []
+        self._legacy: List[SearchGroup] = []
+        self._arena: Optional[FrontierArena] = None
+        #: Persistent serve structures for the arena round: live pairs as
+        #: ``(group, s0, s1)`` rows, everything else as ``(group, s)``
+        #: always-due rows — updated incrementally on finish events, so no
+        #: per-round reclassification pass is needed.
+        self._pairs: List[tuple] = []
+        self._pair_index: dict = {}
+        self._solos: List[tuple] = []
+        self._solo_index: dict = {}
+        self._due_dirty = True
+        self._pa = np.empty(0, dtype=np.int64)
+        self._pb = np.empty(0, dtype=np.int64)
+        self._solo_sids = np.empty(0, dtype=np.int64)
         self._use_kernels = True
         #: Callers pass True after checking every involved tree with
         #: :func:`tree_all_backed`: no expanded node can then have an
@@ -157,12 +174,36 @@ class SharedScanExecutor:
         # chase its continuation until a live group (or nothing) remains.
         while group is not None and not group.pending:
             group = group.tag.advance() if group.tag is not None else None
-        if group is not None:
-            self._active.append(group)
+        if group is None:
+            return
+        if kernels.enabled() and all(
+            type(s) is BroadcastNNSearch and self._fast(s, True)
+            for s in group.pending
+        ):
+            # Fast NN searches join the shared columnar arena: their
+            # frontiers' queued entries move into one set of numpy lanes
+            # and the round serves them with whole-workload array passes.
+            if self._arena is None:
+                self._arena = FrontierArena()
+            for s in group.pending:
+                if getattr(s, "_arena_sid", -1) < 0:
+                    self._arena.register(s)
+            self._arena_groups.append(group)
+            pending = group.pending
+            if group.paired and len(pending) > 1:
+                self._pair_index[id(group)] = len(self._pairs)
+                self._pairs.append((group, pending[0], pending[1]))
+            else:
+                for s in pending:
+                    self._solo_index[id(s)] = len(self._solos)
+                    self._solos.append((group, s))
+            self._due_dirty = True
+        else:
+            self._legacy.append(group)
 
     def run(self) -> None:
         self._use_kernels = kernels.enabled()
-        while self._active:
+        while self._arena_groups or self._legacy:
             self._round()
 
     # ------------------------------------------------------------------
@@ -173,6 +214,91 @@ class SharedScanExecutor:
         flat_leaves: List[Tuple[object, List]] = []  # (search, leaf nodes)
         #: Searches verified finished by their serve, with their groups.
         probe: List[Tuple[SearchGroup, object]] = []
+        ctx = (lanes, point_leaves, flat_leaves, probe)
+        if self._arena_groups:
+            if self._use_kernels:
+                self._arena_phase_a(ctx)
+            else:
+                # Kernels were toggled off for the run: the arena groups
+                # degrade to the per-group multiplexer (attached frontiers
+                # serve every pop scalar, bit-identically).
+                self._group_loop(self._arena_groups, ctx)
+        if self._legacy:
+            self._group_loop(self._legacy, ctx)
+
+        if lanes:
+            self._absorb_nn_lanes(lanes)
+        if point_leaves:
+            self._absorb_point_leaves(point_leaves)
+        for s, leaves in flat_leaves:
+            self._absorb_flat_leaves(s, leaves)
+        if self._arena is not None:
+            # Merge the round's staged pushes and drop consumed entries,
+            # so the finish bookkeeping below (re-steer rescans!) and the
+            # next round's vector passes see compact lanes.
+            self._arena.flush()
+
+        # Finish bookkeeping: every probe entry was verified finished by
+        # its serve (an emptied queue never refills).  on_finish fires
+        # directly after the serve (and deferred absorb) that completed a
+        # search — before any member of the same group is served again —
+        # which is exactly run_all's on_finish moment.
+        completed: Optional[List[SearchGroup]] = None
+        arena = self._arena
+        for g, s in probe:
+            g.pending.remove(s)
+            if arena is not None and getattr(s, "_arena_sid", -1) >= 0:
+                self._retire_arena_member(g, s)
+            if g.on_finish is not None:
+                g.on_finish(s)
+                if arena is not None:
+                    # The callback may have re-steered a sibling (new
+                    # metric epoch, query point, upper bound): mirror
+                    # every member's serve state back into the lanes.
+                    for m in g.searches:
+                        if getattr(m, "_arena_sid", -1) >= 0:
+                            arena.sync(m)
+            if not g.pending:
+                if completed is None:
+                    completed = [g]
+                else:
+                    completed.append(g)
+        if completed is not None:
+            self._arena_groups = [g for g in self._arena_groups if g.pending]
+            self._legacy = [g for g in self._legacy if g.pending]
+            for g in completed:
+                if g.tag is not None:
+                    self.add(g.tag.advance())
+
+    def _retire_arena_member(self, g: SearchGroup, s) -> None:
+        """Drop a finished arena search from the persistent serve rows.
+
+        A finished pair member demotes its group to an always-due solo row
+        for the surviving sibling; a finished solo row is swap-removed.
+        """
+        i = self._pair_index.pop(id(g), None)
+        if i is not None:
+            pairs = self._pairs
+            row = pairs[i]
+            last = pairs.pop()
+            if last[0] is not g:
+                pairs[i] = last
+                self._pair_index[id(last[0])] = i
+            sibling = row[2] if row[1] is s else row[1]
+            self._solo_index[id(sibling)] = len(self._solos)
+            self._solos.append((g, sibling))
+        else:
+            j = self._solo_index.pop(id(s))
+            solos = self._solos
+            last = solos.pop()
+            if last[1] is not s:
+                solos[j] = last
+                self._solo_index[id(last[1])] = j
+        self._due_dirty = True
+
+    def _group_loop(self, groups: List[SearchGroup], ctx) -> None:
+        """The per-group serve dispatch (non-arena groups)."""
+        probe = ctx[3]
         serve_nn = self._serve_nn_one
         serve = {
             BroadcastNNSearch: serve_nn,
@@ -180,8 +306,7 @@ class SharedScanExecutor:
             BroadcastRangeSearch: self._serve_range_one,
             BroadcastWindowSearch: self._serve_window_one,
         }
-        ctx = (lanes, point_leaves, flat_leaves, probe)
-        for g in self._active:
+        for g in groups:
             pending = g.pending
             if g.paired and len(pending) > 1:
                 # run_all's two-float ping-pong: the earlier next event is
@@ -211,33 +336,217 @@ class SharedScanExecutor:
                         if s.finished():
                             probe.append((g, s))
 
-        if lanes:
-            self._absorb_nn_lanes(lanes)
-        if point_leaves:
-            self._absorb_point_leaves(point_leaves)
-        for s, leaves in flat_leaves:
-            self._absorb_flat_leaves(s, leaves)
+    # ------------------------------------------------------------------
+    # Arena phase A: the whole-workload vectorised serve
+    # ------------------------------------------------------------------
+    def _arena_phase_a(self, ctx) -> None:
+        """Serve every arena group's due member through batched lanes.
 
-        # Finish bookkeeping: every probe entry was verified finished by
-        # its serve (an emptied queue never refills).  on_finish fires
-        # directly after the serve (and deferred absorb) that completed a
-        # search — before any member of the same group is served again —
-        # which is exactly run_all's on_finish moment.
-        completed: Optional[List[SearchGroup]] = None
-        for g, s in probe:
-            g.pending.remove(s)
-            if g.on_finish is not None:
-                g.on_finish(s)
-            if not g.pending:
-                if completed is None:
-                    completed = [g]
-                else:
-                    completed.append(g)
-        if completed is not None:
-            self._active = [g for g in self._active if g.pending]
-            for g in completed:
-                if g.tag is not None:
-                    self.add(g.tag.advance())
+        One :meth:`FrontierArena.begin_round` pass yields every search's
+        head arrival (the pairing ping-pong reads), one
+        :meth:`FrontierArena.serve` pass consumes every due search's
+        certified-prunable run and hands back its survivor; the python
+        loop below finishes each serve in O(1) — the rare certified-keep
+        margin cases fall back to the scalar serve, bit-identically.
+        """
+        arena = self._arena
+        arena.flush()  # merge registrations staged since the last round
+        heads = arena.begin_round()
+        if self._due_dirty:
+            pairs = self._pairs
+            solos = self._solos
+            self._pa = np.fromiter(
+                (r[1]._arena_sid for r in pairs), np.int64, len(pairs)
+            )
+            self._pb = np.fromiter(
+                (r[2]._arena_sid for r in pairs), np.int64, len(pairs)
+            )
+            self._solo_sids = np.fromiter(
+                (r[1]._arena_sid for r in solos), np.int64, len(solos)
+            )
+            self._due_dirty = False
+        pa = self._pa
+        n_solo = len(self._solos)
+        if pa.size:
+            pb = self._pb
+            ta = heads[pa]
+            tb = heads[pb]
+            first = ta <= tb  # tie: first member, like run_all
+            due = np.concatenate((np.where(first, pa, pb), self._solo_sids))
+            limits = np.concatenate((
+                np.where(first, tb, ta),
+                np.full(n_solo, math.inf),
+            ))
+            stricts = np.concatenate((
+                ~first, np.zeros(n_solo, dtype=bool)
+            ))
+            first_l = first.tolist()
+        else:
+            due = self._solo_sids
+            limits = np.full(n_solo, math.inf)
+            stricts = np.zeros(n_solo, dtype=bool)
+            first_l = ()
+        res = arena.serve(due, limits, stricts)
+        act = res["act"]
+        has = res["has"]
+        idxs = res["idx"]
+        arrivals = res["arrival"]
+        slots = res["slot"]
+        lbs = res["lb"]
+        weaks = res["weak"]
+        stampeds = res["stamped"]
+        lives = res["live"]
+        due_list = due.tolist()
+        limits_list = limits.tolist()
+        stricts_list = stricts.tolist()
+        lanes, _, _, probe = ctx
+        # serve() already consumed every actionable survivor and advanced
+        # its owner's arena clock; this loop only performs the per-serve
+        # download bookkeeping.  The rare scalar fallbacks first re-sync
+        # the owner clock from its (not yet moved) tuner.  (The pair rows
+        # and always-due rows are walked directly — no per-round context
+        # list is materialised; ``j`` indexes the serve() results, pairs
+        # first.)
+        arena_now = arena._now
+        point_mode = SearchMode.POINT
+        hyp = math.hypot
+        j = -1
+        for row, fl in zip(self._pairs, first_l):
+            j += 1
+            g = row[0]
+            s = row[1] if fl else row[2]
+            if not act[j]:
+                # No actionable survivor: either the whole queue was a
+                # certified-prunable run within the limit (probe when it
+                # emptied), or the survivor lies beyond the pairing limit.
+                if not has[j] and lives[j] == 0:
+                    probe.append((g, s))
+                continue
+            f = s._frontier
+            node = f._nodes[slots[j]]
+            if stampeds[j]:
+                lb: Optional[float] = lbs[j]
+                weak = weaks[j]
+            else:
+                weak = False
+                lb = None
+                if f.lower_evaluator is not None:
+                    lb = arena._eval_stale_attached(
+                        f, idxs[j], s._metric_epoch
+                    )
+                    if lb is not None and lb > s.upper_bound:
+                        # The batch evaluation proved the prune after all:
+                        # resume the serve scalar (the rare stale path).
+                        arena_now[due_list[j]] = s.tuner.now
+                        self._serve_nn_one(
+                            g, s, limits_list[j], stricts_list[j], ctx
+                        )
+                        continue
+            if lb is None or weak:
+                if weak and s.mode is point_mode:
+                    # Certified-weak point survivor: one exact MINDIST
+                    # resolves the margin band (cf. _decide_keep's weak
+                    # point branch; fast-eligible policies are trivial).
+                    mbr = node.mbr
+                    qp = s.query
+                    if hyp(
+                        max(mbr[0] - qp.x, 0.0, qp.x - mbr[2]),
+                        max(mbr[1] - qp.y, 0.0, qp.y - mbr[3]),
+                    ) > s.upper_bound:
+                        arena_now[due_list[j]] = s.tuner.now
+                        self._serve_nn_one(
+                            g, s, limits_list[j], stricts_list[j], ctx
+                        )
+                        continue
+                elif not s._decide_keep(node, lb, weak):
+                    # Margin-band survivor pruned by the exact test:
+                    # continue the serve through the scalar loop.
+                    arena_now[due_list[j]] = s.tuner.now
+                    self._serve_nn_one(
+                        g, s, limits_list[j], stricts_list[j], ctx
+                    )
+                    continue
+            # Survivor: download now, defer the expansion to the batch.
+            arrival = arrivals[j]
+            tuner = s.tuner
+            tuner.now = arrival + 1.0
+            tuner.index_pages += 1
+            tuner.log.append(("index", node.page_id, arrival, True))
+            if node.level == 0:
+                key = (s.mode is point_mode, True, len(node.points))
+                if lives[j] == 0:
+                    probe.append((g, s))  # leaf absorbs never push
+            else:
+                key = (s.mode is point_mode, False, len(node.children))
+            lane = lanes.get(key)
+            if lane is None:
+                lanes[key] = [[s], [node]]
+            else:
+                lane[0].append(s)
+                lane[1].append(node)
+        # Always-due rows (solo members): identical body — kept inline
+        # (a shared helper would cost one python call per serve, which is
+        # exactly the overhead this loop exists to avoid).
+        for g, s in self._solos:
+            j += 1
+            if not act[j]:
+                if not has[j] and lives[j] == 0:
+                    probe.append((g, s))
+                continue
+            f = s._frontier
+            node = f._nodes[slots[j]]
+            if stampeds[j]:
+                lb = lbs[j]
+                weak = weaks[j]
+            else:
+                weak = False
+                lb = None
+                if f.lower_evaluator is not None:
+                    lb = arena._eval_stale_attached(
+                        f, idxs[j], s._metric_epoch
+                    )
+                    if lb is not None and lb > s.upper_bound:
+                        arena_now[due_list[j]] = s.tuner.now
+                        self._serve_nn_one(
+                            g, s, limits_list[j], stricts_list[j], ctx
+                        )
+                        continue
+            if lb is None or weak:
+                if weak and s.mode is point_mode:
+                    mbr = node.mbr
+                    qp = s.query
+                    if hyp(
+                        max(mbr[0] - qp.x, 0.0, qp.x - mbr[2]),
+                        max(mbr[1] - qp.y, 0.0, qp.y - mbr[3]),
+                    ) > s.upper_bound:
+                        arena_now[due_list[j]] = s.tuner.now
+                        self._serve_nn_one(
+                            g, s, limits_list[j], stricts_list[j], ctx
+                        )
+                        continue
+                elif not s._decide_keep(node, lb, weak):
+                    arena_now[due_list[j]] = s.tuner.now
+                    self._serve_nn_one(
+                        g, s, limits_list[j], stricts_list[j], ctx
+                    )
+                    continue
+            arrival = arrivals[j]
+            tuner = s.tuner
+            tuner.now = arrival + 1.0
+            tuner.index_pages += 1
+            tuner.log.append(("index", node.page_id, arrival, True))
+            if node.level == 0:
+                key = (s.mode is point_mode, True, len(node.points))
+                if lives[j] == 0:
+                    probe.append((g, s))  # leaf absorbs never push
+            else:
+                key = (s.mode is point_mode, False, len(node.children))
+            lane = lanes.get(key)
+            if lane is None:
+                lanes[key] = [[s], [node]]
+            else:
+                lane[0].append(s)
+                lane[1].append(node)
 
     # ------------------------------------------------------------------
     # Phase A: per-search serves
@@ -269,13 +578,14 @@ class SharedScanExecutor:
             self._burst(g, s, limit, strict, ctx[3])
             return
         f = s._frontier
+        arena = f._arena
         lanes, _, _, probe = ctx
         epoch = s._metric_epoch
         tuner = s.tuner
         while True:
             res = f.pop_until(s.upper_bound, epoch, limit, strict)
             if res is None:
-                if not f._order_pages:
+                if f.finished():
                     probe.append((g, s))
                 return
             node, lb, weak, arrival = res
@@ -285,9 +595,11 @@ class SharedScanExecutor:
             tuner.now = arrival + 1.0
             tuner.index_pages += 1
             tuner.log.append(("index", node.page_id, arrival, True))
+            if arena is not None:
+                arena._now[f._sid] = tuner.now
             if node.level == 0:
                 key = (s.mode is SearchMode.POINT, True, node.fanout)
-                if not f._order_pages:
+                if f.finished():
                     probe.append((g, s))  # leaf absorbs never push
             else:
                 key = (s.mode is SearchMode.POINT, False, node.fanout)
@@ -319,11 +631,13 @@ class SharedScanExecutor:
         bound = s.bound
         pops = 0
         base = math.ceil(now - fphase)
-        start = base % cycle
+        # The cyclic walk only moves forward (prunes keep the clock, and
+        # a download's children insert at or after the cursor), so the
+        # pop position is maintained incrementally: one bisect per drain.
+        i = bisect_left(order_pages, base % cycle)
         while order_pages:
-            i = bisect_left(order_pages, start)
-            if i == len(order_pages):
-                i = 0
+            if i >= len(order_pages):
+                i = 0  # wrap: the earliest page of the next index copy
             page = order_pages.pop(i)
             slot = order_slots.pop(i)
             pops += 1
@@ -348,9 +662,14 @@ class SharedScanExecutor:
                     lane[0].append(s)
                     lane[1].append(node)
                 return
-            f.push_many(node.children)  # expansions never move the bound
+            # expansions never move the bound
+            f.push_many(node.children, src=node)
             base = math.ceil(now - fphase)
-            start = base % cycle
+            if base % cycle != page + 1:
+                # The clock's float roundtrip rounded past the next page
+                # slot (or the lap wrapped): recover the cursor with one
+                # bisect, exactly like the per-pop reference.
+                i = bisect_left(order_pages, base % cycle)
         tuner.now = now
         f._version += pops
         probe.append((g, s))
@@ -368,7 +687,10 @@ class SharedScanExecutor:
         fphase = f._phase
         circle = s.circle
         center = circle.center
+        qx = center.x
+        qy = center.y
         radius = circle.radius
+        hyp = math.hypot
         tuner = s.tuner
         log = tuner.log
         now = tuner.now
@@ -378,16 +700,24 @@ class SharedScanExecutor:
         start = base % cycle
         # The circle never moves, so the whole traversal drains in one
         # serve; leaf membership is resolved afterwards in one flat batch.
+        # The cyclic walk only moves forward (prunes keep the clock, and a
+        # download's children insert at or after the cursor), so the pop
+        # position is maintained incrementally: one bisect per drain, not
+        # one per entry.
+        i = bisect_left(order_pages, start)
         while order_pages:
-            i = bisect_left(order_pages, start)
-            if i == len(order_pages):
-                i = 0
+            if i >= len(order_pages):
+                i = 0  # wrap: the earliest page of the next index copy
             page = order_pages.pop(i)
             slot = order_slots.pop(i)
             pops += 1
             node = slot_nodes[slot]
-            if node.mbr.mindist(center) > radius:
-                continue  # circle.intersects_rect is mindist <= radius
+            # Inline Rect.mindist (same max/hypot sequence, no call):
+            # circle.intersects_rect is mindist <= radius.
+            xmin, ymin, xmax, ymax = node.mbr
+            if hyp(max(xmin - qx, 0.0, qx - xmax),
+                   max(ymin - qy, 0.0, qy - ymax)) > radius:
+                continue
             arrival = base + (page - base) % cycle + fphase
             now = arrival + 1.0
             tuner.index_pages += 1
@@ -395,9 +725,12 @@ class SharedScanExecutor:
             if node.level == 0:
                 leaves.append(node)
             else:
-                f.push_many(node.children)
+                f.push_many(node.children, src=node)
             base = math.ceil(now - fphase)
-            start = base % cycle
+            if base % cycle != page + 1:
+                # Float-roundtrip clock moved past the next slot (or the
+                # lap wrapped): recover the cursor with one bisect.
+                i = bisect_left(order_pages, base % cycle)
         tuner.now = now
         f._version += pops
         if leaves:
@@ -421,12 +754,14 @@ class SharedScanExecutor:
         leaves: List = []
         pops = 0
         # The window never moves either; children were filtered at push
-        # time, so every queued node is downloaded.
+        # time, so every queued node is downloaded.  The cyclic walk only
+        # moves forward, so the pop position is maintained incrementally
+        # (cf. the range drain).
+        base = math.ceil(now - fphase)
+        i = bisect_left(order_pages, base % cycle)
         while order_pages:
-            base = math.ceil(now - fphase)
-            i = bisect_left(order_pages, base % cycle)
-            if i == len(order_pages):
-                i = 0
+            if i >= len(order_pages):
+                i = 0  # wrap: the earliest page of the next index copy
             page = order_pages.pop(i)
             slot = order_slots.pop(i)
             pops += 1
@@ -439,6 +774,11 @@ class SharedScanExecutor:
                 leaves.append(node)
             else:
                 s._push_intersecting(node)
+            base = math.ceil(now - fphase)
+            if base % cycle != page + 1:
+                # Float-roundtrip clock moved past the next slot (or the
+                # lap wrapped): recover the cursor with one bisect.
+                i = bisect_left(order_pages, base % cycle)
         tuner.now = now
         f._version += pops
         if leaves:
@@ -465,6 +805,7 @@ class SharedScanExecutor:
         """
         min_lane = _MIN_LANE
         deflate = _CERT_DEFLATE
+        arena = self._arena
         for (is_point, is_leaf, n), (searches, nodes) in lanes.items():
             k = len(nodes)
             if k < min_lane:
@@ -473,6 +814,7 @@ class SharedScanExecutor:
                         s._absorb_leaf(node)
                     else:
                         s._absorb_internal(node)
+                self._sync_lane(searches)
                 continue
             if is_leaf:
                 pts = np.concatenate(
@@ -482,7 +824,7 @@ class SharedScanExecutor:
                     # Point metric: exact distances are one fused hypot
                     # pass; batch the exact row argmins.
                     d = kernels.point_dists_multi(
-                        np.array([s.query for s in searches]), pts
+                        self._lane_queries(searches), pts
                     )
                     idx = np.argmin(d, axis=1)
                     vals = d[np.arange(k), idx].tolist()
@@ -490,15 +832,13 @@ class SharedScanExecutor:
                         searches, nodes, idx.tolist(), vals
                     ):
                         s._absorb_leaf_shared(node, i, v)
+                    self._sync_lane(searches)
                 else:
                     # Transitive metric: the incumbent is already tight
                     # when leaves arrive, so the deflated raw estimate
                     # proves most leaf absorbs are no-ops.
-                    d = kernels.trans_dists_raw(
-                        np.array([s.start for s in searches]),
-                        pts,
-                        np.array([s.end for s in searches]),
-                    )
+                    starts, ends = self._lane_transitive(searches)
+                    d = kernels.trans_dists_raw(starts, pts, ends)
                     for s, node, m in zip(
                         searches, nodes, d.min(axis=1).tolist()
                     ):
@@ -511,6 +851,7 @@ class SharedScanExecutor:
                             or s.best_dist < s.upper_bound
                         ):
                             s._absorb_leaf(node)
+                    self._sync_lane(searches)
             else:
                 mbrs = np.concatenate(
                     [node.child_mbr_array() for node in nodes]
@@ -521,12 +862,40 @@ class SharedScanExecutor:
                     all_backed = all(
                         node.children_all_backed() for node in nodes
                     )
+                sids = self._lane_sids(searches) if arena is not None else None
                 if is_point:
-                    # Point metric: MINDIST/MINMAXDIST share one fused
-                    # exact hypot pass; push exact bounds and inherit the
-                    # masked argmin guarantee.
+                    if sids is None:
+                        # Non-arena lane: the exact fused MINDIST /
+                        # MINMAXDIST kernel plus the per-search hook.
+                        lower, guar = kernels.point_bounds_multi(
+                            self._lane_queries(searches), mbrs
+                        )
+                        if all_backed:
+                            backed = guar
+                        else:
+                            counts = np.concatenate(
+                                [node.child_count_array() for node in nodes]
+                            ).reshape(k, n)
+                            backed = np.where(counts > 0, guar, math.inf)
+                        gi = np.argmin(backed, axis=1)
+                        gv_l = backed[np.arange(k), gi].tolist()
+                        for j, (s, node) in enumerate(zip(searches, nodes)):
+                            s._absorb_internal_shared(
+                                node, lower[j], gi[j], gv_l[j]
+                            )
+                        self._sync_lane(searches)
+                        continue
+                    # Arena lane: one staging pass queues every fan-out
+                    # with its exact kernel bounds, and the guarantee /
+                    # witness hand-off of _absorb_internal_shared runs as
+                    # lane-wide masks — python only touches the rows that
+                    # change state.  (The transitive lanes' certified
+                    # raw-estimate strategy does not pay here: the point
+                    # metric's upper bound improves on about half of all
+                    # expansions, so the deflated gate would send most
+                    # rows to the exact scalar scan anyway.)
                     lower, guar = kernels.point_bounds_multi(
-                        np.array([s.query for s in searches]), mbrs
+                        self._lane_queries(searches), mbrs
                     )
                     if all_backed:
                         backed = guar
@@ -536,30 +905,140 @@ class SharedScanExecutor:
                         ).reshape(k, n)
                         backed = np.where(counts > 0, guar, math.inf)
                     gi = np.argmin(backed, axis=1)
-                    gv = backed[np.arange(k), gi].tolist()
-                    lower = lower.tolist()
-                    for j, (s, node) in enumerate(zip(searches, nodes)):
-                        s._absorb_internal_shared(node, lower[j], gi[j], gv[j])
-                else:
-                    weak, est = kernels.trans_weak_bounds_multi(
-                        np.array([s.start for s in searches]),
-                        mbrs,
-                        np.array([s.end for s in searches]),
-                        deflate,
+                    gv = backed[np.arange(k), gi]
+                    arena.stage_lane(searches, nodes, n, lower, False)
+                    ub = arena._ub[sids]
+                    node_pages = np.fromiter(
+                        (node.page_id for node in nodes), np.int64, k
                     )
-                    gates = (est.min(axis=1) * deflate).tolist()
-                    weak = weak.tolist()
-                    for j, (s, node) in enumerate(zip(searches, nodes)):
-                        # The exact guarantee scan runs when the deflated
-                        # estimate admits an improvement, when the node
-                        # witnesses the bound (hand-off), or when an empty
-                        # child subtree voids the estimate's backing.
-                        need = (
-                            not all_backed
-                            or gates[j] < s.upper_bound
-                            or node.page_id == s._witness_page
-                        )
-                        s._absorb_internal_weak(node, weak[j], need)
+                    was_w = arena._wit[sids] == node_pages
+                    finite = np.isfinite(gv)
+                    improve = finite & (gv < ub)
+                    upd = improve | was_w
+                    if upd.any() or not finite.all():
+                        gv_l = gv.tolist()
+                        gi_l = gi.tolist()
+                        improve_l = improve.tolist()
+                        wit_arr = arena._wit
+                        ub_arr = arena._ub
+                        sid_l = sids.tolist()
+                        for j in np.flatnonzero(upd | ~finite).tolist():
+                            s = searches[j]
+                            if not finite[j]:
+                                # Every child subtree empty: no guarantee
+                                # to inherit (cf. _absorb_internal_shared).
+                                if was_w[j]:
+                                    s.upper_bound = s.best_dist
+                                    s._witness_page = None
+                                    s._rescan_queue_bounds()
+                                    arena.sync(s)
+                                continue
+                            wp = nodes[j].children[gi_l[j]].page_id
+                            s._witness_page = wp
+                            wit_arr[sid_l[j]] = wp
+                            if improve_l[j]:
+                                s.upper_bound = gv_l[j]
+                                ub_arr[sid_l[j]] = gv_l[j]
+                else:
+                    starts, ends = self._lane_transitive(searches)
+                    weak, est = kernels.trans_weak_bounds_multi(
+                        starts, mbrs, ends, deflate
+                    )
+                    gates = est.min(axis=1) * deflate
+                    if sids is None:
+                        gates_l = gates.tolist()
+                        for j, (s, node) in enumerate(zip(searches, nodes)):
+                            # The exact guarantee scan runs when the
+                            # deflated estimate admits an improvement,
+                            # when the node witnesses the bound
+                            # (hand-off), or when an empty child subtree
+                            # voids the estimate's backing.
+                            need = (
+                                not all_backed
+                                or gates_l[j] < s.upper_bound
+                                or node.page_id == s._witness_page
+                            )
+                            s._absorb_internal_weak(node, weak[j], need)
+                        self._sync_lane(searches)
+                        continue
+                    # Arena lane: stage every push at once; the need mask
+                    # (estimate admits improvement / witness hand-off /
+                    # unbacked children) selects the minority of rows
+                    # whose exact guarantee scan must run.
+                    arena.stage_lane(searches, nodes, n, weak, True)
+                    node_pages = np.fromiter(
+                        (node.page_id for node in nodes), np.int64, k
+                    )
+                    need = (gates < arena._ub[sids]) | (
+                        arena._wit[sids] == node_pages
+                    )
+                    if not all_backed:
+                        need |= True
+                    rows = np.flatnonzero(need)
+                    if rows.size:
+                        wit_arr = arena._wit
+                        ub_arr = arena._ub
+                        sid_l = sids.tolist()
+                        for j in rows.tolist():
+                            s = searches[j]
+                            s._guarantee_scan_weak(nodes[j], weak[j])
+                            ub_arr[sid_l[j]] = s.upper_bound
+                            wp = s._witness_page
+                            wit_arr[sid_l[j]] = -1 if wp is None else wp
+
+    def _lane_sids(self, searches) -> Optional[np.ndarray]:
+        """The searches' arena ids, or ``None`` when any is unregistered."""
+        try:
+            return np.fromiter(
+                (s._arena_sid for s in searches), np.int64, len(searches)
+            )
+        except AttributeError:
+            return None
+
+    def _sync_lane(self, searches) -> None:
+        """Mirror a lane's upper bounds and witness pages into the arena."""
+        arena = self._arena
+        if arena is None:
+            return
+        ub_arr = arena._ub
+        wit_arr = arena._wit
+        for s in searches:
+            try:
+                sid = s._arena_sid
+            except AttributeError:
+                continue
+            ub_arr[sid] = s.upper_bound
+            wp = s._witness_page
+            wit_arr[sid] = -1 if wp is None else wp
+
+    def _lane_queries(self, searches) -> np.ndarray:
+        """``(k, 2)`` query block for one lane — arena gather when possible.
+
+        Packing ``Point`` objects into an array costs ~1µs per row; the
+        arena keeps every registered search's coordinates in float64 lanes
+        already, so a lane of arena searches gathers them in one fancy
+        index.
+        """
+        arena = self._arena
+        if arena is not None:
+            try:
+                return arena.queries_of([s._arena_sid for s in searches])
+            except AttributeError:  # a non-arena search in the lane
+                pass
+        return np.array([s.query for s in searches])
+
+    def _lane_transitive(self, searches) -> Tuple[np.ndarray, np.ndarray]:
+        """``(starts, ends)`` blocks for one transitive lane (cf. above)."""
+        arena = self._arena
+        if arena is not None:
+            try:
+                return arena.transitive_of([s._arena_sid for s in searches])
+            except AttributeError:
+                pass
+        return (
+            np.array([s.start for s in searches]),
+            np.array([s.end for s in searches]),
+        )
 
     def _absorb_point_leaves(self, point_leaves: dict) -> None:
         """Batched exact ``dis(q, p)`` rows for the round's kNN leaves.

@@ -51,6 +51,16 @@ class RTreeNode:
     _child_counts: Optional[np.ndarray] = field(
         default=None, repr=False, compare=False
     )
+    #: Cached children's page ids — as an int64 array (columnar frontier
+    #: arena) and as a plain list (the sorted-list frontier's splice).
+    #: Built lazily after the broadcast layout assigns page ids;
+    #: invalidated by :meth:`~repro.rtree.tree.RTree.assign_page_ids`.
+    _child_pages: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+    _child_page_list: Optional[list] = field(
+        default=None, repr=False, compare=False
+    )
     #: Cached ``(n, 2)`` float64 array of the leaf's points.
     _points_arr: Optional[np.ndarray] = field(
         default=None, repr=False, compare=False
@@ -120,6 +130,30 @@ class RTreeNode:
             )
             self._child_counts = arr
         return arr
+
+    def child_page_array(self) -> np.ndarray:
+        """Contiguous int64 array of the children's page ids.
+
+        Valid only after the broadcast layout assigned page ids (DFS
+        preorder, so the array ascends).  Shared by every query that
+        expands this node — the columnar frontier stages whole fan-outs
+        from it without a per-child python loop.
+        """
+        arr = self._child_pages
+        if arr is None:
+            arr = np.array(
+                [c.page_id for c in self.children], dtype=np.int64
+            )
+            self._child_pages = arr
+        return arr
+
+    def child_page_list(self) -> list:
+        """The children's page ids as a cached plain list (ascending)."""
+        lst = self._child_page_list
+        if lst is None:
+            lst = [c.page_id for c in self.children]
+            self._child_page_list = lst
+        return lst
 
     def children_all_backed(self) -> bool:
         """True when every child subtree holds at least one point.

@@ -98,3 +98,7 @@ class RTree:
         """Number nodes 0..n-1 in depth-first preorder (broadcast layout)."""
         for i, node in enumerate(self.iter_nodes()):
             node.page_id = i
+            # Cached child-page views (frontier fan-out pushes) bind the
+            # previous numbering; rebuilding the layout invalidates them.
+            node._child_pages = None
+            node._child_page_list = None

@@ -1,0 +1,263 @@
+"""Property sweep: the columnar frontier arena vs the retained oracles.
+
+The arena must be an invisible backend swap: an :class:`ArrivalFrontier`
+attached to a :class:`FrontierArena` has to reproduce the standalone list
+frontier — and therefore the boxed-tuple heap oracle behind it — operation
+for operation: pop order, served bounds and weak flags, arrival values,
+``max_size`` footprints, rescan views and epoch-stamp invalidation.  The
+sweep drives a randomized interleaving of every queue operation against a
+twin standalone frontier at both paper page geometries, plus end-to-end
+randomized workloads through the executor (including mid-run Hybrid-NN
+re-steering) and the distributed-layout fallback, where the arena must
+stay out of the way entirely.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.broadcast import (
+    BroadcastChannel,
+    BroadcastProgram,
+    ChannelTuner,
+    SystemParameters,
+)
+from repro.client import ArrivalFrontier
+from repro.client.frontier import FrontierArena
+from repro.core.environment import TNNEnvironment
+from repro.core.double import DoubleNN
+from repro.core.hybrid import HybridNN
+from repro.datasets import sized_uniform
+from repro.engine import SharedScanRunner
+from repro.engine.shared_scan import execute_tnn_batch
+from repro.geometry import Point, kernels
+
+
+def make_tuner(n=300, seed=0, phase=0.0, capacity=64, m=2):
+    rng = random.Random(seed)
+    pts = [Point(rng.random() * 1000, rng.random() * 1000) for _ in range(n)]
+    params = SystemParameters(page_capacity=capacity)
+    from repro.rtree import str_pack
+
+    tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+    program = BroadcastProgram(tree, params, m=m)
+    return tree, lambda ph: ChannelTuner(BroadcastChannel(program, phase=ph))
+
+
+class _Host:
+    """Minimal search stand-in for arena registration."""
+
+    def __init__(self, frontier, tuner):
+        self._frontier = frontier
+        self.tuner = tuner
+        self.upper_bound = math.inf
+        self._metric_epoch = 0
+        self._witness_page = None
+        self.query = None
+        self.start = None
+        self.end = None
+
+
+@pytest.mark.parametrize("capacity", [64, 512])
+@pytest.mark.parametrize("seed", range(6))
+def test_attached_frontier_matches_standalone(capacity, seed):
+    """Random op interleavings: attached and standalone twins stay equal."""
+    rng = random.Random(1000 * capacity + seed)
+    phase = rng.uniform(0, 50)
+    tree, mk = make_tuner(seed=seed, phase=phase, capacity=capacity)
+    tuner_a = mk(phase)
+    tuner_b = mk(phase)
+    fa = ArrivalFrontier(tuner_a)  # will be attached to the arena
+    fb = ArrivalFrontier(tuner_b)  # standalone oracle twin
+    arena = FrontierArena()
+    arena.register(_Host(fa, tuner_a))
+
+    nodes = [n for n in tree.root.iter_preorder() if not n.is_leaf]
+    rng.shuffle(nodes)
+    queued = 0
+    epoch = 0
+    for step in range(300):
+        op = rng.random()
+        if (op < 0.35 and nodes) or queued == 0:
+            if not nodes:
+                break
+            node = nodes.pop()
+            if rng.random() < 0.5 or not node.children:
+                lb = rng.uniform(0, 10) if rng.random() < 0.8 else None
+                weak = rng.random() < 0.5
+                fa.push(node, lb, epoch, weak)
+                fb.push(node, lb, epoch, weak)
+                queued += 1
+            else:
+                lbs = [rng.uniform(0, 10) for _ in node.children]
+                weak = rng.random() < 0.5
+                fa.push_many(node.children, lbs, epoch, weak, src=node)
+                fb.push_many(node.children, lbs, epoch, weak, src=node)
+                queued += len(node.children)
+        elif op < 0.45:
+            epoch += 1  # stamp invalidation: records go stale
+        elif op < 0.55:
+            t = tuner_a.now + rng.uniform(0, 30)
+            tuner_a.advance_to(t)
+            tuner_b.advance_to(t)
+        elif op < 0.7:
+            assert fa.peek_arrival() == fb.peek_arrival()
+            assert fa.peek_page() == fb.peek_page()
+        elif op < 0.85:
+            got = fa.pop_with_arrival(epoch)
+            want = fb.pop_with_arrival(epoch)
+            assert got[0] is want[0]
+            assert got[1:] == want[1:]
+            queued -= 1
+            t = got[3] + 1.0
+            tuner_a.advance_to(t)
+            tuner_b.advance_to(t)
+        else:
+            ub = rng.uniform(0, 12)
+            limit = (
+                math.inf
+                if rng.random() < 0.5
+                else tuner_a.now + rng.uniform(0, 40)
+            )
+            strict = rng.random() < 0.5
+            got = fa.pop_until(ub, epoch, limit, strict)
+            want = fb.pop_until(ub, epoch, limit, strict)
+            if want is None:
+                assert got is None
+            else:
+                assert got[0] is want[0]
+                assert got[1:] == want[1:]
+            queued = len(fb)
+        assert len(fa) == len(fb)
+        assert fa.finished() == fb.finished()
+        assert fa.footprint() == fb.footprint()
+        # Whole-queue views agree (rescan order is page order).
+        an = fa.active_nodes()
+        bn = fb.active_nodes()
+        assert [n.page_id for n in an] == [n.page_id for n in bn]
+        if an and rng.random() < 0.2:
+            import numpy as np
+
+            assert (fa.active_mbrs() == fb.active_mbrs()).all()
+            rows = sorted(rng.sample(range(len(an)), k=min(3, len(an))))
+            vals = np.array([rng.uniform(0, 5) for _ in rows])
+            fa.store_lower(rows, vals, epoch)
+            fb.store_lower(rows, vals, epoch)
+
+
+def test_footprint_accumulates_multiple_runs_per_flush():
+    """Two staged fan-outs before one flush count toward one peak."""
+    tree, mk = make_tuner()
+    tuner_a, tuner_b = mk(0.0), mk(0.0)
+    fa, fb = ArrivalFrontier(tuner_a), ArrivalFrontier(tuner_b)
+    arena = FrontierArena()
+    arena.register(_Host(fa, tuner_a))
+    internals = [n for n in tree.root.iter_preorder() if not n.is_leaf][:3]
+    for node in internals:  # several runs staged into the SAME flush
+        fa.push_many(node.children, [0.0] * len(node.children), 0, src=node)
+        fb.push_many(node.children, [0.0] * len(node.children), 0, src=node)
+    arena.flush()
+    assert fa.footprint() == fb.footprint()
+
+
+def test_attached_max_size_counts_like_standalone():
+    """Pushes after consumption reproduce the footprint peak exactly."""
+    tree, mk = make_tuner()
+    tuner_a, tuner_b = mk(0.0), mk(0.0)
+    fa, fb = ArrivalFrontier(tuner_a), ArrivalFrontier(tuner_b)
+    arena = FrontierArena()
+    arena.register(_Host(fa, tuner_a))
+    internals = [n for n in tree.root.iter_preorder() if not n.is_leaf][:6]
+    for node in internals:
+        fa.push_many(node.children, [0.0] * len(node.children), 0, src=node)
+        fb.push_many(node.children, [0.0] * len(node.children), 0, src=node)
+        arena.flush()  # footprint accounting happens at the flush
+        assert fa.footprint() == fb.footprint()
+        fa.pop(0)
+        fb.pop(0)
+
+
+def test_eval_pending_attached_batches_stale_entries():
+    """A pop-time miss on the arena evaluates every stale entry at once."""
+    tree, mk = make_tuner()
+    tuner = mk(0.0)
+    f = ArrivalFrontier(tuner)
+    arena = FrontierArena()
+    arena.register(_Host(f, tuner))
+    root = tree.root
+    calls = []
+
+    def evaluator(mbrs):
+        calls.append(mbrs.shape[0])
+        return kernels.mindist(Point(0.0, 0.0), mbrs)
+
+    f.lower_evaluator = evaluator
+    f.push_many(root.children, [0.0] * len(root.children), epoch=0, src=root)
+    n = len(root.children)
+    node, lb, weak, _ = f.pop_with_arrival(epoch=1)  # stale records
+    assert lb is not None and not weak
+    assert calls == [n]
+    for _ in range(n - 1):
+        _, lb, weak, _ = f.pop_with_arrival(1)
+        assert lb is not None and not weak
+    assert calls == [n]  # the batch stamped everything
+
+
+@pytest.mark.parametrize("capacity", [64, 512])
+@pytest.mark.parametrize("algo_cls", [HybridNN, DoubleNN])
+def test_randomized_workload_bit_identity(capacity, algo_cls):
+    """Random workloads: arena executor == per-query, both geometries.
+
+    Hybrid-NN covers mid-run re-steering (retarget / transitive switch on
+    the attached frontiers); Double-NN covers the always-due solo rows.
+    """
+    params = SystemParameters(page_capacity=capacity)
+    env = TNNEnvironment.build(
+        sized_uniform(900, seed=5),
+        sized_uniform(900, seed=6),
+        params=params,
+    )
+    rng = random.Random(31 + capacity)
+    queries = [
+        (env.random_query_point(rng), *env.random_phases(rng))
+        for _ in range(40)
+    ]
+    algo = algo_cls()
+    with kernels.use_kernels(True):
+        shared = execute_tnn_batch(env, algo, queries)
+        per_query = [algo.run(env, q, ps, pr) for q, ps, pr in queries]
+    assert shared == per_query
+
+
+def test_distributed_layout_keeps_arena_empty():
+    """Heap-backed searches (no cyclic order) never register in the arena."""
+    env = TNNEnvironment.build(
+        sized_uniform(600, seed=7),
+        sized_uniform(600, seed=8),
+        params=SystemParameters(page_capacity=64),
+        distributed_levels=2,
+    )
+    rng = random.Random(9)
+    queries = [
+        (env.random_query_point(rng), *env.random_phases(rng))
+        for _ in range(10)
+    ]
+    runner = SharedScanRunner(env, _FixedWorkload(queries), workers=0)
+    algo = HybridNN()
+    got = runner.run_algorithm(algo)
+    want = [algo.run(env, q, ps, pr) for q, ps, pr in queries]
+    assert got == want
+
+
+class _FixedWorkload:
+    """Adapter: a pre-drawn query list as a BatchRunner workload."""
+
+    def __init__(self, queries):
+        self._q = list(queries)
+
+    def queries(self, env):
+        return list(self._q)
+
+    def __len__(self):
+        return len(self._q)
