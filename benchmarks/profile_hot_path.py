@@ -34,7 +34,7 @@ import pathlib
 import pstats
 import time
 
-from repro.broadcast import SystemParameters
+from repro.broadcast import SystemParameters, make_layout
 from repro.core.environment import TNNEnvironment
 from repro.core.hybrid import HybridNN
 from repro.datasets import sized_uniform
@@ -44,6 +44,10 @@ from repro.geometry import kernels
 N_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", 300))
 N_POINTS = int(os.environ.get("REPRO_BENCH_POINTS", 30_000))
 PAGE_CAPACITY = int(os.environ.get("REPRO_BENCH_CAPACITY", 64))
+#: Air-index backend to profile (any repro.broadcast.layout registry name);
+#: non-cyclic backends (rtree-distributed, disk) profile the heap-fallback
+#: queue instead of the arena.
+BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "rtree")
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_profile_hot_path.json"
@@ -94,12 +98,14 @@ def _measure(fn) -> tuple:
     return wall, _phase_breakdown(profile)
 
 
-def profile_hot_path() -> dict:
+def profile_hot_path(backend: str = None) -> dict:
+    backend = BACKEND if backend is None else backend
     params = SystemParameters(page_capacity=PAGE_CAPACITY)
     env = TNNEnvironment.build(
         sized_uniform(N_POINTS, seed=1),
         sized_uniform(N_POINTS, seed=2),
         params=params,
+        layout=make_layout(backend),
     )
     workload = QueryWorkload(N_QUERIES, seed=0)
     algo = HybridNN()
@@ -117,6 +123,7 @@ def profile_hot_path() -> dict:
     return {
         "benchmark": "profile_hot_path",
         "workload": "Hybrid-NN TNN queries, per-phase time breakdown",
+        "backend": backend,
         "n_queries": N_QUERIES,
         "n_points_per_dataset": N_POINTS,
         "page_capacity": PAGE_CAPACITY,
@@ -150,4 +157,16 @@ def test_profile_hot_path(record_experiment):
 
 
 if __name__ == "__main__":
-    print(json.dumps(profile_hot_path(), indent=2))
+    import argparse
+
+    from repro.broadcast import available_layouts
+
+    cli = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    cli.add_argument(
+        "--backend",
+        default=BACKEND,
+        choices=available_layouts(),
+        help="air-index backend to profile (default: %(default)s, "
+        "or REPRO_BENCH_BACKEND)",
+    )
+    print(json.dumps(profile_hot_path(cli.parse_args().backend), indent=2))

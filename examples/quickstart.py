@@ -19,8 +19,23 @@ each round's head selection, certified prune consumption and fan-out
 staging run as whole-workload array passes instead of per-entry python.
 The boxed-tuple heap remains the bit-identity oracle and engages
 automatically wherever the cyclic closed form does not hold — scalar
-mode (``REPRO_NO_KERNELS=1``), lossy tuners, and distributed index
-layouts, which have no uniform replication to exploit.
+mode (``REPRO_NO_KERNELS=1``), lossy tuners, and layouts without cyclic
+page order (distributed indexing, broadcast-disk schedules).
+
+Architecture note — pluggable air-index backends.  Schedule generation
+lives behind the ``BroadcastLayout`` seam (``repro.broadcast.layout``):
+a layout object decides which air index is packed over the dataset
+(R-tree, fixed grid, quadtree), which broadcast schedule its pages fly
+in (uniform (1, m) interleave, distributed indexing, skew-aware
+broadcast disks), and declares ``has_cyclic_order`` so the client stack
+picks the right queue backend automatically.  Pass ``layout=`` to
+``TNNEnvironment.build`` — e.g. ``make_layout("quadtree")`` or
+``BroadcastDiskSchedule(hot_region=...)`` — and everything downstream
+(queries, shared scan, sweeps) works unchanged; the final section below
+answers the same batch on a grid air index.  New backends subclass
+``BroadcastLayout`` and ``register_layout`` a factory; see
+``benchmarks/bench_air_index_matrix.py`` for the backend x population
+comparison matrix.
 
 Run:  python examples/quickstart.py
 """
@@ -35,6 +50,7 @@ from repro import (
     TNNEnvironment,
     WindowBasedTNN,
 )
+from repro.broadcast import make_layout
 from repro.datasets import uniform
 from repro.engine import (
     KNNRequest,
@@ -110,6 +126,24 @@ def main() -> None:
     answers = engine.run_many(requests)
     print("\nMixed client batch via the shared-scan executor:")
     for req, ans in zip(requests, answers):
+        kind = type(req).__name__.replace("Request", "")
+        print(
+            f"  {kind:<7} {len(ans.answers):>3} answer(s), "
+            f"access {ans.access_time:>7.0f}, tune-in {ans.tune_in:>3d}"
+        )
+
+    # Same batch, different physical layout: a fixed-grid air index via
+    # the BroadcastLayout seam.  Query semantics (and the answers' point
+    # sets) are layout-independent; only the cost metrics move.
+    grid_env = TNNEnvironment.build(
+        s_points,
+        r_points,
+        SystemParameters(page_capacity=64),
+        layout=make_layout("grid"),
+    )
+    grid_answers = QueryEngine(grid_env).run_many(requests)
+    print("\nSame batch on a grid air index (layout seam):")
+    for req, ans in zip(requests, grid_answers):
         kind = type(req).__name__.replace("Request", "")
         print(
             f"  {kind:<7} {len(ans.answers):>3} answer(s), "

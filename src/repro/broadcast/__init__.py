@@ -14,6 +14,19 @@ from repro.broadcast.program import BroadcastProgram, optimal_m
 from repro.broadcast.channel import BroadcastChannel
 from repro.broadcast.tuner import ChannelTuner
 from repro.broadcast.loss import PageLossModel
+# layout must precede energy: energy imports repro.core, whose environment
+# module imports the layout names back out of this (partially initialised)
+# package.
+from repro.broadcast.layout import (
+    BroadcastDiskSchedule,
+    BroadcastLayout,
+    GridAirIndexLayout,
+    QuadtreeAirIndexLayout,
+    RTreeInterleavedLayout,
+    available_layouts,
+    make_layout,
+    register_layout,
+)
 from repro.broadcast.energy import EnergyModel
 
 __all__ = [
@@ -24,4 +37,12 @@ __all__ = [
     "PageLossModel",
     "EnergyModel",
     "optimal_m",
+    "BroadcastLayout",
+    "RTreeInterleavedLayout",
+    "GridAirIndexLayout",
+    "QuadtreeAirIndexLayout",
+    "BroadcastDiskSchedule",
+    "register_layout",
+    "make_layout",
+    "available_layouts",
 ]

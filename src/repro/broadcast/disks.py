@@ -1,0 +1,76 @@
+"""Skew-aware broadcast-disk schedules: hot index pages air more often.
+
+Acharya, Alonso, Franklin and Zdonik's *broadcast disks* observe that a
+uniform cycle is wasteful when the client population's interest is skewed:
+pages the population hammers should be broadcast more frequently than
+pages it rarely needs.  Applied to an air index, the "fast disk" holds the
+index pages whose subtrees cover the hot query region and the "slow disk"
+everything else:
+
+``[ full index | chunk 0 | hot index | chunk 1 | ... | hot index | chunk m-1 ]``
+
+A query landing in the hot region descends the index through hot pages
+only — every hop waits at most one super-page, like full (1, m)
+replication, but the cycle is much shorter because cold pages air once.
+Queries outside the hot region pay the broadcast-disk price: a miss on a
+cold page waits out the whole cycle.  The air-index matrix benchmark
+measures exactly this trade-off against uniform layouts under uniform and
+skewed query populations.
+
+The cycle arithmetic is the shared :class:`~repro.broadcast.replication
+.PartialReplicationProgram` machinery (distributed indexing picks its
+subset by tree level; broadcast disks pick it by heat).  Hot replicas are
+unevenly spaced, so the schedule has no cyclic page order — clients use
+the heap fallback over the cached arrival-position tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.broadcast.config import SystemParameters
+from repro.broadcast.replication import PartialReplicationProgram
+from repro.geometry import Rect
+from repro.rtree.tree import RTree
+
+
+def hot_index_pages(tree: RTree, hot_region: Rect) -> List[int]:
+    """Index pages whose MBR intersects the hot query region.
+
+    MBR containment makes the set ancestor-closed automatically: a page
+    intersecting the hot region forces every ancestor (whose MBR contains
+    it) to intersect too, so a hot-region search never leaves the hot set
+    on its way down.  The root (page 0) is always included — every search
+    starts there regardless of skew.
+    """
+    tree.assign_page_ids()
+    pages = [
+        node.page_id
+        for node in tree.iter_nodes()
+        if node.mbr.intersects_rect(hot_region)
+    ]
+    if 0 not in pages:
+        pages.append(0)
+    return pages
+
+
+class BroadcastDiskProgram(PartialReplicationProgram):
+    """A (1, m) program that repeats a hot page subset with every chunk.
+
+    ``hot_pages`` is the fast-disk subset (typically from
+    :func:`hot_index_pages` over the population's hot region).  An empty
+    subset degenerates to broadcasting the index once per cycle; the full
+    page range degenerates to classic (1, m) replication (modulo the
+    per-page position tables replacing the closed form).
+    """
+
+    def __init__(
+        self,
+        tree: RTree,
+        params: SystemParameters | None = None,
+        m: int | None = None,
+        hot_pages: Sequence[int] = (),
+    ) -> None:
+        super().__init__(tree, params, m=m)
+        self._layout_replicas(hot_pages)
+        self.hot_index_length = self.replicated_index_length

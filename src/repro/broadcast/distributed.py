@@ -12,33 +12,30 @@ The cycle shrinks (deep pages appear once), at the price of a longer wait
 when a search misses a deep page.  The ablation benchmark quantifies the
 trade-off against full replication on the same workload.
 
-This class mirrors :class:`~repro.broadcast.program.BroadcastProgram`'s
-interface (``index_page_positions`` / ``data_page_position`` /
+The cycle arithmetic lives in :class:`~repro.broadcast.replication
+.PartialReplicationProgram`, shared with the skew-aware broadcast-disk
+schedule (:mod:`repro.broadcast.disks`) — the two differ only in *which*
+pages repeat per chunk (top levels here, hot pages there).  Both mirror
+:class:`~repro.broadcast.program.BroadcastProgram`'s interface
+(``index_page_positions`` / ``data_page_position`` /
 ``next_index_arrival``), so channels and tuners work unchanged.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List
-
-import numpy as np
+from typing import Dict
 
 from repro.broadcast.config import SystemParameters
-from repro.broadcast.program import BroadcastProgram
+from repro.broadcast.replication import PartialReplicationProgram
 from repro.rtree.tree import RTree
 
 
-class DistributedBroadcastProgram(BroadcastProgram):
+class DistributedBroadcastProgram(PartialReplicationProgram):
     """A (1, m) program replicating only the top ``replicated_levels``.
 
     ``replicated_levels = height`` degenerates to the classic (1, m)
     layout; ``replicated_levels = 1`` replicates only the root.
     """
-
-    #: Deep pages appear once per cycle while top pages repeat per chunk,
-    #: so arrival order is not cyclic page order (no frontier fast path).
-    uniform_index_replication = False
 
     def __init__(
         self,
@@ -51,82 +48,21 @@ class DistributedBroadcastProgram(BroadcastProgram):
             raise ValueError(
                 f"must replicate at least the root level, got {replicated_levels}"
             )
-        # Initialise the base layout first (assigns page ids, sizes, m).
         super().__init__(tree, params, m=m)
         self.replicated_levels = min(replicated_levels, tree.height)
         cutoff = tree.root.level - (self.replicated_levels - 1)
-        #: DFS rank among replicated (top) pages, for pages above the cutoff.
-        self._top_rank: Dict[int, int] = {}
-        for node in tree.iter_nodes():
-            if node.level >= cutoff:
-                self._top_rank[node.page_id] = len(self._top_rank)
-        self.top_index_length = len(self._top_rank)
-        #: Length of the leading super-page (full index + chunk).
-        self._full_super = self.index_length + self.chunk_length
-        #: Length of each follower super-page (top index + chunk).
-        self._top_super = self.top_index_length + self.chunk_length
-        self.cycle_length = self._full_super + (self.m - 1) * self._top_super
-        #: Per-page arrival-position tables.  Positions here are irregular
-        #: (one full copy plus ``m - 1`` top-index copies), so unlike the
-        #: base class there is no closed form — cache one offset array per
-        #: page instead.
-        self._position_arrays: List[np.ndarray] = [
-            self._compute_positions(page_id) for page_id in range(self.index_length)
-        ]
-
-    def _compute_positions(self, page_id: int) -> np.ndarray:
-        positions = [page_id]  # the full copy, in DFS order at cycle start
-        rank = self._top_rank.get(page_id)
-        if rank is not None:
-            for j in range(1, self.m):
-                positions.append(
-                    self._full_super + (j - 1) * self._top_super + rank
-                )
-        arr = np.asarray(positions, dtype=np.int64)
-        # The cached array itself is handed out by index_position_array;
-        # freeze it so no caller can corrupt the arrival table in place.
-        arr.setflags(write=False)
-        return arr
-
-    # ------------------------------------------------------------------
-    def index_page_positions(self, page_id: int) -> List[int]:
-        return self.index_position_array(page_id).tolist()
-
-    def index_position_array(self, page_id: int) -> np.ndarray:
-        if not 0 <= page_id < self.index_length:
-            raise ValueError(f"index page {page_id} out of range")
-        return self._position_arrays[page_id]
-
-    def next_index_arrival(self, page_id: int, now: float) -> float:
-        """Earliest arrival of index page ``page_id`` at or after ``now``.
-
-        Replica positions are unevenly spaced here, so the base class's
-        O(1) modular shortcut does not apply; scan the cached offset array.
-        """
-        return self.next_arrival_at_positions(self.index_position_array(page_id), now)
-
-    def data_page_position(self, data_offset: int) -> int:
-        if not 0 <= data_offset < self.data_length:
-            raise ValueError(f"data offset {data_offset} out of range")
-        if self.chunk_length == 0:
-            raise ValueError("program has no data pages")
-        chunk, within = divmod(data_offset, self.chunk_length)
-        if chunk == 0:
-            return self.index_length + within
-        return (
-            self._full_super
-            + (chunk - 1) * self._top_super
-            + self.top_index_length
-            + within
+        self._layout_replicas(
+            node.page_id
+            for node in tree.iter_nodes()
+            if node.level >= cutoff
         )
 
-    # ------------------------------------------------------------------
-    def replication_overhead(self) -> float:
-        """Index pages per cycle, relative to broadcasting the index once."""
-        total = self.index_length + (self.m - 1) * self.top_index_length
-        return total / self.index_length
+    @property
+    def top_index_length(self) -> int:
+        """Pages in the replicated top-level subset (legacy name)."""
+        return self.replicated_index_length
 
-    @classmethod
-    def full_replication_overhead(cls, tree: RTree, m: int) -> float:
-        """The (1, m) scheme's overhead, for comparison: exactly ``m``."""
-        return float(m)
+    @property
+    def _top_rank(self) -> Dict[int, int]:
+        """DFS rank among replicated (top) pages (legacy name)."""
+        return self._replica_rank

@@ -69,10 +69,16 @@ class BroadcastProgram:
     chunk is padded with filler slots so every super-page has equal length).
     """
 
-    #: True when every index page's replicas sit exactly one super-page
-    #: apart, i.e. arrival order is cyclic page-id order — the property the
-    #: client's arrival frontier exploits.  Irregular layouts (distributed
-    #: indexing) override this with False.
+    #: Capability flag: every index page's replicas sit exactly one
+    #: super-page apart, i.e. arrival order is cyclic page-id order — the
+    #: property the client's arrival frontier (and the shared-scan arena)
+    #: exploits for its closed-form fast path.  Irregular layouts
+    #: (distributed indexing, broadcast-disk schedules) override this with
+    #: False, which routes clients onto the position-table heap fallback.
+    #: Declared by the generating :class:`~repro.broadcast.layout
+    #: .BroadcastLayout` and mirrored here on the program it builds.
+    has_cyclic_order = True
+    #: Legacy alias of :attr:`has_cyclic_order` (pre-layout-seam name).
     uniform_index_replication = True
 
     def __init__(

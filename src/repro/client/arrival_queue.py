@@ -43,11 +43,14 @@ class ArrivalQueueMixin:
     def _init_queue(self) -> None:
         #: Backend choice is fixed per search: a search constructed under
         #: ``use_kernels(False)`` stays on the oracle heap for its
-        #: lifetime, and irregular replication layouts (distributed
-        #: indexing) have no cyclic page order for the frontier to exploit.
+        #: lifetime, and layouts without cyclic page order (distributed
+        #: indexing, broadcast-disk schedules) give the frontier's
+        #: closed-form arrival arithmetic nothing to exploit — the
+        #: generating BroadcastLayout declares the capability and the
+        #: program mirrors it as ``has_cyclic_order``.
         use_frontier = kernels.enabled() and getattr(
             getattr(getattr(self.tuner, "channel", None), "program", None),
-            "uniform_index_replication",
+            "has_cyclic_order",
             False,
         )
         self._heap_max = 0

@@ -8,12 +8,14 @@ from typing import Dict, List, MutableMapping, Optional, Sequence, Tuple
 
 from repro.broadcast import (
     BroadcastChannel,
+    BroadcastLayout,
     BroadcastProgram,
     ChannelTuner,
+    RTreeInterleavedLayout,
     SystemParameters,
 )
 from repro.geometry import Point, Rect
-from repro.rtree import RTree, build_rtree
+from repro.rtree import RTree
 
 
 @dataclass
@@ -46,6 +48,7 @@ class TNNEnvironment:
         m: int | None = None,
         packing: str = "str",
         distributed_levels: int | None = None,
+        layout: "BroadcastLayout | None" = None,
         tree_cache: Optional[MutableMapping] = None,
         program_cache: Optional[MutableMapping] = None,
     ) -> "TNNEnvironment":
@@ -53,57 +56,57 @@ class TNNEnvironment:
 
         Page geometry (leaf capacity, fanout) derives from ``params``
         (Table 2); the replication factor ``m`` defaults to the
-        access-time-optimal value per channel.  ``distributed_levels``
-        switches both channels from full (1, m) replication to distributed
-        indexing that replicates only that many top tree levels.
+        access-time-optimal value per channel.  Schedule generation is
+        delegated to a :class:`~repro.broadcast.layout.BroadcastLayout`
+        backend; ``packing`` and ``distributed_levels`` are the legacy
+        spelling of the default R-tree backend and may not be combined
+        with an explicit ``layout``.
 
         ``tree_cache`` / ``program_cache`` enable shared-cycle reuse across
-        environments: a packed tree is keyed by (dataset, page geometry,
-        packing) and a broadcast program by the tree key plus (params, m,
-        distributed_levels), so sweep configurations that differ only in
-        ``m``, in the page capacity, or in the *other* channel's dataset
-        rebuild nothing they already have.  Packing is deterministic, so a
-        cache hit is observationally identical to a rebuild.
+        environments: a packed tree is keyed by (dataset, page geometry)
+        plus the layout's ``index_key()``, and a broadcast program by the
+        tree key plus (params, m) and the layout's full ``cache_key()`` —
+        backend type *and* every schedule parameter — so sweep
+        configurations that differ only in ``m``, in the page capacity, or
+        in the *other* channel's dataset rebuild nothing they already
+        have, while two backends over the same dataset never alias.
+        Index builds are deterministic, so a cache hit is observationally
+        identical to a rebuild.
         """
         params = params or SystemParameters()
+        if layout is None:
+            layout = RTreeInterleavedLayout(
+                packing=packing, distributed_levels=distributed_levels
+            )
+        elif packing != "str" or distributed_levels is not None:
+            raise ValueError(
+                "pass either layout= or the legacy packing/distributed_levels "
+                "arguments, not both"
+            )
 
         def tree_for(points: List[Point]):
             if tree_cache is None:
-                return (
-                    build_rtree(
-                        points, params.leaf_capacity, params.internal_fanout, packing
-                    ),
-                    None,
-                )
+                return layout.build_index(points, params), None
             key = (
                 tuple(points),
                 params.leaf_capacity,
                 params.internal_fanout,
-                packing,
+                layout.index_key(),
             )
             tree = tree_cache.get(key)
             if tree is None:
-                tree = build_rtree(
-                    points, params.leaf_capacity, params.internal_fanout, packing
-                )
+                tree = layout.build_index(points, params)
                 tree_cache[key] = tree
             return tree, key
 
         def program_for(tree, tree_key):
             key = None
             if program_cache is not None and tree_key is not None:
-                key = (tree_key, params, m, distributed_levels)
+                key = (tree_key, params, m, layout.cache_key())
                 program = program_cache.get(key)
                 if program is not None:
                     return program
-            if distributed_levels is None:
-                program = BroadcastProgram(tree, params, m=m)
-            else:
-                from repro.broadcast.distributed import DistributedBroadcastProgram
-
-                program = DistributedBroadcastProgram(
-                    tree, params, m=m, replicated_levels=distributed_levels
-                )
+            program = layout.build_program(tree, params, m=m)
             if key is not None:
                 program_cache[key] = program
             return program

@@ -1,0 +1,40 @@
+"""Layout-agnostic air-index substrate.
+
+The geometry kernels (:mod:`repro.geometry.kernels`) consume one *packed*
+representation of an index node's fan-out — contiguous child-MBR /
+subtree-count / page-id arrays for internal nodes, a contiguous point
+array for leaves — regardless of which spatial partitioning produced the
+node.  This package owns that representation (:mod:`repro.index.packed`)
+and the non-R-tree air-index builders that emit it:
+
+* :mod:`repro.index.grid` — a fixed-grid air index (cell-bucketed
+  leaves packed upward in row-major cell order);
+* :mod:`repro.index.quadtree` — a region-quadtree air index (recursive
+  four-way subdivision, padded to a balanced page tree).
+
+Both builders return plain :class:`~repro.rtree.tree.RTree` containers, so
+the entire client stack — arrival frontiers, the shared-scan executor, the
+geometry kernels — works on them unchanged; only the broadcast layout
+(:mod:`repro.broadcast.layout`) knows which backend built the index.
+
+Submodule imports are deliberately explicit (``from repro.index.grid
+import grid_pack``): :mod:`repro.rtree.node` depends on
+:mod:`repro.index.packed`, so this ``__init__`` must not import the
+builders (which depend on :mod:`repro.rtree`) at package-import time.
+"""
+
+from repro.index.packed import (
+    pack_child_counts,
+    pack_child_mbrs,
+    pack_child_pages,
+    pack_points,
+    prepare_packed_arrays,
+)
+
+__all__ = [
+    "pack_child_mbrs",
+    "pack_child_counts",
+    "pack_child_pages",
+    "pack_points",
+    "prepare_packed_arrays",
+]

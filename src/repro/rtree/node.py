@@ -22,6 +22,12 @@ from typing import Iterator, Optional, Sequence
 import numpy as np
 
 from repro.geometry import Point, Rect
+from repro.index.packed import (
+    pack_child_counts,
+    pack_child_mbrs,
+    pack_child_pages,
+    pack_points,
+)
 
 
 @dataclass
@@ -115,9 +121,7 @@ class RTreeNode:
         """Contiguous ``(n, 4)`` float64 array of the children's MBRs."""
         arr = self._child_mbrs
         if arr is None:
-            arr = np.array(
-                [c.mbr for c in self.children], dtype=np.float64
-            ).reshape(-1, 4)
+            arr = pack_child_mbrs(self.children)
             self._child_mbrs = arr
         return arr
 
@@ -125,9 +129,7 @@ class RTreeNode:
         """Per-child subtree point counts, aligned with the MBR rows."""
         arr = self._child_counts
         if arr is None:
-            arr = np.array(
-                [c.point_count for c in self.children], dtype=np.int64
-            )
+            arr = pack_child_counts(self.children)
             self._child_counts = arr
         return arr
 
@@ -141,9 +143,7 @@ class RTreeNode:
         """
         arr = self._child_pages
         if arr is None:
-            arr = np.array(
-                [c.page_id for c in self.children], dtype=np.int64
-            )
+            arr = pack_child_pages(self.children)
             self._child_pages = arr
         return arr
 
@@ -172,7 +172,7 @@ class RTreeNode:
         """Contiguous ``(n, 2)`` float64 array of this leaf's points."""
         arr = self._points_arr
         if arr is None:
-            arr = np.array(self.points, dtype=np.float64).reshape(-1, 2)
+            arr = pack_points(self.points)
             self._points_arr = arr
         return arr
 

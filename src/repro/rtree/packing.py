@@ -20,6 +20,7 @@ import math
 from typing import Callable, Sequence
 
 from repro.geometry import Point, Rect
+from repro.index.packed import prepare_packed_arrays
 from repro.rtree.hilbert import hilbert_key_for
 from repro.rtree.node import RTreeNode
 from repro.rtree.tree import RTree
@@ -36,24 +37,11 @@ def _chunks(seq: Sequence, size: int) -> list[list]:
 def _finalize(tree: RTree) -> RTree:
     """Pack-time epilogue: build every node's array-backed fan-out view.
 
-    The contiguous child-MBR / leaf-point arrays feed the vectorised
-    geometry kernels; building them here (once per tree) keeps the first
-    query of every workload off the cold path.  Trees whose fan-outs can
-    never reach the kernel dispatch thresholds (e.g. the 64-byte-page
-    geometry with M = 3) skip the eager pass — the accessors stay lazy, so
-    nothing breaks if a threshold is lowered at runtime.
+    Delegates to the layout-agnostic packed-index finalisation
+    (:func:`repro.index.packed.prepare_packed_arrays`) shared with the
+    grid and quadtree air-index builders.
     """
-    from repro.geometry import kernels
-
-    if kernels.enabled():
-        # min_batch() is the weakest dispatch gate per level (transitive
-        # bounds for internals, window masks for leaves); levels that can
-        # never reach it would build arrays no kernel ever reads.
-        internal = tree.fanout >= kernels.min_batch()
-        leaves = tree.leaf_capacity >= kernels.min_batch()
-        if internal or leaves:
-            tree.prepare_arrays(internal=internal, leaves=leaves)
-    return tree
+    return prepare_packed_arrays(tree)
 
 
 def _pack_upward(nodes: list[RTreeNode], fanout: int, group: Callable) -> RTreeNode:

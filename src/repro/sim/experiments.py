@@ -57,12 +57,16 @@ class SweepCache:
     configuration: a density sweep reuses the same S dataset for every R
     density, Table 3 pairs the same datasets under four page capacities and
     across combinations, and the ANN sweeps share datasets across algorithm
-    variants.  Packing an R-tree and laying out a program are deterministic
-    in (dataset, page geometry, packing, m), so this cache keys packed
-    trees on (dataset, leaf capacity, fanout, packing) and broadcast
-    programs on the tree key plus (params, m, distributed levels), and
-    every :func:`build` hit skips straight to the cached object —
-    observationally identical to a rebuild.
+    variants.  Packing an air index and laying out a program are
+    deterministic in (dataset, page geometry, layout, m), so this cache
+    keys packed trees on (dataset, leaf capacity, fanout) plus the
+    layout's ``index_key()`` and broadcast programs on the tree key plus
+    (params, m) and the layout's full ``cache_key()`` — backend type and
+    every schedule parameter, so two
+    :class:`~repro.broadcast.layout.BroadcastLayout` backends over the
+    same dataset never alias each other's entries.  Every :func:`build`
+    hit skips straight to the cached object — observationally identical
+    to a rebuild.
     """
 
     #: FIFO eviction bounds — generous for any single sweep (Table 3 peaks
