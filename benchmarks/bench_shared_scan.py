@@ -42,6 +42,10 @@ N_POINTS = int(os.environ.get("REPRO_BENCH_POINTS", 30_000))
 PAGE_CAPACITY = int(os.environ.get("REPRO_BENCH_CAPACITY", 64))
 ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", 4))
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", 0.0))
+# The per-backend ledger gate sweeps every registered layout with a
+# per-query oracle pass, so it runs at its own (smaller) scale.
+SWEEP_QUERIES = int(os.environ.get("REPRO_BENCH_SWEEP_QUERIES", 40))
+SWEEP_POINTS = int(os.environ.get("REPRO_BENCH_SWEEP_POINTS", 2_000))
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_shared_scan.json"
@@ -105,10 +109,14 @@ def test_shared_scan_speedup(benchmark, record_experiment):
     # The previous recording (the last PR's shared-scan time) is carried
     # forward so the arena PR's before/after lives in the artifact itself.
     previous_shared = None
+    previous_backends = None
     if JSON_PATH.exists():
         try:
             prev = json.loads(JSON_PATH.read_text())
             previous_shared = prev.get("shared_scan_seconds")
+            # The per-backend ledger gate (test below) merges its section
+            # into this file; a headline-only re-run keeps it.
+            previous_backends = prev.get("backends")
         except (ValueError, OSError):  # pragma: no cover - defensive
             previous_shared = None
 
@@ -130,6 +138,8 @@ def test_shared_scan_speedup(benchmark, record_experiment):
         "pr3_per_query_reference_seconds": pr3_reference,
         "previous_shared_scan_seconds": previous_shared,
     }
+    if previous_backends is not None:
+        payload["backends"] = previous_backends
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     record_experiment(
@@ -158,3 +168,102 @@ def test_shared_scan_speedup(benchmark, record_experiment):
         ),
     )
     assert speedup >= MIN_SPEEDUP
+
+
+def test_ledger_backend_sweep(record_experiment):
+    """Tuner-ledger bit-identity gate on every registered backend.
+
+    For each layout backend, the shared-scan path (columnar tuner ledger
+    engaged where the backend supports the arena, burst fallback where it
+    does not) must match the per-query scalar-tuner oracle twice over:
+
+    * the full Hybrid-TNN ``TNNResult`` stream, and
+    * raw tuner state at the search level — ``now``, the page counters,
+      ``lost_pages`` and the **materialised log tuples** — against a
+      :func:`run_all`-driven oracle on identically constructed searches.
+
+    Merges a per-backend ``bit_identical`` section into
+    ``BENCH_shared_scan.json``; CI fails the build if any entry is false.
+    """
+    from repro.broadcast import (
+        BroadcastChannel,
+        ChannelTuner,
+        available_layouts,
+        make_layout,
+    )
+    from repro.client import BroadcastNNSearch, SearchGroup, run_all
+    from repro.engine import execute_tnn_batch
+    from repro.engine.shared_scan import SharedScanExecutor
+
+    algo = HybridNN()
+    backends = {}
+    for name in available_layouts():
+        env = TNNEnvironment.build(
+            sized_uniform(SWEEP_POINTS, seed=1),
+            sized_uniform(SWEEP_POINTS, seed=2),
+            params=SystemParameters(page_capacity=PAGE_CAPACITY),
+            layout=make_layout(name),
+        )
+        queries = QueryWorkload(SWEEP_QUERIES, seed=7).queries(env)
+        with kernels.use_kernels(True):
+            want = [algo.run(env, q, ps, pr) for q, ps, pr in queries]
+            got = execute_tnn_batch(env, algo, queries)
+        results_ok = got == want
+
+        rng = random.Random(13)
+        cycle = env.s_program.cycle_length
+        specs = [
+            (env.random_query_point(rng), rng.uniform(0, cycle))
+            for _ in range(10)
+        ]
+
+        def nn_search(spec):
+            q, phase = spec
+            tuner = ChannelTuner(
+                BroadcastChannel(env.s_program, phase=phase)
+            )
+            return BroadcastNNSearch(env.s_tree, tuner, q)
+
+        oracle = [nn_search(spec) for spec in specs]
+        shared = [nn_search(spec) for spec in specs]
+        with kernels.use_kernels(True):
+            for s in oracle:
+                run_all([s])
+            executor = SharedScanExecutor()
+            for s in shared:
+                executor.add(SearchGroup([s]))
+            executor.run()
+        tuners_ok = all(
+            a.result() == b.result()
+            and a.tuner.now == b.tuner.now
+            and a.tuner.index_pages == b.tuner.index_pages
+            and a.tuner.data_pages == b.tuner.data_pages
+            and a.tuner.lost_pages == b.tuner.lost_pages
+            and a.tuner.log == b.tuner.log
+            for a, b in zip(shared, oracle)
+        )
+        backends[name] = {"bit_identical": bool(results_ok and tuners_ok)}
+        assert results_ok, f"{name}: TNNResult stream diverged"
+        assert tuners_ok, f"{name}: tuner state or log diverged"
+
+    data = {}
+    if JSON_PATH.exists():
+        try:
+            data = json.loads(JSON_PATH.read_text())
+        except (ValueError, OSError):  # pragma: no cover - defensive
+            data = {}
+    data["backends"] = backends
+    JSON_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+    record_experiment(
+        "shared_scan_backends",
+        format_table(
+            ["backend", "bit_identical"],
+            [[name, str(entry["bit_identical"])]
+             for name, entry in sorted(backends.items())],
+            title=(
+                "[shared_scan] ledger bit-identity vs scalar-tuner "
+                f"oracle, {SWEEP_QUERIES} queries / backend"
+            ),
+        ),
+    )

@@ -2,9 +2,8 @@
 
 The shared-scan PR measured (informally) that ~75% of the 1,000-query
 Hybrid-TNN workload at 64-byte pages is per-entry python queue work.  This
-harness turns that claim into a recorded number: it runs the workload once
-uninstrumented for an honest wall-clock, then once under ``cProfile`` and
-buckets every function's *total* (self) time into four phases by module:
+harness turns that claim into a recorded number, with two independent
+timers over the same four phase buckets:
 
 * **queue** — the arrival frontier / columnar arena and the heap mixin
   (`client/frontier.py`, `client/arrival_queue.py`): pushes, pops,
@@ -16,18 +15,31 @@ buckets every function's *total* (self) time into four phases by module:
 * **bookkeeping** — everything else on the hot path (`engine/`,
   `client/search.py` absorb logic, `core/`, scheduler, numpy glue).
 
-Shares are of the *profiled* run (cProfile inflates python-call-heavy
-phases, so they are an upper bound on the queue share and a lower bound on
-the numpy-kernel share); the uninstrumented wall-clock is recorded
-alongside.  Both the per-query and the shared-scan paths are profiled, so
-the before/after of queue-floor work is measured, not asserted.
+The **wall timer** (primary, ``share`` in the JSON) wraps the bucket entry
+points — frontier/arena methods, the public kernels, tuner accounting —
+with ``perf_counter`` pairs and attributes *self time* to each bucket (a
+nested wrapped call is credited to its own bucket and subtracted from its
+caller's); whatever the wrappers never see is the bookkeeping remainder.
+Tens of thousands of coarse wrapper crossings cost microseconds each, so
+the timed run stays within a few percent of the uninstrumented wall-clock
+recorded alongside it.
+
+The **cProfile breakdown** (``profiled_share``) buckets every function's
+self time by module path.  It is kept for cross-checking only: tracing
+inflates python-call-heavy phases several-fold, so its shares overstate
+queue/bookkeeping and understate the numpy kernels.
+
+Both the per-query and the shared-scan paths are measured, so the
+before/after of queue-floor work is recorded, not asserted.
 
 Writes ``BENCH_profile_hot_path.json`` at the repository root.
 """
 
 from __future__ import annotations
 
+import contextlib
 import cProfile
+import gc
 import json
 import os
 import pathlib
@@ -81,21 +93,189 @@ def _phase_breakdown(profile: cProfile.Profile) -> dict:
     }
     return {
         "profiled_seconds": {k: round(v, 6) for k, v in totals.items()},
-        "share": shares,
+        "profiled_share": shares,
     }
 
 
+class _WallPhaseTimer:
+    """Self-time bucket accumulator for coarse wrapper instrumentation.
+
+    Each wrapped call pushes a child-time frame; on exit its elapsed time
+    minus the time spent in *nested wrapped calls* is credited to its own
+    bucket, and its full elapsed time is charged to the enclosing frame.
+    Whatever no wrapper ever saw is the caller's (bookkeeping) remainder.
+    """
+
+    def __init__(self) -> None:
+        self.totals = {"queue": 0.0, "geometry": 0.0, "download": 0.0}
+        self._child = [0.0]  # child-time accumulator per active frame
+
+    def wrap(self, fn, bucket: str):
+        totals = self.totals
+        child = self._child
+        clock = time.perf_counter
+
+        def wrapper(*args, **kwargs):
+            t0 = clock()
+            child.append(0.0)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                dt = clock() - t0
+                totals[bucket] += dt - child.pop()
+                child[-1] += dt
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    def breakdown(self, wall: float) -> dict:
+        seconds = dict(self.totals)
+        seconds["bookkeeping"] = max(wall - sum(seconds.values()), 0.0)
+        shares = {
+            phase: (round(t / wall, 4) if wall else 0.0)
+            for phase, t in seconds.items()
+        }
+        return {
+            "timed_wall_seconds": round(wall, 6),
+            "wall_seconds_by_phase": {k: round(v, 6) for k, v in seconds.items()},
+            "share": shares,
+        }
+
+
+def _wrap_sites() -> list:
+    """(holder, attribute, bucket) triples for the wall-clock wrappers.
+
+    Coarse on purpose: bucket *entry points* are wrapped (frontier and
+    arena methods, the public kernels, tuner accounting), never per-element
+    helpers.  Overhead tracks the number of wrapper crossings — negligible
+    for the batched shared-scan path, visible for the per-pop per-query
+    path — and the timed wall-clock is recorded next to the uninstrumented
+    one so that inflation is measured, not hidden.  Functions a module
+    re-imported by name are patched at the importer too, or the wrapper
+    would never see those calls.
+
+    The executor's ``_serve_*_one`` drains count as **queue**: they are the
+    frontier pop loop inlined into the engine (they consume the arrival
+    lanes directly), and their nested geometry / download calls are wrapped
+    separately, so self-time attribution still splits them honestly.
+    ``transitive_join`` counts as **geometry** — it is the filter phase's
+    pairwise distance evaluation.
+    """
+    from repro.broadcast import tuner as tuner_mod
+    from repro.client import arrival_queue as aq_mod
+    from repro.client import frontier as frontier_mod
+    from repro.client import search as search_mod
+    from repro.core import base as base_mod
+    from repro.core import join as join_mod
+    from repro.engine import shared_scan as shared_scan_mod
+    from repro.geometry import rect as rect_mod
+
+    sites = []
+    for name in (
+        "hypot", "point_dists", "trans_dists", "mindist", "minmaxdist",
+        "point_bounds", "segment_intersects_rects", "min_trans_dist",
+        "min_max_trans_dist", "trans_bounds", "point_dists_multi",
+        "trans_dists_multi", "mindist_multi", "point_bounds_multi",
+        "trans_bounds_multi", "point_weak_bounds_multi",
+        "trans_weak_bounds_multi", "trans_corner_minmax_multi",
+        "point_dists_raw", "trans_dists_raw",
+    ):
+        sites.append((kernels, name, "geometry"))
+    # search.py binds the scalar metrics by name at import time.
+    for name in ("distance", "min_trans_dist", "min_max_trans_dist"):
+        sites.append((search_mod, name, "geometry"))
+    for name in ("mindist", "minmaxdist"):
+        sites.append((rect_mod.Rect, name, "geometry"))
+    # The filter-phase join, at its definition and its by-name importers.
+    for holder in (join_mod, base_mod, shared_scan_mod):
+        sites.append((holder, "transitive_join", "geometry"))
+    for name in (
+        "__init__", "push", "push_many", "peek_arrival", "peek_page", "pop",
+        "pop_with_arrival", "pop_until", "active_nodes", "active_mbrs",
+        "store_lower",
+    ):
+        sites.append((frontier_mod.ArrivalFrontier, name, "queue"))
+    for name in (
+        "register", "sync", "stage", "stage_lane", "flush", "begin_round",
+        "serve", "kill", "peek_arrival_attached", "peek_page_attached",
+        "pop_attached", "pop_until_attached", "active_nodes_attached",
+        "active_mbrs_attached", "store_lower_attached", "len_attached",
+        "queries_of", "transitive_of", "_eval_stale_attached",
+    ):
+        sites.append((frontier_mod.FrontierArena, name, "queue"))
+    for name in (
+        "_init_queue", "_push", "_normalize_head", "_pop_head",
+        "_pop_head_bound",
+    ):
+        sites.append((aq_mod.ArrivalQueueMixin, name, "queue"))
+    for name in (
+        "_serve_nn_one", "_serve_knn_one", "_serve_range_one",
+        "_serve_window_one",
+    ):
+        sites.append((shared_scan_mod.SharedScanExecutor, name, "queue"))
+    for cls in (tuner_mod.ChannelTuner, tuner_mod._LedgerTuner):
+        for name in (
+            "advance_to", "record_index_run", "download_index_page",
+            "download_object",
+        ):
+            # Patch only where the class defines (or overrides) the method,
+            # so a wrapped base call is not double-counted via the subclass.
+            if name in cls.__dict__:
+                sites.append((cls, name, "download"))
+    sites.append((tuner_mod.TunerLedger, "flush_round", "download"))
+    return sites
+
+
+@contextlib.contextmanager
+def _patched(timer: _WallPhaseTimer):
+    saved = []
+    try:
+        for holder, name, bucket in _wrap_sites():
+            fn = getattr(holder, name, None)
+            if fn is None:
+                continue
+            saved.append((holder, name, fn))
+            setattr(holder, name, timer.wrap(fn, bucket))
+        yield
+    finally:
+        for holder, name, fn in saved:
+            setattr(holder, name, fn)
+
+
 def _measure(fn) -> tuple:
-    """(wall_seconds, breakdown) of one warmed call of ``fn``."""
+    """(wall_seconds, breakdown) of one warmed call of ``fn``.
+
+    Measured passes run with the cyclic garbage collector paused (and
+    re-enabled after): the ambient collector periodically re-scans the
+    long-lived environment — tens of thousands of points, nodes and
+    schedule entries — and those pauses land at arbitrary points of
+    whichever phase is running.  Pausing it makes the attribution
+    deterministic; both execution paths get the same treatment, so the
+    comparison stays fair.  (Reference-counted garbage is still freed —
+    only cycle detection is deferred.)
+    """
     fn()  # warm caches (trees, programs, arrival tables)
-    t0 = time.perf_counter()
-    fn()
-    wall = time.perf_counter() - t0
-    profile = cProfile.Profile()
-    profile.enable()
-    fn()
-    profile.disable()
-    return wall, _phase_breakdown(profile)
+    gc_was_on = gc.isenabled()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        fn()
+        wall = time.perf_counter() - t0
+        timer = _WallPhaseTimer()
+        with _patched(timer):
+            t0 = time.perf_counter()
+            fn()
+            timed_wall = time.perf_counter() - t0
+        profile = cProfile.Profile()
+        profile.enable()
+        fn()
+        profile.disable()
+    finally:
+        if gc_was_on:
+            gc.enable()
+        gc.collect()
+    breakdown = {**timer.breakdown(timed_wall), **_phase_breakdown(profile)}
+    return wall, breakdown
 
 
 def profile_hot_path(backend: str = None) -> dict:
@@ -130,11 +310,24 @@ def profile_hot_path(backend: str = None) -> dict:
         "leaf_capacity": params.leaf_capacity,
         "fanout": params.internal_fanout,
         "note": (
-            "shares are of the cProfile'd run (python-call-heavy phases "
-            "inflated); wall_seconds is the uninstrumented reference"
+            "share is from the wall-clock phase timer (perf_counter "
+            "wrappers on bucket entry points, self-time attribution, "
+            "bookkeeping = remainder); profiled_share is the cProfile "
+            "cross-check, which inflates python-call-heavy phases; "
+            "wall_seconds is the uninstrumented reference"
         ),
         "per_query": {"wall_seconds": round(pq_wall, 6), **pq_phases},
         "shared_scan": {"wall_seconds": round(shared_wall, 6), **shared_phases},
+        "pr6_reference": {
+            "shared_bookkeeping_share": 0.6271,
+            "shared_wall_seconds": 0.644262,
+            "method": (
+                "cProfile with module-based phase classification; it "
+                "counted the executor's inlined serve drains as "
+                "bookkeeping and inflated python-call-heavy phases, so "
+                "the share is not comparable to the wall-clock timer's"
+            ),
+        },
     }
 
 
@@ -151,9 +344,11 @@ def test_profile_hot_path(record_experiment):
         lines.append(f"  {path}: {entry['wall_seconds']:.3f}s wall | {share}")
     record_experiment("profile_hot_path", "\n".join(lines))
     # The harness is a measurement, not a gate; the only invariant is that
-    # the buckets saw the hot path at all.
+    # both timers saw the hot path at all.
     for path in ("per_query", "shared_scan"):
         assert sum(payload[path]["profiled_seconds"].values()) > 0.0
+        timed = payload[path]["wall_seconds_by_phase"]
+        assert sum(timed[p] for p in ("queue", "geometry", "download")) > 0.0
 
 
 if __name__ == "__main__":

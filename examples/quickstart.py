@@ -22,6 +22,24 @@ automatically wherever the cyclic closed form does not hold — scalar
 mode (``REPRO_NO_KERNELS=1``), lossy tuners, and layouts without cyclic
 page order (distributed indexing, broadcast-disk schedules).
 
+Architecture note — the columnar tuner ledger.  Every search accounts
+its radio on a ``ChannelTuner`` — clock, page counters and a reception
+log, four scalars and a list, the cheapest layout for one query (and
+the bit-identity oracle).  When the shared-scan executor serves a
+workload, the arena-served searches' tuners are *attached* to one
+``TunerLedger``: their state moves into shared numpy lanes (one row per
+tuner) plus a packed event arena replacing the per-tuner tuple logs,
+and the executor books the whole round's downloads with one vectorised
+flush alongside the arena flush.  Attachment is transparent — an
+attached tuner routes its public attributes to its ledger row, and
+``tuner.log`` materialises lazily from the event arena as the same
+tuples the scalar oracle writes — so result constructors and trace
+tooling never know which backend they read.  ``REPRO_SCALAR_TUNERS=1``
+forces every tuner to stay standalone (the escape hatch mirroring
+``REPRO_NO_KERNELS``); lossy tuners (``PageLossModel``) and non-cyclic
+layouts skip attachment automatically and burst on the per-query
+oracle path.
+
 Architecture note — pluggable air-index backends.  Schedule generation
 lives behind the ``BroadcastLayout`` seam (``repro.broadcast.layout``):
 a layout object decides which air index is packed over the dataset

@@ -685,6 +685,13 @@ class FrontierArena:
         self._e_page = np.empty(0, dtype=np.int64)
         self._e_slot = np.empty(0, dtype=np.int64)
         self._e_lb = np.empty(0, dtype=np.float64)
+        #: Certified keep bound per entry: an inflated upper bound on the
+        #: exact Lemma 1 value (Lemma 3 corner / centre estimates).  A
+        #: weak survivor whose ``_e_ub`` sits at or below its owner's
+        #: upper bound provably passes the exact pop-time keep test — the
+        #: executor skips the scalar certification entirely.  ``inf``
+        #: (single pushes, point lanes) just falls back to that scalar.
+        self._e_ub = np.empty(0, dtype=np.float64)
         self._e_weak = np.empty(0, dtype=bool)
         self._e_epoch = np.empty(0, dtype=np.int64)
         self._e_owner = np.empty(0, dtype=np.int64)
@@ -832,26 +839,26 @@ class FrontierArena:
         self._bump_staged(f, n)
 
     def stage_lane(self, searches, nodes, n: int, lbs: np.ndarray,
-                   weak: bool) -> None:
+                   weak: bool, ubs: Optional[np.ndarray] = None,
+                   pages: Optional[np.ndarray] = None) -> None:
         """Stage one absorb lane's fan-outs in a single call.
 
         ``k`` searches each queue the ``n`` children of their expanded
         node, with bounds from the lane's ``(k, n)`` kernel block and each
         owner's current metric epoch.  One slim python pass over the lane
         replaces ``k`` separate ``push_many`` calls; the flush expands the
-        lane into per-search runs with pure array arithmetic.
+        lane into per-search runs with pure array arithmetic.  ``pages``
+        optionally carries the lane's child page ids (``(k, n)`` or flat,
+        row order matching ``nodes``) pre-gathered by the caller — the
+        shared-scan executor reads them out of its per-fan-out page
+        blocks — replacing the per-node concatenation here.
         """
-        bases = []
-        fs = []
-        epochs = []
         flushes = self._flushes
-        for s, node in zip(searches, nodes):
-            f = s._frontier
-            fs.append(f)
-            nl = f._nodes
-            base = len(nl)
-            bases.append(base)
-            nl.extend(node.children)
+        fs = [s._frontier for s in searches]
+        epochs = [s._metric_epoch for s in searches]
+        bases = [len(f._nodes) for f in fs]
+        for f, node, base in zip(fs, nodes, bases):
+            f._nodes.extend(node.children)
             f._mbr_bases.append(base)
             f._mbr_chunks.append(node.child_mbr_array())
             if f._staged_ver == flushes:
@@ -859,11 +866,16 @@ class FrontierArena:
             else:
                 f._staged_ver = flushes
                 f._staged_n = n
-            epochs.append(s._metric_epoch)
-        pages = np.concatenate([node.child_page_array() for node in nodes])
+        if pages is None:
+            pages = np.concatenate(
+                [node.child_page_array() for node in nodes]
+            )
+        else:
+            pages = pages.reshape(-1)
         self._staged_lanes.append(
             (fs, n, pages, np.array(bases, dtype=np.int64), lbs.ravel(),
-             np.array(epochs, dtype=np.int64), weak)
+             np.array(epochs, dtype=np.int64), weak,
+             None if ubs is None else ubs.ravel())
         )
 
     def _bump_staged(self, f: ArrivalFrontier, n: int) -> None:
@@ -915,6 +927,7 @@ class FrontierArena:
             weak_parts: List[np.ndarray] = []
             page_parts: List[np.ndarray] = []
             lb_parts: List[np.ndarray] = []
+            ub_parts: List[np.ndarray] = []
             if staged:
                 fs, ns, pages_l, bases, lbs_l, epochs, weaks = map(
                     list, zip(*staged)
@@ -932,7 +945,9 @@ class FrontierArena:
                     v if v is not None else np.full(c, math.nan)
                     for v, c in zip(lbs_l, ns)
                 )
-            for lfs, ln, lpages, lbases, llbs, lepochs, lweak in lanes:
+                ub_parts.extend(np.full(c, math.inf) for c in ns)
+            for (lfs, ln, lpages, lbases, llbs, lepochs, lweak,
+                 lubs) in lanes:
                 k = len(lfs)
                 sid_parts.append(np.fromiter(
                     (ft._sid for ft in lfs), dtype=np.int64, count=k
@@ -943,6 +958,10 @@ class FrontierArena:
                 weak_parts.append(np.full(k, lweak, dtype=bool))
                 page_parts.append(lpages)
                 lb_parts.append(llbs)
+                ub_parts.append(
+                    lubs if lubs is not None
+                    else np.full(k * ln, math.inf)
+                )
             st_sids = (sid_parts[0] if len(sid_parts) == 1
                        else np.concatenate(sid_parts))
             st_counts = (count_parts[0] if len(count_parts) == 1
@@ -968,6 +987,7 @@ class FrontierArena:
         e_page = np.empty(m, dtype=np.int64)
         e_slot = np.empty(m, dtype=np.int64)
         e_lb = np.empty(m, dtype=np.float64)
+        e_ub = np.empty(m, dtype=np.float64)
         e_weak = np.empty(m, dtype=bool)
         e_epoch = np.empty(m, dtype=np.int64)
         if alive_idx.size:
@@ -979,6 +999,7 @@ class FrontierArena:
             e_page[dest] = self._e_page[alive_idx]
             e_slot[dest] = self._e_slot[alive_idx]
             e_lb[dest] = self._e_lb[alive_idx]
+            e_ub[dest] = self._e_ub[alive_idx]
             e_weak[dest] = self._e_weak[alive_idx]
             e_epoch[dest] = self._e_epoch[alive_idx]
         if have_staged:
@@ -1015,6 +1036,10 @@ class FrontierArena:
                 lb_parts[0] if len(lb_parts) == 1
                 else np.concatenate(lb_parts)
             )
+            e_ub[dest] = (
+                ub_parts[0] if len(ub_parts) == 1
+                else np.concatenate(ub_parts)
+            )
             e_epoch[dest] = np.repeat(st_epochs, st_counts)
             e_weak[dest] = np.repeat(st_weaks, st_counts)
             # Footprint accounting, deferred from stage(): pushes only
@@ -1027,6 +1052,7 @@ class FrontierArena:
             self._maxsz[:S] = np.maximum(self._maxsz[:S], counts_new)
         self._e_page, self._e_slot = e_page, e_slot
         self._e_lb, self._e_weak, self._e_epoch = e_lb, e_weak, e_epoch
+        self._e_ub = e_ub
         self._e_owner = np.repeat(np.arange(S, dtype=np.int64), counts_new)
         self._m = m
         self._dead = np.zeros(m, dtype=bool)
@@ -1148,6 +1174,7 @@ class FrontierArena:
             self._now[kdue] = sarr[ok] + 1.0
             self._ver += 1
         gidx = np.where(has, sidx, 0)
+        live = self._live[due]
         return {
             "act": ok.tolist(),
             "has": has.tolist(),
@@ -1155,9 +1182,20 @@ class FrontierArena:
             "arrival": sarr.tolist(),
             "slot": self._e_slot[gidx].tolist(),
             "lb": self._e_lb[gidx].tolist(),
+            "ub": self._e_ub[gidx].tolist(),
             "weak": self._e_weak[gidx].tolist(),
             "stamped": stamped[gidx].tolist(),
-            "live": self._live[due].tolist(),
+            "live": live.tolist(),
+            # Vector views for the executor's row selection and the
+            # TunerLedger round flush: actionable / finish-probe rows come
+            # from flatnonzero over these, and the confirmed downloads'
+            # clock/counter/event updates batch straight from them instead
+            # of being re-derived row by row.
+            "act_np": ok,
+            "has_np": has,
+            "live_np": live,
+            "arrival_np": sarr,
+            "page_np": self._e_page[gidx],
         }
 
     def kill(self, sid: int, idx: int) -> None:

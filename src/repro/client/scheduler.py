@@ -198,6 +198,13 @@ class SearchGroup:
     per-round sweep over every member of every group.  Members already
     finished at construction never enter it (and, matching
     :func:`run_all`, never see ``on_finish``).
+
+    Finish events are backend-transparent with respect to the tuners: an
+    ``on_finish`` coordinator that reads ``search.tuner.now`` or the page
+    counters sees the same values whether the tuner holds scalars or is
+    attached to a :class:`~repro.broadcast.tuner.TunerLedger` — attached
+    tuners route those attributes to their ledger rows, which the
+    executor flushes before any finish probe of the same round fires.
     """
 
     __slots__ = ("searches", "pending", "paired", "on_finish", "tag")

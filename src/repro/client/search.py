@@ -83,6 +83,11 @@ class BroadcastNNSearch(ArrivalQueueMixin):
         #: their PruneContext entirely.
         self._policy_trivial = getattr(self.policy, "trivial", False)
         self.mode = SearchMode.POINT
+        #: ``mode`` as the metric bit of the shared-scan executor's packed
+        #: lane keys, maintained by the two mode writes (here and
+        #: :meth:`switch_to_transitive`) so the per-survivor binning reads
+        #: an int instead of comparing enums.
+        self._point_bit = 1
         self.query: Optional[Point] = query
         self.start: Optional[Point] = None
         self.end: Optional[Point] = None
@@ -543,6 +548,7 @@ class BroadcastNNSearch(ArrivalQueueMixin):
             raise RuntimeError("search is already in transitive mode")
         self._metric_epoch += 1  # cached lower bounds no longer apply
         self.mode = SearchMode.TRANSITIVE
+        self._point_bit = 0
         self.start = start
         self.end = end
         self.query = None

@@ -11,6 +11,7 @@ from repro.broadcast import (
     BroadcastLayout,
     BroadcastProgram,
     ChannelTuner,
+    PageLossModel,
     RTreeInterleavedLayout,
     SystemParameters,
 )
@@ -36,6 +37,12 @@ class TNNEnvironment:
     r_program: BroadcastProgram
     params: SystemParameters
     region: Rect
+    #: Optional page-loss model shared by every tuner the environment
+    #: hands out — the paper's lossless channel when ``None``.  Lossy
+    #: tuners retry receptions, which the shared-scan executor's inlined
+    #: download paths do not replay, so it degrades those searches to the
+    #: per-query burst oracle (see ``SharedScanExecutor._fast``).
+    loss: Optional[PageLossModel] = None
     _s_object_index: Dict[Point, int] = field(repr=False, default_factory=dict)
     _r_object_index: Dict[Point, int] = field(repr=False, default_factory=dict)
 
@@ -51,6 +58,7 @@ class TNNEnvironment:
         layout: "BroadcastLayout | None" = None,
         tree_cache: Optional[MutableMapping] = None,
         program_cache: Optional[MutableMapping] = None,
+        loss: Optional[PageLossModel] = None,
     ) -> "TNNEnvironment":
         """Index both datasets and lay them out as broadcast programs.
 
@@ -131,6 +139,7 @@ class TNNEnvironment:
             r_program=r_program,
             params=params,
             region=region,
+            loss=loss,
         )
         env._s_object_index = {
             p: i for i, p in enumerate(s_tree.iter_points())
@@ -148,8 +157,12 @@ class TNNEnvironment:
     ) -> Tuple[ChannelTuner, ChannelTuner]:
         """Fresh tuners for one query, with the given channel phases."""
         return (
-            ChannelTuner(BroadcastChannel(self.s_program, phase=phase_s)),
-            ChannelTuner(BroadcastChannel(self.r_program, phase=phase_r)),
+            ChannelTuner(
+                BroadcastChannel(self.s_program, phase=phase_s), loss=self.loss
+            ),
+            ChannelTuner(
+                BroadcastChannel(self.r_program, phase=phase_r), loss=self.loss
+            ),
         )
 
     def random_phases(self, rng: random.Random) -> Tuple[float, float]:

@@ -24,6 +24,53 @@ from repro.geometry import kernels
 #: Row-block size for pairwise distance evaluation (bounds peak memory).
 _BLOCK = 512
 
+#: Certified margins for the raw-``np.hypot`` candidate gate, the same
+#: idiom the search kernels use: raw pairwise totals sit within a few ulp
+#: of the exact values, so any pair whose exact total could reach the
+#: block minimum (or the running bound) survives a 1e-9 relative band and
+#: is re-evaluated exactly — far fewer exact hypots than the full matrix.
+_GATE_DEFLATE = 1.0 - 1e-9
+_GATE_INFLATE = 1.0 + 1e-9
+
+#: Pair-count ceiling below which the all-scalar join wins: TNN candidate
+#: sets are usually a handful of points each, where fifteen vectorised
+#: array passes cost more than the whole ``math.hypot`` double loop.
+_SCALAR_CELLS = 256
+
+
+def _join_scalar(
+    p: Point,
+    s_candidates: Sequence[Point],
+    r_candidates: Sequence[Point],
+    best_s: Optional[Point],
+    best_r: Optional[Point],
+    best_d: float,
+) -> Tuple[Optional[Point], Optional[Point], float]:
+    """All-``math.hypot`` join for small candidate sets.
+
+    Replays the canonical scan the blocked path is equivalent to — s in
+    ``np.argsort`` first-hop order (the *same* permutation, since the
+    exact-hypot kernel is ``math.hypot`` bit for bit), r in index order,
+    strict first-improvement updates — so the selected pair and distance
+    are bit-identical to the vectorised evaluation.
+    """
+    hyp = math.hypot
+    px, py = p.x, p.y
+    d_ps = np.array([hyp(px - s.x, py - s.y) for s in s_candidates])
+    for i in np.argsort(d_ps).tolist():
+        d_p = float(d_ps[i])
+        if d_p >= best_d:
+            break  # sorted: every later s is at least as far
+        s = s_candidates[i]
+        sx, sy = s.x, s.y
+        for r in r_candidates:
+            total = d_p + hyp(sx - r.x, sy - r.y)
+            if total < best_d:
+                best_d = total
+                best_s = s
+                best_r = r
+    return best_s, best_r, best_d
+
 
 def transitive_join(
     p: Point,
@@ -46,6 +93,9 @@ def transitive_join(
     if not s_candidates or not r_candidates:
         return best_s, best_r, best_d
 
+    if len(s_candidates) * len(r_candidates) <= _SCALAR_CELLS:
+        return _join_scalar(p, s_candidates, r_candidates, best_s, best_r, best_d)
+
     s_arr = np.asarray(s_candidates, dtype=float)
     r_arr = np.asarray(r_candidates, dtype=float)
 
@@ -65,13 +115,23 @@ def transitive_join(
         block = s_arr[idx]
         dx = block[:, 0:1] - r_arr[None, :, 0]
         dy = block[:, 1:2] - r_arr[None, :, 1]
-        totals = d_ps[idx][:, None] + kernels.hypot(dx, dy)
-        flat = int(np.argmin(totals))
-        i, j = divmod(flat, len(r_arr))
-        if totals[i, j] < best_d:
-            best_d = float(totals[i, j])
-            best_s = Point(float(block[i, 0]), float(block[i, 1]))
-            best_r = Point(float(r_arr[j, 0]), float(r_arr[j, 1]))
+        raw = d_ps[idx][:, None] + np.hypot(dx, dy)
+        m = float(raw.min())
+        if m * _GATE_DEFLATE > best_d:
+            # Even the raw block minimum provably cannot beat the bound.
+            continue
+        # Exact re-evaluation of the gated candidates, scanned in the
+        # matrix's row-major order.  Strict improvement keeps the first
+        # entry attaining the exact minimum — the same pair the exact
+        # full-matrix argmin selects — and ``math.hypot`` here is the very
+        # scalar the exact-hypot kernel reproduces, so every stored total
+        # stays bit-identical to the all-exact evaluation.
+        for i, j in np.argwhere(raw <= min(m, best_d) * _GATE_INFLATE):
+            total = d_ps[idx[i]] + math.hypot(dx[i, j], dy[i, j])
+            if total < best_d:
+                best_d = float(total)
+                best_s = Point(float(block[i, 0]), float(block[i, 1]))
+                best_r = Point(float(r_arr[j, 0]), float(r_arr[j, 1]))
 
     return best_s, best_r, best_d
 

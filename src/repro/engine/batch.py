@@ -54,13 +54,16 @@ def _pool_run_chunk(
 
 
 def _pool_run_shared_shard(
-    task: Tuple[TNNAlgorithm, List[Tuple[int, Point, float, float]]]
+    task: Tuple[TNNAlgorithm, List[Tuple[int, Point, float, float]], bool]
 ) -> List[Tuple[int, TNNResult]]:
     """Pool worker: run one phase-grouped shard through the shared scan."""
-    algorithm, shard = task
+    algorithm, shard, record_log = task
     env = _POOL_STATE["env"]
     results = execute_tnn_batch(
-        env, algorithm, [(p, ps, pr) for _, p, ps, pr in shard]
+        env,
+        algorithm,
+        [(p, ps, pr) for _, p, ps, pr in shard],
+        record_log=record_log,
     )
     return [(item[0], res) for item, res in zip(shard, results)]
 
@@ -239,26 +242,41 @@ class SharedScanRunner(BatchRunner):
     """
 
     def run_algorithm(
-        self, algorithm: TNNAlgorithm, workers: Optional[int] = None
+        self,
+        algorithm: TNNAlgorithm,
+        workers: Optional[int] = None,
+        record_log: bool = True,
     ) -> List[TNNResult]:
+        """All per-query results, page-major when supported.
+
+        ``record_log=False`` skips the per-tuner reception logs on the
+        shared-scan path (results and cost counters are unaffected); the
+        per-query fallback ignores the flag — its results embed the same
+        counters either way.
+        """
         workers = self.workers if workers is None else workers
         if not shared_scan_supported(algorithm):
             return super().run_algorithm(algorithm, workers)
         queries = self._queries
         if workers >= 2 and len(queries) > 1:
             with self._make_pool(workers) as pool:
-                return self._run_shared_pool(algorithm, workers, pool)
-        return execute_tnn_batch(self.env, algorithm, queries)
+                return self._run_shared_pool(
+                    algorithm, workers, pool, record_log
+                )
+        return execute_tnn_batch(
+            self.env, algorithm, queries, record_log=record_log
+        )
 
     def _run_shared_pool(
         self,
         algorithm: TNNAlgorithm,
         workers: int,
         pool: ProcessPoolExecutor,
+        record_log: bool = True,
     ) -> List[TNNResult]:
         queries = self._queries
         tasks = [
-            (algorithm, [(i, *queries[i]) for i in shard])
+            (algorithm, [(i, *queries[i]) for i in shard], record_log)
             for shard in self._phase_shards(workers)
             if shard
         ]

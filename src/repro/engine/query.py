@@ -160,7 +160,9 @@ class QueryEngine:
     # Mixed client batches (shared-scan executor)
     # ------------------------------------------------------------------
     def run_many(
-        self, requests: Sequence["ClientRequest"]
+        self,
+        requests: Sequence["ClientRequest"],
+        record_log: bool = True,
     ) -> List[ClientQueryAnswer]:
         """Answer a mixed NN/kNN/range/window batch through the shared scan.
 
@@ -169,8 +171,16 @@ class QueryEngine:
         page-major: one round per page arrival tick, geometry kernels
         batched across the whole batch.  Answers come back in request
         order, bit-identical to the corresponding single-query methods.
+
+        ``record_log=False`` skips every tuner's per-reception event log
+        (answers, access times, tune-in counts and queue sizes are
+        unaffected) — batch campaigns that never read traces save the
+        per-download log appends.
         """
         searches = [self._build(req) for req in requests]
+        if not record_log:
+            for search in searches:
+                search.tuner.record_log = False
         executor = SharedScanExecutor(
             all_trees_backed=tree_all_backed(self.env.s_tree)
             and tree_all_backed(self.env.r_tree)

@@ -66,6 +66,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.broadcast.tuner import TunerLedger, scalar_tuners_forced
 from repro.client.frontier import FrontierArena
 from repro.client.knn import BroadcastKNNSearch
 from repro.client.range_query import BroadcastRangeSearch
@@ -109,6 +110,115 @@ def tree_all_backed(tree) -> bool:
         return ok
 
 
+def _tree_lane_blocks(tree) -> tuple:
+    """Stack one tree's node arrays into per-shape blocks (cached).
+
+    Internal nodes group by fan-out ``n`` into a ``(k, n, 4)`` child-MBR
+    block plus the aligned ``(k, n)`` child-count block; leaves group by
+    point count into ``(k, n, 2)`` blocks.  Every node records its row
+    (``_tree_row``) in its block.  Built once per tree and cached on the
+    tree object (trees are immutable after packing and may be shared
+    across environments through the tree cache).
+    """
+    try:
+        return tree._lane_blocks
+    except AttributeError:
+        internal: dict = {}
+        leaf: dict = {}
+        for node in tree.root.iter_preorder():
+            if node.is_leaf:
+                leaf.setdefault(len(node.points), []).append(node)
+            else:
+                internal.setdefault(len(node.children), []).append(node)
+        mbrs = {}
+        cnts = {}
+        pts = {}
+        for n, nodes in internal.items():
+            mbrs[n] = np.stack([nd.child_mbr_array() for nd in nodes])
+            cnts[n] = np.stack([nd.child_count_array() for nd in nodes])
+            key = n << 2
+            for r, nd in enumerate(nodes):
+                nd._tree_row = r
+                nd._lane_key = key
+        for n, nodes in leaf.items():
+            pts[n] = np.stack([nd.points_array() for nd in nodes])
+            key = (n << 2) | 2
+            for r, nd in enumerate(nodes):
+                nd._tree_row = r
+                nd._lane_key = key
+        blocks = (mbrs, cnts, pts)
+        tree._lane_blocks = blocks
+        return blocks
+
+
+def combine_lane_blocks(trees) -> tuple:
+    """One gatherable ``(mbrs, cnts, pts, npgs, cpgs)`` set over ``trees``.
+
+    Survivor lanes mix nodes from both datasets' trees, so the executor
+    needs a single row space: each tree's cached geometry blocks are
+    concatenated per shape and every node is stamped with its combined
+    row (``_lane_row`` = its ``_tree_row`` plus the tree's offset in that
+    shape's block).  The per-fan-out page blocks — every internal node's
+    own page id (``npgs``, ``(k,)``) and its children's page ids
+    (``cpgs``, ``(k, n)``) — are rebuilt here rather than cached on the
+    tree: page ids are assigned by the broadcast *program*, and a cached
+    tree may back programs with different schedules.  The stamping is per
+    call — a tree may also appear with different partners across
+    environments — but costs only a preorder walk, a few ms against a
+    workload run.  The combined blocks hold the exact values the per-node
+    accessors return, in stable rows, so lane gathers are bit-identical
+    to per-node concatenation.
+    """
+    seen: list = []
+    for t in trees:
+        if not any(t is u for u in seen):
+            seen.append(t)
+    parts = [_tree_lane_blocks(t) for t in seen]
+    mbrs: dict = {}
+    cnts: dict = {}
+    pts: dict = {}
+    int_offs = []
+    leaf_offs = []
+    for tmbrs, tcnts, tpts in parts:
+        io = {}
+        for n, arr in tmbrs.items():
+            if n in mbrs:
+                io[n] = mbrs[n].shape[0]
+                mbrs[n] = np.concatenate((mbrs[n], arr))
+                cnts[n] = np.concatenate((cnts[n], tcnts[n]))
+            else:
+                io[n] = 0
+                mbrs[n] = arr
+                cnts[n] = tcnts[n]
+        lo = {}
+        for n, arr in tpts.items():
+            if n in pts:
+                lo[n] = pts[n].shape[0]
+                pts[n] = np.concatenate((pts[n], arr))
+            else:
+                lo[n] = 0
+                pts[n] = arr
+        int_offs.append(io)
+        leaf_offs.append(lo)
+    npgs = {
+        n: np.empty(arr.shape[0], dtype=np.int64) for n, arr in mbrs.items()
+    }
+    cpgs = {
+        n: np.empty(arr.shape[:2], dtype=np.int64) for n, arr in mbrs.items()
+    }
+    for t, io, lo in zip(seen, int_offs, leaf_offs):
+        for node in t.root.iter_preorder():
+            if node.is_leaf:
+                node._lane_row = node._tree_row + lo[len(node.points)]
+            else:
+                n = len(node.children)
+                row = node._tree_row + io[n]
+                node._lane_row = row
+                npgs[n][row] = node.page_id
+                cpgs[n][row] = node.child_page_array()
+    return mbrs, cnts, pts, npgs, cpgs
+
+
 # ----------------------------------------------------------------------
 # The round-based executor
 # ----------------------------------------------------------------------
@@ -143,12 +253,26 @@ class SharedScanExecutor:
       degrades to a pure multiplexer over the per-query oracle.
     """
 
-    def __init__(self, all_trees_backed: bool = False) -> None:
+    def __init__(
+        self,
+        all_trees_backed: bool = False,
+        lane_blocks: Optional[tuple] = None,
+    ) -> None:
         #: Groups whose members all serve through the columnar arena
         #: (fast-eligible NN searches) vs everything else.
         self._arena_groups: List[SearchGroup] = []
         self._legacy: List[SearchGroup] = []
         self._arena: Optional[FrontierArena] = None
+        #: Columnar tuner state for arena-served searches: clocks, page
+        #: counters and the packed event arena, updated with one
+        #: vectorised pass per round (None under REPRO_SCALAR_TUNERS=1,
+        #: which keeps every tuner on the scalar per-download oracle).
+        self._ledger: Optional[TunerLedger] = None
+        #: Arena sid -> ledger row of the owning search's tuner.
+        self._sid_row = np.empty(0, dtype=np.int64)
+        #: The round's confirmed serve downloads, held until the arena
+        #: flush point and then written to the ledger in one pass.
+        self._flush_pending: Optional[tuple] = None
         #: Persistent serve structures for the arena round: live pairs as
         #: ``(group, s0, s1)`` rows, everything else as ``(group, s)``
         #: always-due rows — updated incrementally on finish events, so no
@@ -167,6 +291,23 @@ class SharedScanExecutor:
         #: empty child subtree, and the absorb lanes skip the per-node
         #: backed-guarantee masks wholesale.  False is always safe.
         self._all_trees_backed = all_trees_backed
+        #: Per-shape stacked node arrays over the workload's trees from
+        #: :func:`combine_lane_blocks`.  When present, the absorb lanes
+        #: gather their ``(k, n, …)`` inputs with one fancy index per
+        #: lane instead of concatenating k small per-node arrays; every
+        #: lane node must carry a ``_lane_row`` stamped against these
+        #: blocks.  ``None`` (always safe) marshals per node.
+        if lane_blocks is None:
+            self._lane_mbrs = self._lane_cnts = self._lane_pts = None
+            self._lane_npgs = self._lane_cpgs = None
+        else:
+            (
+                self._lane_mbrs,
+                self._lane_cnts,
+                self._lane_pts,
+                self._lane_npgs,
+                self._lane_cpgs,
+            ) = lane_blocks
 
     def add(self, group: Optional[SearchGroup]) -> None:
         # A group whose members were all born finished (a window that
@@ -185,9 +326,25 @@ class SharedScanExecutor:
             # and the round serves them with whole-workload array passes.
             if self._arena is None:
                 self._arena = FrontierArena()
+                if not scalar_tuners_forced():
+                    self._ledger = TunerLedger()
+            ledger = self._ledger
             for s in group.pending:
                 if getattr(s, "_arena_sid", -1) < 0:
                     self._arena.register(s)
+                    if ledger is not None:
+                        # Hoist the tuner's scalars into ledger lanes; the
+                        # attach is idempotent, so a tuner shared across
+                        # phases keeps its row (and its event history).
+                        row = ledger.attach(s.tuner)
+                        sid = s._arena_sid
+                        if sid >= self._sid_row.shape[0]:
+                            grown = np.empty(
+                                max(64, 2 * (sid + 1)), dtype=np.int64
+                            )
+                            grown[: self._sid_row.shape[0]] = self._sid_row
+                            self._sid_row = grown
+                        self._sid_row[sid] = row
             self._arena_groups.append(group)
             pending = group.pending
             if group.paired and len(pending) > 1:
@@ -208,7 +365,10 @@ class SharedScanExecutor:
 
     # ------------------------------------------------------------------
     def _round(self) -> None:
-        # (is_point, is_leaf, fanout) -> [searches, nodes] parallel lists
+        # Lane key -> [searches, nodes] parallel lists.  Keys pack the
+        # lane shape into one int — ``(fanout << 2) | (is_leaf << 1) |
+        # is_point`` — so the per-survivor binning allocates no tuples
+        # and hashes a plain int.
         lanes: dict = {}
         point_leaves: dict = {}  # fanout -> [searches, nodes]  (kNN leaves)
         flat_leaves: List[Tuple[object, List]] = []  # (search, leaf nodes)
@@ -232,11 +392,29 @@ class SharedScanExecutor:
             self._absorb_point_leaves(point_leaves)
         for s, leaves in flat_leaves:
             self._absorb_flat_leaves(s, leaves)
-        if self._arena is not None:
-            # Merge the round's staged pushes and drop consumed entries,
-            # so the finish bookkeeping below (re-steer rescans!) and the
-            # next round's vector passes see compact lanes.
-            self._arena.flush()
+        # No arena flush here: the probe loop's re-steer rescans flush on
+        # demand (attached ops mask tombstones and check staged counts),
+        # and the next round's phase A flushes before its vector passes —
+        # one rebuild per round instead of two.
+        if self._flush_pending is not None:
+            # The ledger flush rides alongside the arena flush: one
+            # vectorised pass moves every confirmed download's clock,
+            # counter and log event — and it lands before the finish
+            # probes below, whose advance() continuations read the
+            # tuners' access times and page counts.
+            res, rej, due = self._flush_pending
+            self._flush_pending = None
+            confirmed = res["act_np"]
+            if rej:
+                confirmed = confirmed.copy()
+                confirmed[rej] = False
+            conf = np.flatnonzero(confirmed)
+            if conf.size:
+                self._ledger.flush_round(
+                    self._sid_row[due[conf]],
+                    res["page_np"][conf],
+                    res["arrival_np"][conf],
+                )
 
         # Finish bookkeeping: every probe entry was verified finished by
         # its serve (an emptied queue never refills).  on_finish fires
@@ -393,35 +571,60 @@ class SharedScanExecutor:
         arrivals = res["arrival"]
         slots = res["slot"]
         lbs = res["lb"]
+        ubs = res["ub"]
         weaks = res["weak"]
         stampeds = res["stamped"]
         lives = res["live"]
-        due_list = due.tolist()
-        limits_list = limits.tolist()
-        stricts_list = stricts.tolist()
         lanes, _, _, probe = ctx
+        ledger = self._ledger
+        #: Serve rows whose survivor was pruned after all (scalar
+        #: fallbacks) — excluded from the ledger's round flush; any
+        #: download their scalar continuation makes records itself.
+        rej: List[int] = []
         # serve() already consumed every actionable survivor and advanced
         # its owner's arena clock; this loop only performs the per-serve
-        # download bookkeeping.  The rare scalar fallbacks first re-sync
-        # the owner clock from its (not yet moved) tuner.  (The pair rows
-        # and always-due rows are walked directly — no per-round context
-        # list is materialised; ``j`` indexes the serve() results, pairs
-        # first.)
+        # download bookkeeping.  (The pair rows and always-due rows are
+        # walked directly — no per-round context list is materialised;
+        # ``j`` indexes the serve() results, pairs first.)
         arena_now = arena._now
-        point_mode = SearchMode.POINT
+        due_list = limits_list = stricts_list = None
+
+        def fallback(j, g, s):
+            # Scalar continuation of a rejected serve: re-sync the owner
+            # clock (serve() has not moved it) and resume through the
+            # one-search path.  Most rounds reject nothing, so the row
+            # lists materialise lazily instead of three eager ``tolist``
+            # passes per round.
+            nonlocal due_list, limits_list, stricts_list
+            if due_list is None:
+                due_list = due.tolist()
+                limits_list = limits.tolist()
+                stricts_list = stricts.tolist()
+            rej.append(j)
+            arena_now[due_list[j]] = s.tuner.now
+            self._serve_nn_one(g, s, limits_list[j], stricts_list[j], ctx)
+
         hyp = math.hypot
-        j = -1
-        for row, fl in zip(self._pairs, first_l):
-            j += 1
-            g = row[0]
-            s = row[1] if fl else row[2]
-            if not act[j]:
-                # No actionable survivor: either the whole queue was a
-                # certified-prunable run within the limit (probe when it
-                # emptied), or the survivor lies beyond the pairing limit.
-                if not has[j] and lives[j] == 0:
-                    probe.append((g, s))
-                continue
+        pairs = self._pairs
+        solos = self._solos
+        n_pairs = len(pairs)
+        use_keys = self._lane_mbrs is not None
+        act_np = res["act_np"]
+        # Only the actionable rows are walked: a round's due set holds
+        # every active search, and most rows have no actionable survivor
+        # (their head lies beyond the pairing limit, or their whole queue
+        # was a certified-prunable run) — iterating them all would
+        # re-impose a per-active-search python floor on every round.  Rows
+        # index the serve() results, pairs first, then the always-due solo
+        # members; finish probes for the non-actionable rows come from one
+        # vector mask afterwards.
+        for j in np.flatnonzero(act_np).tolist():
+            if j < n_pairs:
+                row = pairs[j]
+                g = row[0]
+                s = row[1] if first_l[j] else row[2]
+            else:
+                g, s = solos[j - n_pairs]
             f = s._frontier
             node = f._nodes[slots[j]]
             if stampeds[j]:
@@ -437,13 +640,10 @@ class SharedScanExecutor:
                     if lb is not None and lb > s.upper_bound:
                         # The batch evaluation proved the prune after all:
                         # resume the serve scalar (the rare stale path).
-                        arena_now[due_list[j]] = s.tuner.now
-                        self._serve_nn_one(
-                            g, s, limits_list[j], stricts_list[j], ctx
-                        )
+                        fallback(j, g, s)
                         continue
             if lb is None or weak:
-                if weak and s.mode is point_mode:
+                if weak and s._point_bit:
                     # Certified-weak point survivor: one exact MINDIST
                     # resolves the margin band (cf. _decide_keep's weak
                     # point branch; fast-eligible policies are trivial).
@@ -453,100 +653,69 @@ class SharedScanExecutor:
                         max(mbr[0] - qp.x, 0.0, qp.x - mbr[2]),
                         max(mbr[1] - qp.y, 0.0, qp.y - mbr[3]),
                     ) > s.upper_bound:
-                        arena_now[due_list[j]] = s.tuner.now
-                        self._serve_nn_one(
-                            g, s, limits_list[j], stricts_list[j], ctx
-                        )
+                        fallback(j, g, s)
                         continue
+                elif weak and ubs[j] <= s.upper_bound:
+                    # Staged keep certificate holds against the current
+                    # bound: the exact test provably keeps this node.
+                    pass
                 elif not s._decide_keep(node, lb, weak):
                     # Margin-band survivor pruned by the exact test:
                     # continue the serve through the scalar loop.
-                    arena_now[due_list[j]] = s.tuner.now
-                    self._serve_nn_one(
-                        g, s, limits_list[j], stricts_list[j], ctx
-                    )
+                    fallback(j, g, s)
                     continue
-            # Survivor: download now, defer the expansion to the batch.
-            arrival = arrivals[j]
-            tuner = s.tuner
-            tuner.now = arrival + 1.0
-            tuner.index_pages += 1
-            tuner.log.append(("index", node.page_id, arrival, True))
-            if node.level == 0:
-                key = (s.mode is point_mode, True, len(node.points))
+            # Survivor: downloaded now.  Its clock/counter/log updates are
+            # deferred to the ledger's one-pass round flush; only the
+            # forced-scalar oracle still books it here, row by row.
+            if ledger is None:
+                arrival = arrivals[j]
+                tuner = s.tuner
+                tuner.now = arrival + 1.0
+                tuner.index_pages += 1
+                if tuner.record_log:
+                    tuner.log.append(("index", node.page_id, arrival, True))
+            if use_keys:
+                # Block-stamped nodes carry their packed lane shape; one
+                # ``or`` folds in the owner's metric bit.
+                key = node._lane_key | s._point_bit
+                if lives[j] == 0 and key & 2:
+                    probe.append((g, s))  # leaf absorbs never push
+            elif node.level == 0:
+                key = (len(node.points) << 2) | 2 | s._point_bit
                 if lives[j] == 0:
                     probe.append((g, s))  # leaf absorbs never push
             else:
-                key = (s.mode is point_mode, False, len(node.children))
+                key = (len(node.children) << 2) | s._point_bit
             lane = lanes.get(key)
             if lane is None:
                 lanes[key] = [[s], [node]]
             else:
                 lane[0].append(s)
                 lane[1].append(node)
-        # Always-due rows (solo members): identical body — kept inline
-        # (a shared helper would cost one python call per serve, which is
-        # exactly the overhead this loop exists to avoid).
-        for g, s in self._solos:
-            j += 1
-            if not act[j]:
-                if not has[j] and lives[j] == 0:
-                    probe.append((g, s))
-                continue
-            f = s._frontier
-            node = f._nodes[slots[j]]
-            if stampeds[j]:
-                lb = lbs[j]
-                weak = weaks[j]
-            else:
-                weak = False
-                lb = None
-                if f.lower_evaluator is not None:
-                    lb = arena._eval_stale_attached(
-                        f, idxs[j], s._metric_epoch
+        # Non-actionable rows whose queue the certified-prune consumption
+        # emptied are finished: probe them (the serve is their run_all
+        # finish moment).  Probe order may differ from a single walk in
+        # row order, but no search observes it: a paired group serves one
+        # member per round, and a group with several always-due members is
+        # unpaired by construction — its ``on_finish`` callbacks never
+        # touch a sibling (the SearchGroup contract), so probes of
+        # different members commute.
+        dead = ~act_np
+        if dead.any():
+            for j in np.flatnonzero(
+                dead & ~res["has_np"] & (res["live_np"] == 0)
+            ).tolist():
+                if j < n_pairs:
+                    row = pairs[j]
+                    probe.append(
+                        (row[0], row[1] if first_l[j] else row[2])
                     )
-                    if lb is not None and lb > s.upper_bound:
-                        arena_now[due_list[j]] = s.tuner.now
-                        self._serve_nn_one(
-                            g, s, limits_list[j], stricts_list[j], ctx
-                        )
-                        continue
-            if lb is None or weak:
-                if weak and s.mode is point_mode:
-                    mbr = node.mbr
-                    qp = s.query
-                    if hyp(
-                        max(mbr[0] - qp.x, 0.0, qp.x - mbr[2]),
-                        max(mbr[1] - qp.y, 0.0, qp.y - mbr[3]),
-                    ) > s.upper_bound:
-                        arena_now[due_list[j]] = s.tuner.now
-                        self._serve_nn_one(
-                            g, s, limits_list[j], stricts_list[j], ctx
-                        )
-                        continue
-                elif not s._decide_keep(node, lb, weak):
-                    arena_now[due_list[j]] = s.tuner.now
-                    self._serve_nn_one(
-                        g, s, limits_list[j], stricts_list[j], ctx
-                    )
-                    continue
-            arrival = arrivals[j]
-            tuner = s.tuner
-            tuner.now = arrival + 1.0
-            tuner.index_pages += 1
-            tuner.log.append(("index", node.page_id, arrival, True))
-            if node.level == 0:
-                key = (s.mode is point_mode, True, len(node.points))
-                if lives[j] == 0:
-                    probe.append((g, s))  # leaf absorbs never push
-            else:
-                key = (s.mode is point_mode, False, len(node.children))
-            lane = lanes.get(key)
-            if lane is None:
-                lanes[key] = [[s], [node]]
-            else:
-                lane[0].append(s)
-                lane[1].append(node)
+                else:
+                    probe.append(solos[j - n_pairs])
+        if ledger is not None:
+            # Everything actionable minus the scalar rejections flushes to
+            # the ledger at the arena flush point of this round.
+            self._flush_pending = (res, rej, due)
 
     # ------------------------------------------------------------------
     # Phase A: per-search serves
@@ -592,17 +761,17 @@ class SharedScanExecutor:
             if (lb is None or weak) and not s._decide_keep(node, lb, weak):
                 continue
             # Survivor: download now, defer the expansion to the batch.
-            tuner.now = arrival + 1.0
-            tuner.index_pages += 1
-            tuner.log.append(("index", node.page_id, arrival, True))
+            # record_index books the download on either backend — scalar
+            # writes standalone, the tuner's ledger row when attached.
+            tuner.record_index(node.page_id, arrival)
             if arena is not None:
-                arena._now[f._sid] = tuner.now
+                arena._now[f._sid] = arrival + 1.0
             if node.level == 0:
-                key = (s.mode is SearchMode.POINT, True, node.fanout)
+                key = (node.fanout << 2) | 2 | s._point_bit
                 if f.finished():
                     probe.append((g, s))  # leaf absorbs never push
             else:
-                key = (s.mode is SearchMode.POINT, False, node.fanout)
+                key = (node.fanout << 2) | s._point_bit
             lane = lanes.get(key)
             if lane is None:
                 lanes[key] = [[s], [node]]
@@ -624,7 +793,11 @@ class SharedScanExecutor:
         fphase = f._phase
         q = s.query
         tuner = s.tuner
-        log = tuner.log
+        # Downloads of this drain collect here and book in one
+        # record_index_run call per exit — one clock write, one counter
+        # add, one log/event-arena extend, on either tuner backend.
+        pages_dl: List[int] = []
+        arrs: List[float] = []
         now = tuner.now
         # The k-th-best bound moves only when a leaf is absorbed, and the
         # serve stops there — so it is constant for this whole drain.
@@ -646,12 +819,12 @@ class SharedScanExecutor:
                 continue
             arrival = base + (page - base) % cycle + fphase
             now = arrival + 1.0
-            tuner.index_pages += 1
-            log.append(("index", page, arrival, True))
+            pages_dl.append(page)
+            arrs.append(arrival)
             if node.level == 0:
                 # The leaf's absorption moves the k-th-best bound, which
                 # the next pop's prune test reads: stop for the batch.
-                tuner.now = now
+                tuner.record_index_run(pages_dl, arrs, now)
                 f._version += pops
                 if not order_pages:
                     probe.append((g, s))
@@ -670,7 +843,7 @@ class SharedScanExecutor:
                 # slot (or the lap wrapped): recover the cursor with one
                 # bisect, exactly like the per-pop reference.
                 i = bisect_left(order_pages, base % cycle)
-        tuner.now = now
+        tuner.record_index_run(pages_dl, arrs, now)
         f._version += pops
         probe.append((g, s))
 
@@ -692,7 +865,8 @@ class SharedScanExecutor:
         radius = circle.radius
         hyp = math.hypot
         tuner = s.tuner
-        log = tuner.log
+        pages_dl: List[int] = []
+        arrs: List[float] = []
         now = tuner.now
         leaves: List = []
         pops = 0
@@ -720,18 +894,41 @@ class SharedScanExecutor:
                 continue
             arrival = base + (page - base) % cycle + fphase
             now = arrival + 1.0
-            tuner.index_pages += 1
-            log.append(("index", page, arrival, True))
+            pages_dl.append(page)
+            arrs.append(arrival)
             if node.level == 0:
                 leaves.append(node)
             else:
-                f.push_many(node.children, src=node)
+                # Inlined push_many, trimmed for the drain: the frontier
+                # dies with this serve, so the MBR-chunk cache and the
+                # eval-guard bookkeeping (rescan machinery) are skipped —
+                # only the slot/order lanes and the footprint peak matter.
+                children = node.children
+                base_slot = len(slot_nodes)
+                cpages = node.child_page_list()
+                slot_nodes.extend(children)
+                f._bounds.extend([None] * len(cpages))
+                ii = bisect_left(order_pages, cpages[0])
+                if ii == len(order_pages) or order_pages[ii] > cpages[-1]:
+                    order_pages[ii:ii] = cpages
+                    order_slots[ii:ii] = range(
+                        base_slot, base_slot + len(cpages)
+                    )
+                else:  # pragma: no cover - non-sibling batches
+                    for cpage, cslot in zip(
+                        cpages, range(base_slot, base_slot + len(cpages))
+                    ):
+                        jj = bisect_left(order_pages, cpage)
+                        order_pages.insert(jj, cpage)
+                        order_slots.insert(jj, cslot)
+                if len(order_pages) > f.max_size:
+                    f.max_size = len(order_pages)
             base = math.ceil(now - fphase)
             if base % cycle != page + 1:
                 # Float-roundtrip clock moved past the next slot (or the
                 # lap wrapped): recover the cursor with one bisect.
                 i = bisect_left(order_pages, base % cycle)
-        tuner.now = now
+        tuner.record_index_run(pages_dl, arrs, now)
         f._version += pops
         if leaves:
             flat_leaves.append((s, leaves))
@@ -749,7 +946,8 @@ class SharedScanExecutor:
         cycle = f._cycle
         fphase = f._phase
         tuner = s.tuner
-        log = tuner.log
+        pages_dl: List[int] = []
+        arrs: List[float] = []
         now = tuner.now
         leaves: List = []
         pops = 0
@@ -768,8 +966,8 @@ class SharedScanExecutor:
             node = slot_nodes[slot]
             arrival = base + (page - base) % cycle + fphase
             now = arrival + 1.0
-            tuner.index_pages += 1
-            log.append(("index", page, arrival, True))
+            pages_dl.append(page)
+            arrs.append(arrival)
             if node.level == 0:
                 leaves.append(node)
             else:
@@ -779,7 +977,7 @@ class SharedScanExecutor:
                 # Float-roundtrip clock moved past the next slot (or the
                 # lap wrapped): recover the cursor with one bisect.
                 i = bisect_left(order_pages, base % cycle)
-        tuner.now = now
+        tuner.record_index_run(pages_dl, arrs, now)
         f._version += pops
         if leaves:
             flat_leaves.append((s, leaves))
@@ -806,7 +1004,10 @@ class SharedScanExecutor:
         min_lane = _MIN_LANE
         deflate = _CERT_DEFLATE
         arena = self._arena
-        for (is_point, is_leaf, n), (searches, nodes) in lanes.items():
+        for lane_key, (searches, nodes) in lanes.items():
+            is_point = lane_key & 1
+            is_leaf = lane_key & 2
+            n = lane_key >> 2
             k = len(nodes)
             if k < min_lane:
                 for s, node in zip(searches, nodes):
@@ -817,9 +1018,15 @@ class SharedScanExecutor:
                 self._sync_lane(searches)
                 continue
             if is_leaf:
-                pts = np.concatenate(
-                    [node.points_array() for node in nodes]
-                ).reshape(k, n, 2)
+                pts_blk = self._lane_pts
+                if pts_blk is not None:
+                    pts = pts_blk[n][
+                        np.fromiter((nd._lane_row for nd in nodes), np.intp, k)
+                    ]
+                else:
+                    pts = np.concatenate(
+                        [node.points_array() for node in nodes]
+                    ).reshape(k, n, 2)
                 if is_point:
                     # Point metric: exact distances are one fused hypot
                     # pass; batch the exact row argmins.
@@ -853,9 +1060,17 @@ class SharedScanExecutor:
                             s._absorb_leaf(node)
                     self._sync_lane(searches)
             else:
-                mbrs = np.concatenate(
-                    [node.child_mbr_array() for node in nodes]
-                ).reshape(k, n, 4)
+                mbr_blk = self._lane_mbrs
+                if mbr_blk is not None:
+                    lrows = np.fromiter(
+                        (nd._lane_row for nd in nodes), np.intp, k
+                    )
+                    mbrs = mbr_blk[n][lrows]
+                else:
+                    lrows = None
+                    mbrs = np.concatenate(
+                        [node.child_mbr_array() for node in nodes]
+                    ).reshape(k, n, 4)
                 if self._all_trees_backed:
                     all_backed = True
                 else:
@@ -873,9 +1088,12 @@ class SharedScanExecutor:
                         if all_backed:
                             backed = guar
                         else:
-                            counts = np.concatenate(
-                                [node.child_count_array() for node in nodes]
-                            ).reshape(k, n)
+                            if lrows is not None:
+                                counts = self._lane_cnts[n][lrows]
+                            else:
+                                counts = np.concatenate(
+                                    [node.child_count_array() for node in nodes]
+                                ).reshape(k, n)
                             backed = np.where(counts > 0, guar, math.inf)
                         gi = np.argmin(backed, axis=1)
                         gv_l = backed[np.arange(k), gi].tolist()
@@ -900,17 +1118,32 @@ class SharedScanExecutor:
                     if all_backed:
                         backed = guar
                     else:
-                        counts = np.concatenate(
-                            [node.child_count_array() for node in nodes]
-                        ).reshape(k, n)
+                        if lrows is not None:
+                            counts = self._lane_cnts[n][lrows]
+                        else:
+                            counts = np.concatenate(
+                                [node.child_count_array() for node in nodes]
+                            ).reshape(k, n)
                         backed = np.where(counts > 0, guar, math.inf)
                     gi = np.argmin(backed, axis=1)
                     gv = backed[np.arange(k), gi]
-                    arena.stage_lane(searches, nodes, n, lower, False)
-                    ub = arena._ub[sids]
-                    node_pages = np.fromiter(
-                        (node.page_id for node in nodes), np.int64, k
+                    arena.stage_lane(
+                        searches,
+                        nodes,
+                        n,
+                        lower,
+                        False,
+                        pages=None
+                        if lrows is None
+                        else self._lane_cpgs[n][lrows],
                     )
+                    ub = arena._ub[sids]
+                    if lrows is not None:
+                        node_pages = self._lane_npgs[n][lrows]
+                    else:
+                        node_pages = np.fromiter(
+                            (node.page_id for node in nodes), np.int64, k
+                        )
                     was_w = arena._wit[sids] == node_pages
                     finite = np.isfinite(gv)
                     improve = finite & (gv < ub)
@@ -941,7 +1174,7 @@ class SharedScanExecutor:
                                 ub_arr[sid_l[j]] = gv_l[j]
                 else:
                     starts, ends = self._lane_transitive(searches)
-                    weak, est = kernels.trans_weak_bounds_multi(
+                    weak, est, keep = kernels.trans_weak_bounds_multi(
                         starts, mbrs, ends, deflate
                     )
                     gates = est.min(axis=1) * deflate
@@ -964,11 +1197,30 @@ class SharedScanExecutor:
                     # Arena lane: stage every push at once; the need mask
                     # (estimate admits improvement / witness hand-off /
                     # unbacked children) selects the minority of rows
-                    # whose exact guarantee scan must run.
-                    arena.stage_lane(searches, nodes, n, weak, True)
-                    node_pages = np.fromiter(
-                        (node.page_id for node in nodes), np.int64, k
+                    # whose exact guarantee scan must run.  Each entry
+                    # also carries the kernel's inflated keep certificate
+                    # (best corner / through-centre transitive distance,
+                    # both geometric upper bounds on the exact Lemma 1
+                    # value), so the serve loop resolves most weak
+                    # survivors with one float compare instead of the
+                    # scalar certification walk.
+                    arena.stage_lane(
+                        searches,
+                        nodes,
+                        n,
+                        weak,
+                        True,
+                        keep * _CERT_INFLATE,
+                        pages=None
+                        if lrows is None
+                        else self._lane_cpgs[n][lrows],
                     )
+                    if lrows is not None:
+                        node_pages = self._lane_npgs[n][lrows]
+                    else:
+                        node_pages = np.fromiter(
+                            (node.page_id for node in nodes), np.int64, k
+                        )
                     need = (gates < arena._ub[sids]) | (
                         arena._wit[sids] == node_pages
                     )
@@ -976,15 +1228,55 @@ class SharedScanExecutor:
                         need |= True
                     rows = np.flatnonzero(need)
                     if rows.size:
+                        # The needing rows' exact guarantee scans batch
+                        # into one corner kernel call.  The scalar scan's
+                        # weak-bound skip is value-preserving (a skipped
+                        # child's weak lower bound already met the running
+                        # minimum, and the corner bound dominates it), so
+                        # the first-minimum row argmin replays the scalar
+                        # child selection exactly.
+                        z = kernels.trans_corner_minmax_multi(
+                            starts[rows], mbrs[rows], ends[rows]
+                        )
+                        if not all_backed:
+                            if lrows is not None:
+                                zcounts = self._lane_cnts[n][lrows[rows]]
+                            else:
+                                zcounts = np.concatenate([
+                                    nodes[j].child_count_array()
+                                    for j in rows.tolist()
+                                ]).reshape(rows.size, n)
+                            z = np.where(zcounts > 0, z, math.inf)
+                        gi_z = np.argmin(z, axis=1).tolist()
+                        gz = z[np.arange(rows.size), gi_z].tolist()
                         wit_arr = arena._wit
                         ub_arr = arena._ub
                         sid_l = sids.tolist()
-                        for j in rows.tolist():
+                        inf = math.inf
+                        for t, j in enumerate(rows.tolist()):
                             s = searches[j]
-                            s._guarantee_scan_weak(nodes[j], weak[j])
-                            ub_arr[sid_l[j]] = s.upper_bound
-                            wp = s._witness_page
-                            wit_arr[sid_l[j]] = -1 if wp is None else wp
+                            node = nodes[j]
+                            was_witness = node.page_id == s._witness_page
+                            bg = gz[t]
+                            if bg == inf:
+                                # Every child subtree empty: nothing backs
+                                # a guarantee (cf. _guarantee_scan_weak).
+                                if was_witness:
+                                    s.upper_bound = s.best_dist
+                                    s._witness_page = None
+                                    s._rescan_queue_bounds()
+                                    ub_arr[sid_l[j]] = s.upper_bound
+                                    wit_arr[sid_l[j]] = -1
+                                continue
+                            best_child = node.children[gi_z[t]]
+                            if bg < s.upper_bound:
+                                s.upper_bound = bg
+                                s._witness_page = best_child.page_id
+                                ub_arr[sid_l[j]] = bg
+                                wit_arr[sid_l[j]] = best_child.page_id
+                            elif was_witness:
+                                s._witness_page = best_child.page_id
+                                wit_arr[sid_l[j]] = best_child.page_id
 
     def _lane_sids(self, searches) -> Optional[np.ndarray]:
         """The searches' arena ids, or ``None`` when any is unregistered."""
@@ -1053,11 +1345,17 @@ class SharedScanExecutor:
                     s._absorb_leaf(node)
                 continue
             k = len(nodes)
-            d = kernels.point_dists_multi(
-                np.array([s.query for s in searches]),
-                np.concatenate(
+            pts_blk = self._lane_pts
+            if pts_blk is not None:
+                pts = pts_blk[n][
+                    np.fromiter((nd._lane_row for nd in nodes), np.intp, k)
+                ]
+            else:
+                pts = np.concatenate(
                     [node.points_array() for node in nodes]
-                ).reshape(k, n, 2),
+                ).reshape(k, n, 2)
+            d = kernels.point_dists_multi(
+                np.array([s.query for s in searches]), pts
             )
             for j, (s, node) in enumerate(zip(searches, nodes)):
                 s._absorb_leaf_known(node, d[j])
@@ -1152,12 +1450,18 @@ class _TNNJob:
         query: Point,
         phase_s: float,
         phase_r: float,
+        record_log: bool = True,
     ) -> None:
         self.env = env
         self.algorithm = algorithm
         self.hybrid = hybrid
         self.query = query
         self.tuner_s, self.tuner_r = env.tuners(phase_s, phase_r)
+        if not record_log:
+            # Batch campaigns that never read traces skip every log-list
+            # (and event-arena) append; counters and clocks still count.
+            self.tuner_s.record_log = False
+            self.tuner_r.record_log = False
         policy_s, policy_r = algorithm._policies(env)
         self.nn_s = BroadcastNNSearch(env.s_tree, self.tuner_s, query, policy_s)
         self.nn_r = BroadcastNNSearch(env.r_tree, self.tuner_r, query, policy_r)
@@ -1280,23 +1584,29 @@ def execute_tnn_batch(
     env: TNNEnvironment,
     algorithm,
     queries: Sequence[Tuple[Point, float, float]],
+    record_log: bool = True,
 ) -> List[TNNResult]:
     """Run a TNN workload page-major; results in workload order.
 
     ``algorithm`` must satisfy :func:`shared_scan_supported`; the returned
     :class:`TNNResult` stream is bit-identical to running
-    ``algorithm.run(env, q, phase_s, phase_r)`` per query.
+    ``algorithm.run(env, q, phase_s, phase_r)`` per query.  Pass
+    ``record_log=False`` to skip per-tuner reception logs (counters and
+    clocks still count) — for batch campaigns that never read traces.
     """
     from repro.core.hybrid import HybridNN
 
     hybrid = isinstance(algorithm, HybridNN)
     jobs = [
-        _TNNJob(env, algorithm, hybrid, q, phase_s, phase_r)
+        _TNNJob(env, algorithm, hybrid, q, phase_s, phase_r, record_log)
         for q, phase_s, phase_r in queries
     ]
     executor = SharedScanExecutor(
         all_trees_backed=tree_all_backed(env.s_tree)
-        and tree_all_backed(env.r_tree)
+        and tree_all_backed(env.r_tree),
+        lane_blocks=combine_lane_blocks((env.s_tree, env.r_tree))
+        if kernels.enabled()
+        else None,
     )
     for job in jobs:
         executor.add(job.start())

@@ -179,6 +179,13 @@ def as_point_array(points: Sequence[Point]) -> np.ndarray:
 # ----------------------------------------------------------------------
 _SPLIT = 134217729.0  # 2**27 + 1, Veltkamp splitting constant
 
+#: Element-count ceiling below which the exact hypot runs as a stdlib
+#: ``math.hypot`` loop instead of the vectorised replay.  The replay costs
+#: ~75 array passes regardless of size, so tiny blocks (absorb lanes are
+#: typically a few dozen elements) pay far more in numpy dispatch than the
+#: ~0.15µs-per-element scalar loop; the crossover sits near 700 elements.
+_SCALAR_MAX = 640
+
 
 def _square_dl(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Error-free ``(hi, lo)`` with ``hi + lo == x*x`` exactly.
@@ -213,6 +220,16 @@ def hypot(x: np.ndarray, y: np.ndarray) -> np.ndarray:
         x = np.broadcast_to(x, shape)
         y = np.broadcast_to(y, shape)
     shape = x.shape
+    if x.size <= _SCALAR_MAX:
+        # Small block: the stdlib loop *is* the reference value, and beats
+        # the fixed cost of the vectorised replay below the crossover.
+        hyp = math.hypot
+        out = np.fromiter(
+            map(hyp, x.ravel().tolist(), y.ravel().tolist()),
+            dtype=np.float64,
+            count=x.size,
+        )
+        return out.reshape(shape)
     ax = np.abs(x).ravel()
     ay = np.abs(y).ravel()
     big = np.maximum(ax, ay)
@@ -744,14 +761,19 @@ def point_weak_bounds_multi(
 
 def trans_weak_bounds_multi(
     starts: np.ndarray, mbrs: np.ndarray, ends: np.ndarray, deflate: float
-) -> Tuple[np.ndarray, np.ndarray]:
-    """(certified weak Lemma 1, raw Lemma 3 estimate) per (query, child).
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(weak Lemma 1, raw Lemma 3 estimate, keep bound) per (query, child).
 
     The weak lane is ``MinDist(p, M) + MinDist(r, M)`` under raw
     ``np.hypot`` scaled by ``deflate`` — the transitive metric's certified
     under-estimate (cf. ``BroadcastNNSearch._weak_lower``).  The second
     lane is Lemma 3's side maxima over raw corner transitive sums, within
-    an ulp of the exact MinMaxTransDist — gate-only, never store.
+    an ulp of the exact MinMaxTransDist — gate-only, never store.  The
+    third lane mirrors ``BroadcastNNSearch._certified_keep``'s two upper
+    bounds on the exact Lemma 1 value — the smaller of the through-centre
+    transitive distance and the best raw corner transitive sum (both
+    reachable points of the MBR, so both dominate Lemma 1 regardless of
+    subtree backing) — uninflated; callers apply their own margin.
     """
     px, py = starts[:, 0, None], starts[:, 1, None]
     rx, ry = ends[:, 0, None], ends[:, 1, None]
@@ -764,7 +786,51 @@ def trans_weak_bounds_multi(
     cy = cy.reshape(shape)
     corner_t = np.hypot(px - cx, py - cy) + np.hypot(cx - rx, cy - ry)
     est = np.maximum(corner_t, corner_t[_NEXT, :]).min(axis=0)
-    return weak, est
+    mx = (mbrs[..., 0] + mbrs[..., 2]) * 0.5
+    my = (mbrs[..., 1] + mbrs[..., 3]) * 0.5
+    centre_t = np.hypot(px - mx, py - my) + np.hypot(mx - rx, my - ry)
+    keep = np.minimum(corner_t.min(axis=0), centre_t)
+    return weak, est, keep
+
+
+def trans_corner_minmax_multi(
+    starts: np.ndarray, mbrs: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Exact Lemma 3 corner MinMaxTransDist per (query, child).
+
+    Bit-identical to ``BroadcastNNSearch._corner_minmax_trans`` row by
+    row: the four corner transitive sums run on the exact
+    :func:`hypot` in the scalar helper's argument order, and the
+    ``min`` of adjacent-corner ``max`` pairs replays its evaluation —
+    one kernel call replaces the guarantee scans' per-child scalar
+    corner walks across a whole absorb lane.
+    """
+    px, py = starts[:, 0, None], starts[:, 1, None]
+    rx, ry = ends[:, 0, None], ends[:, 1, None]
+    xmin = mbrs[..., 0]
+    ymin = mbrs[..., 1]
+    xmax = mbrs[..., 2]
+    ymax = mbrs[..., 3]
+    # All eight hops fuse into one exact-hypot dispatch (elementwise, so
+    # every lane is bit-identical to its standalone evaluation).
+    d = hypot(
+        np.stack((
+            px - xmin, px - xmax, px - xmax, px - xmin,
+            xmin - rx, xmax - rx, xmax - rx, xmin - rx,
+        )),
+        np.stack((
+            py - ymin, py - ymin, py - ymax, py - ymax,
+            ymin - ry, ymin - ry, ymax - ry, ymax - ry,
+        )),
+    )
+    t0 = d[0] + d[4]
+    t1 = d[1] + d[5]
+    t2 = d[2] + d[6]
+    t3 = d[3] + d[7]
+    return np.minimum(
+        np.minimum(np.maximum(t0, t1), np.maximum(t1, t2)),
+        np.minimum(np.maximum(t2, t3), np.maximum(t3, t0)),
+    )
 
 
 def point_dists_raw(queries: np.ndarray, pts: np.ndarray) -> np.ndarray:

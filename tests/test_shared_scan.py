@@ -269,7 +269,7 @@ def test_multi_query_kernels_bit_identical_to_single_query():
     td_m = kernels.trans_dists_multi(Pa, Pt, Ea)
     deflate = 1.0 - 1e-9
     wp_m, ep_m = kernels.point_weak_bounds_multi(Qa, Ma, deflate)
-    wt_m, et_m = kernels.trans_weak_bounds_multi(Pa, Ma, Ea, deflate)
+    wt_m, et_m, _ = kernels.trans_weak_bounds_multi(Pa, Ma, Ea, deflate)
     pr_m = kernels.point_dists_raw(Qa, Pt)
     tr_m = kernels.trans_dists_raw(Pa, Pt, Ea)
 

@@ -1,0 +1,368 @@
+"""Tuner-ledger unit coverage and lossy tuners crossing the executor seam.
+
+Two contracts under test:
+
+* :class:`~repro.broadcast.tuner.TunerLedger` — attachment is
+  backend-transparent: an attached tuner's public attributes, accounting
+  methods and materialised ``log`` are bit-identical to the standalone
+  scalar oracle, through attach/detach round-trips, vectorised round
+  flushes, lane growth and the ``REPRO_SCALAR_TUNERS=1`` escape hatch.
+* The shared-scan executor's lossy seam — a :class:`PageLossModel` makes
+  receptions fallible, which the executor's inlined lossless download
+  paths do not replay, so lossy searches must degrade to the per-query
+  burst oracle and stay bit-identical (results, ``lost_pages``, log
+  events) on both the arena-backed and heap-backed frontier paths, also
+  when sharing one executor run with lossless arena searches.
+"""
+
+import random
+
+import pytest
+
+from repro.broadcast import (
+    BroadcastChannel,
+    BroadcastProgram,
+    ChannelTuner,
+    PageLossModel,
+    SystemParameters,
+)
+from repro.broadcast.tuner import (
+    _KIND_DATA,
+    _KIND_INDEX,
+    _LedgerTuner,
+    TunerLedger,
+    scalar_tuners_forced,
+)
+from repro.client import BroadcastNNSearch, SearchGroup, run_all
+from repro.core import DoubleNN, HybridNN, TNNEnvironment
+from repro.datasets import sized_uniform
+from repro.engine import execute_tnn_batch
+from repro.engine.shared_scan import SharedScanExecutor
+from repro.geometry import Point, kernels
+from repro.rtree import str_pack
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# Fixtures and helpers
+# ----------------------------------------------------------------------
+def _make_channel(n=120, seed=0, phase=0.0):
+    rng = random.Random(seed)
+    pts = [Point(rng.random() * 1000, rng.random() * 1000) for _ in range(n)]
+    params = SystemParameters(page_capacity=64)
+    tree = str_pack(pts, params.leaf_capacity, params.internal_fanout)
+    program = BroadcastProgram(tree, params, m=2)
+    return BroadcastChannel(program, phase=phase)
+
+
+def _build_env(loss=None, distributed_levels=None, n=400):
+    return TNNEnvironment.build(
+        sized_uniform(n, seed=1),
+        sized_uniform(n, seed=2),
+        params=SystemParameters(page_capacity=64),
+        distributed_levels=distributed_levels,
+        loss=loss,
+    )
+
+
+LOSS = PageLossModel(rate=0.25, seed=11)
+
+
+@pytest.fixture(scope="module")
+def env_lossy():
+    return _build_env(loss=LOSS)
+
+
+@pytest.fixture(scope="module")
+def env_lossless():
+    return _build_env()
+
+
+def _random_queries(env, n, seed=0):
+    rng = random.Random(seed)
+    return [
+        (env.random_query_point(rng), *env.random_phases(rng))
+        for _ in range(n)
+    ]
+
+
+def _tuner_state(t):
+    return (t.now, t.index_pages, t.data_pages, t.lost_pages, t.log)
+
+
+# ----------------------------------------------------------------------
+# Ledger units: attach / detach
+# ----------------------------------------------------------------------
+def test_attach_moves_state_and_routes_attributes():
+    t = ChannelTuner(_make_channel())
+    t.record_index(3, 5.0)  # pre-attach scalar history
+    ledger = TunerLedger()
+    row = ledger.attach(t)
+    assert type(t) is _LedgerTuner and row == 0
+    # Reads route to the lanes, carrying the pre-attach state.
+    assert t.now == 6.0 and t.index_pages == 1
+    # Writes route to the lanes too.
+    t.record_index(7, 10.0)
+    assert ledger._now[row] == 11.0 and ledger._index[row] == 2
+    # The materialised log is the pre-attach prefix plus arena events.
+    assert t.log == [("index", 3, 5.0, True), ("index", 7, 10.0, True)]
+    assert t.pages_downloaded == 2
+
+
+def test_detach_restores_scalar_oracle():
+    t = ChannelTuner(_make_channel())
+    ledger = TunerLedger()
+    ledger.attach(t)
+    t.record_index(4, 2.0)
+    t.data_pages = 3
+    t.lost_pages = 1
+    ledger.detach(t)
+    assert type(t) is ChannelTuner
+    assert _tuner_state(t) == (3.0, 1, 3, 1, [("index", 4, 2.0, True)])
+    # Standalone accounting keeps working on the plain dataclass.
+    t.record_index(9, 20.0)
+    assert t.now == 21.0 and t.index_pages == 2
+    # detach is idempotent / ignores foreign tuners.
+    ledger.detach(t)
+    assert type(t) is ChannelTuner
+    # The convenience method on an attached tuner does the same.
+    t2 = ChannelTuner(_make_channel())
+    ledger.attach(t2)
+    t2.detach()
+    assert type(t2) is ChannelTuner
+
+
+def test_attach_idempotent_and_foreign_ledger_rejected():
+    t = ChannelTuner(_make_channel())
+    ledger = TunerLedger()
+    assert ledger.attach(t) == ledger.attach(t) == 0
+    assert len(ledger) == 1
+    with pytest.raises(ValueError):
+        TunerLedger().attach(t)
+
+
+def test_lazy_log_materialisation_caches_per_arena_state():
+    t = ChannelTuner(_make_channel())
+    ledger = TunerLedger()
+    ledger.attach(t)
+    t.record_index(1, 0.0)
+    first = t.log
+    assert first is t.log  # cached: no new events since the read
+    t.record_index(2, 3.0)
+    second = t.log
+    assert second is not first and len(second) == 2
+    # The snapshot is detached from the arena: mutating it changes nothing.
+    second.append("junk")
+    t.record_index(5, 6.0)
+    assert t.log[-1] == ("index", 5, 6.0, True) and "junk" not in t.log
+
+
+# ----------------------------------------------------------------------
+# Ledger units: vectorised flush vs the scalar oracle
+# ----------------------------------------------------------------------
+def test_flush_round_matches_scalar_record_index():
+    ledger = TunerLedger()
+    attached = [ChannelTuner(_make_channel(seed=i)) for i in range(3)]
+    oracle = [ChannelTuner(_make_channel(seed=i)) for i in range(3)]
+    rows = np.array([ledger.attach(t) for t in attached], dtype=np.int64)
+    pages = np.array([5, 9, 2], dtype=np.int64)
+    arrivals = np.array([10.0, 4.0, 7.5])
+    ledger.flush_round(rows, pages, arrivals)
+    for o, p, a in zip(oracle, pages.tolist(), arrivals.tolist()):
+        o.record_index(p, a)
+    for t, o in zip(attached, oracle):
+        assert _tuner_state(t) == _tuner_state(o)
+    # Empty rounds are a no-op.
+    ledger.flush_round(np.empty(0, np.int64), pages[:0], arrivals[:0])
+    assert ledger.event_count == 3
+
+
+def test_flush_round_respects_record_log_rows():
+    ledger = TunerLedger()
+    noisy = ChannelTuner(_make_channel())
+    quiet = ChannelTuner(_make_channel(), record_log=False)
+    rows = np.array([ledger.attach(noisy), ledger.attach(quiet)])
+    ledger.flush_round(rows, np.array([1, 2]), np.array([0.0, 5.0]))
+    assert noisy.log == [("index", 1, 0.0, True)] and noisy.index_pages == 1
+    assert quiet.log == [] and quiet.index_pages == 1  # counted, unlogged
+    assert ledger.event_count == 1
+    # All-quiet rounds skip the arena entirely.
+    ledger.flush_round(rows[1:], np.array([3]), np.array([9.0]))
+    assert ledger.event_count == 1 and quiet.now == 10.0
+
+
+def test_record_index_run_matches_scalar_oracle():
+    ledger = TunerLedger()
+    attached = ChannelTuner(_make_channel())
+    oracle = ChannelTuner(_make_channel())
+    ledger.attach(attached)
+    pages, arrivals = [3, 8, 1], [2.0, 6.0, 11.0]
+    attached.record_index_run(pages, arrivals, 12.0)
+    oracle.record_index_run(pages, arrivals, 12.0)
+    assert _tuner_state(attached) == _tuner_state(oracle)
+    # Empty runs record nothing.
+    attached.record_index_run([], [], 12.0)
+    assert ledger.event_count == 3
+
+
+def test_event_chains_interleaved_across_rows():
+    ledger = TunerLedger()
+    a = ChannelTuner(_make_channel())
+    b = ChannelTuner(_make_channel())
+    ra, rb = ledger.attach(a), ledger.attach(b)
+    ledger.append_event(ra, _KIND_INDEX, 1, 0.0, True)
+    ledger.append_event(rb, _KIND_DATA, 7, 1.0, False)
+    ledger.append_event(ra, _KIND_DATA, 2, 2.0, True)
+    ledger.append_event(rb, _KIND_INDEX, 8, 3.0, True)
+    assert ledger.events_of(ra) == [
+        ("index", 1, 0.0, True),
+        ("data", 2, 2.0, True),
+    ]
+    assert a.log == ledger.events_of(ra)
+    assert b.log == [("data", 7, 1.0, False), ("index", 8, 3.0, True)]
+
+
+def test_lane_and_arena_growth_preserve_state():
+    ledger = TunerLedger()
+    tuners = [ChannelTuner(_make_channel()) for _ in range(70)]
+    for i, t in enumerate(tuners):
+        row = ledger.attach(t)
+        t.record_index_run(
+            list(range(5)), [float(i * 5 + j) for j in range(5)], i * 5.0 + 5
+        )
+        assert row == i
+    assert ledger.event_count == 350  # grew past both initial capacities
+    for i, t in enumerate(tuners):
+        assert t.index_pages == 5 and t.now == i * 5.0 + 5
+        assert [e[2] for e in t.log] == [float(i * 5 + j) for j in range(5)]
+
+
+def test_receive_paths_route_through_ledger_bit_identically():
+    """download_index_page / download_object on an attached tuner — the
+    scalar ``_receive`` retry loop writing through the row properties —
+    match the standalone oracle, lossless and lossy."""
+    for loss in (None, PageLossModel(rate=0.4, seed=3)):
+        attached = ChannelTuner(_make_channel(phase=2.0), loss=loss)
+        oracle = ChannelTuner(_make_channel(phase=2.0), loss=loss)
+        TunerLedger().attach(attached)
+        root = attached.channel.program.tree.root
+        for t in (attached, oracle):
+            t.download_index_page(root.page_id)
+            t.download_index_page(root.children[0].page_id)
+            t.download_object(0)
+        assert _tuner_state(attached) == _tuner_state(oracle)
+        if loss is not None:
+            assert attached.lost_pages > 0  # the seed actually fades pages
+            assert any(not ok for *_, ok in attached.log)
+
+
+def test_scalar_tuners_forced_disables_ledger(monkeypatch, env_lossless):
+    monkeypatch.setenv("REPRO_SCALAR_TUNERS", "1")
+    assert scalar_tuners_forced()
+    queries = _random_queries(env_lossless, 6)
+    algo = HybridNN()
+    with kernels.use_kernels(True):
+        want = [algo.run(env_lossless, q, ps, pr) for q, ps, pr in queries]
+        got = execute_tnn_batch(env_lossless, algo, queries)
+    assert got == want
+    # The executor still runs the arena — only the tuners stay scalar.
+    executor = SharedScanExecutor()
+    tuner = ChannelTuner(BroadcastChannel(env_lossless.s_program))
+    search = BroadcastNNSearch(
+        env_lossless.s_tree, tuner, Point(500.0, 500.0)
+    )
+    with kernels.use_kernels(True):
+        executor.add(SearchGroup([search]))
+    assert executor._arena is not None and executor._ledger is None
+    assert type(tuner) is ChannelTuner
+    monkeypatch.delenv("REPRO_SCALAR_TUNERS")
+    assert not scalar_tuners_forced()
+
+
+# ----------------------------------------------------------------------
+# Lossy tuners crossing the executor seam
+# ----------------------------------------------------------------------
+def test_lossy_env_hands_out_lossy_tuners(env_lossy):
+    ts, tr = env_lossy.tuners(1.0, 2.0)
+    assert ts.loss is LOSS and tr.loss is LOSS
+
+
+def test_lossy_search_classified_to_burst_path(env_lossless):
+    executor = SharedScanExecutor()
+    lossy = BroadcastNNSearch(
+        env_lossless.s_tree,
+        ChannelTuner(BroadcastChannel(env_lossless.s_program), loss=LOSS),
+        Point(500.0, 500.0),
+    )
+    clean = BroadcastNNSearch(
+        env_lossless.s_tree,
+        ChannelTuner(BroadcastChannel(env_lossless.s_program)),
+        Point(500.0, 500.0),
+    )
+    lossy_group, clean_group = SearchGroup([lossy]), SearchGroup([clean])
+    with kernels.use_kernels(True):
+        executor.add(lossy_group)
+        executor.add(clean_group)
+    assert lossy_group in executor._legacy
+    assert clean_group in executor._arena_groups
+
+
+@pytest.mark.parametrize("use_kernels", [True, False])
+@pytest.mark.parametrize("algo_cls", [DoubleNN, HybridNN])
+def test_lossy_tnn_bit_identity(env_lossy, use_kernels, algo_cls):
+    """Arena-capable env + loss: the whole workload bursts, bit-identical."""
+    queries = _random_queries(env_lossy, 10)
+    algo = algo_cls()
+    with kernels.use_kernels(use_kernels):
+        want = [algo.run(env_lossy, q, ps, pr) for q, ps, pr in queries]
+        got = execute_tnn_batch(env_lossy, algo, queries)
+    assert got == want
+
+
+def test_lossy_tnn_bit_identity_heap_backend():
+    """Heap-backed frontiers (no cyclic page order) with loss on top."""
+    env = _build_env(loss=LOSS, distributed_levels=2)
+    queries = _random_queries(env, 6)
+    algo = HybridNN()
+    with kernels.use_kernels(True):
+        want = [algo.run(env, q, ps, pr) for q, ps, pr in queries]
+        got = execute_tnn_batch(env, algo, queries)
+    assert got == want
+
+
+def _nn_search(env, query, phase, loss):
+    tuner = ChannelTuner(
+        BroadcastChannel(env.s_program, phase=phase), loss=loss
+    )
+    return BroadcastNNSearch(env.s_tree, tuner, query)
+
+
+def test_mixed_lossy_and_arena_searches_share_one_run(env_lossless):
+    """Lossy (burst) and lossless (arena) searches in the same executor
+    run each match the run_all oracle — results, counters, lost_pages and
+    log events."""
+    rng = random.Random(42)
+    cycle = env_lossless.s_program.cycle_length
+    specs = [
+        (
+            env_lossless.random_query_point(rng),
+            rng.uniform(0, cycle),
+            LOSS if i % 2 else None,
+        )
+        for i in range(12)
+    ]
+    oracle = [_nn_search(env_lossless, *spec) for spec in specs]
+    shared = [_nn_search(env_lossless, *spec) for spec in specs]
+    with kernels.use_kernels(True):
+        for s in oracle:
+            run_all([s])
+        executor = SharedScanExecutor()
+        for s in shared:
+            executor.add(SearchGroup([s]))
+        assert executor._legacy and executor._arena_groups  # both paths live
+        executor.run()
+    for got, want in zip(shared, oracle):
+        assert got.result() == want.result()
+        assert _tuner_state(got.tuner) == _tuner_state(want.tuner)
+    assert any(s.tuner.lost_pages > 0 for s in shared)  # loss engaged
