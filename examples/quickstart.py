@@ -19,8 +19,8 @@ each round's head selection, certified prune consumption and fan-out
 staging run as whole-workload array passes instead of per-entry python.
 The boxed-tuple heap remains the bit-identity oracle and engages
 automatically wherever the cyclic closed form does not hold — scalar
-mode (``REPRO_NO_KERNELS=1``), lossy tuners, and layouts without cyclic
-page order (distributed indexing, broadcast-disk schedules).
+mode (``REPRO_NO_KERNELS=1``) and layouts without cyclic page order
+(distributed indexing, broadcast-disk schedules).
 
 Architecture note — the columnar tuner ledger.  Every search accounts
 its radio on a ``ChannelTuner`` — clock, page counters and a reception
@@ -36,9 +36,28 @@ attached tuner routes its public attributes to its ledger row, and
 tuples the scalar oracle writes — so result constructors and trace
 tooling never know which backend they read.  ``REPRO_SCALAR_TUNERS=1``
 forces every tuner to stay standalone (the escape hatch mirroring
-``REPRO_NO_KERNELS``); lossy tuners (``PageLossModel``) and non-cyclic
-layouts skip attachment automatically and burst on the per-query
-oracle path.
+``REPRO_NO_KERNELS``); non-cyclic layouts skip attachment automatically
+and burst on the per-query oracle path.
+
+Architecture note — channel fault models and supervised pools.  The
+unreliable medium lives behind the ``FaultModel`` seam
+(``repro.broadcast.loss``): pass ``loss=`` to ``TNNEnvironment.build``
+— i.i.d. ``PageLossModel``, bursty ``GilbertElliottLossModel``,
+checksum-failing ``PageCorruptionModel``, or anything registered via
+``register_fault_model`` — and every tuner retries failed receptions at
+the page's next replica, counting erasures (``lost_pages``) apart from
+corruption (``corrupt_pages``).  Faulty NN searches stay on the
+arena/ledger fast path: the round flush replays each retry chain closed
+form (replicas sit exactly one cycle apart), bit-identically to the
+per-query retry loop, so robustness no longer costs the shared-scan
+speedup.  Only the drain serves (kNN / range / window) burst on the
+per-query oracle under loss.  One tier up, ``SharedScanRunner``'s pool
+shards run under a supervisor — crashed or hung workers
+(``REPRO_SHARD_TIMEOUT``) trigger pool rebuild, resharding and retries
+with backoff (``REPRO_SHARD_RETRIES`` / ``REPRO_SHARD_BACKOFF``),
+degrading to in-process serial execution last — and every recovery path
+merges bit-identical results because shards are pure functions of their
+query slice.
 
 Architecture note — pluggable air-index backends.  Schedule generation
 lives behind the ``BroadcastLayout`` seam (``repro.broadcast.layout``):

@@ -13,7 +13,18 @@ from repro.broadcast.config import SystemParameters
 from repro.broadcast.program import BroadcastProgram, optimal_m
 from repro.broadcast.channel import BroadcastChannel
 from repro.broadcast.tuner import ChannelTuner
-from repro.broadcast.loss import PageLossModel
+from repro.broadcast.loss import (
+    FAULT_CORRUPT,
+    FAULT_LOST,
+    FAULT_OK,
+    FaultModel,
+    GilbertElliottLossModel,
+    PageCorruptionModel,
+    PageLossModel,
+    available_fault_models,
+    make_fault_model,
+    register_fault_model,
+)
 # layout must precede energy: energy imports repro.core, whose environment
 # module imports the layout names back out of this (partially initialised)
 # package.
@@ -34,7 +45,16 @@ __all__ = [
     "BroadcastProgram",
     "BroadcastChannel",
     "ChannelTuner",
+    "FaultModel",
     "PageLossModel",
+    "GilbertElliottLossModel",
+    "PageCorruptionModel",
+    "FAULT_OK",
+    "FAULT_LOST",
+    "FAULT_CORRUPT",
+    "register_fault_model",
+    "make_fault_model",
+    "available_fault_models",
     "EnergyModel",
     "optimal_m",
     "BroadcastLayout",

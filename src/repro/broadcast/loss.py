@@ -1,33 +1,117 @@
-"""Wireless page-loss model.
+"""Wireless channel fault models.
 
 Broadcast is an unreliable medium: a client can fail to decode a page
-(fading, interference) and — with no uplink — its only recourse is waiting
-for the page's next replica.  The paper assumes a lossless channel; this
-model makes the assumption explicit and testable, and the loss ablation
-benchmark quantifies how quickly access time degrades.
+(fading, interference, a corrupted frame) and — with no uplink — its only
+recourse is waiting for the page's next replica.  The paper assumes a
+lossless channel; this module makes the assumption explicit and testable
+behind one **fault-model seam**: a :class:`FaultModel` classifies every
+reception attempt as ok / lost / corrupt, deterministically per
+``(page slot, seed)``, so two clients with the same seed observe the same
+fades and experiments stay reproducible.
 
-Losses are deterministic per ``(page slot, seed)``: two clients with the
-same seed observe the same fades, so experiments stay reproducible, and the
-same client asking about the same slot twice gets a consistent answer.
+Three registered implementations cover the usual channel abstractions:
+
+* :class:`PageLossModel` — i.i.d. loss, every attempt fails independently
+  with one rate (the original model, unchanged behaviour);
+* :class:`GilbertElliottLossModel` — the classic two-state Markov burst
+  channel (a *good* state with rare losses, a *bad* state modelling a
+  correlated fade), so consecutive slots fail together the way real
+  multipath fades make them;
+* :class:`PageCorruptionModel` — a detected bad decode: the page was
+  received but fails its checksum.  Operationally identical to a loss
+  (wait for the next replica) but counted separately
+  (``ChannelTuner.corrupt_pages``), the distinction link-layer studies
+  report.
+
+All models plug into ``TNNEnvironment.build(..., loss=...)`` and are
+constructible by name through :func:`make_fault_model` for sweeps and CLI
+tools, mirroring the ``register_layout`` registry.
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+#: Fault classification codes returned by :meth:`FaultModel.classify`.
+FAULT_OK = 0
+FAULT_LOST = 1
+FAULT_CORRUPT = 2
+
+
+def _slot_uniform(seed: int, slot: float, tag: int) -> float:
+    """A uniform in ``[0, 1)`` that is a pure function of (seed, slot, tag).
+
+    ``tag`` domain-separates independent draws at the same slot (state
+    transitions vs loss outcomes), so models composing several random
+    decisions per slot never correlate them by accident.
+    """
+    digest = hashlib.blake2b(
+        struct.pack("<qqd", seed, tag, float(slot)), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") / 2**64
+
+
+class FaultModel:
+    """One reception attempt's fate, as a pure function of its slot.
+
+    Subclasses implement :meth:`classify`; :meth:`lost` is the boolean
+    view legacy callers use (any non-ok fault forces a retry — a corrupt
+    page is operationally a loss, it only counts differently).  Outcomes
+    must be deterministic per ``(slot, seed)``: replicas of the same page
+    at different slots fade independently, as on a real channel, while
+    the same client asking about the same slot twice gets a consistent
+    answer — the property the shared-scan executor's closed-form retry
+    rescheduling and the per-query retry loop both rely on to stay
+    bit-identical.
+    """
+
+    def classify(self, page_slot: float) -> int:
+        """Fault code for the reception attempt at absolute ``page_slot``."""
+        raise NotImplementedError
+
+    def lost(self, page_slot: float) -> bool:
+        """Whether the reception attempt at ``page_slot`` fails."""
+        return self.classify(page_slot) != FAULT_OK
+
+
+def _check_rate(name: str, rate: float) -> None:
+    """Validate one failure probability.
+
+    Non-finite rates (NaN silently falls through chained comparisons)
+    are rejected explicitly, and ``rate == 1.0`` is refused because every
+    retry loop in the client stack waits for the *next replica* of a
+    failed page: a page that always fails would livelock the client
+    forever instead of surfacing an error.
+    """
+    if not isinstance(rate, (int, float)) or not math.isfinite(rate):
+        raise ValueError(f"{name} must be a finite number, got {rate!r}")
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(
+            f"{name} must be in [0, 1), got {rate} — a rate of 1.0 would "
+            "make every replica fail and livelock the retry loop"
+        )
+
+
+def _check_probability(name: str, p: float) -> None:
+    if not isinstance(p, (int, float)) or not math.isfinite(p):
+        raise ValueError(f"{name} must be a finite number, got {p!r}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {p}")
 
 
 @dataclass(frozen=True)
-class PageLossModel:
-    """I.i.d. page-loss: every reception attempt fails with ``rate``."""
+class PageLossModel(FaultModel):
+    """I.i.d. page loss: every reception attempt fails with ``rate``."""
 
     rate: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.rate < 1.0:
-            raise ValueError(f"loss rate must be in [0, 1), got {self.rate}")
+        _check_rate("loss rate", self.rate)
 
     def lost(self, page_slot: float) -> bool:
         """Whether the reception attempt at absolute slot ``page_slot`` fails.
@@ -43,3 +127,149 @@ class PageLossModel:
         ).digest()
         u = int.from_bytes(digest, "little") / 2**64
         return u < self.rate
+
+    def classify(self, page_slot: float) -> int:
+        return FAULT_LOST if self.lost(page_slot) else FAULT_OK
+
+
+@dataclass(frozen=True)
+class GilbertElliottLossModel(FaultModel):
+    """Two-state Markov (Gilbert–Elliott) bursty loss.
+
+    The channel alternates between a *good* state (losses at
+    ``good_rate``) and a *bad* state (a fade: losses at ``bad_rate``),
+    with per-slot transition probabilities ``p_good_bad`` and
+    ``p_bad_good`` — mean fade length ``1 / p_bad_good`` slots, so
+    consecutive replicas of nearby pages fail together instead of
+    independently.
+
+    Determinism per ``(slot, seed)`` despite the chain's memory: the
+    state sequence regenerates every ``regen`` slots — at each window
+    boundary the state is drawn fresh from the chain's stationary
+    distribution, then evolved slot by slot with hashed per-slot
+    uniforms inside the window.  Any slot's state is therefore a pure
+    function of (seed, its window, its offset), computable without
+    global history; computed windows are memoised so a retry chain
+    walking consecutive slots pays O(1) amortised per query.
+    """
+
+    good_rate: float = 0.0
+    bad_rate: float = 0.5
+    p_good_bad: float = 0.05
+    p_bad_good: float = 0.25
+    seed: int = 0
+    #: State-regeneration window (slots).  Larger windows preserve longer
+    #: bursts; the default comfortably exceeds the mean fade length of
+    #: any plausible parameterisation.
+    regen: int = 64
+    _windows: Dict[int, List[bool]] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    # Domain-separation tags for the per-slot uniform draws.
+    _TAG_STATE0 = 0
+    _TAG_TRANSITION = 1
+    _TAG_LOSS = 2
+
+    def __post_init__(self) -> None:
+        _check_rate("good-state loss rate", self.good_rate)
+        _check_rate("bad-state loss rate", self.bad_rate)
+        _check_probability("p_good_bad", self.p_good_bad)
+        _check_probability("p_bad_good", self.p_bad_good)
+        if not isinstance(self.regen, int) or self.regen < 1:
+            raise ValueError(
+                f"regen window must be a positive int, got {self.regen!r}"
+            )
+
+    def _window_states(self, w: int) -> List[bool]:
+        """Bad-state flags for every slot of window ``w`` (memoised)."""
+        states = self._windows.get(w)
+        if states is not None:
+            return states
+        start = w * self.regen
+        # Stationary P(bad); a chain that never transitions stays good.
+        denom = self.p_good_bad + self.p_bad_good
+        p_bad = self.p_good_bad / denom if denom > 0.0 else 0.0
+        bad = _slot_uniform(self.seed, start, self._TAG_STATE0) < p_bad
+        states = [bad]
+        for off in range(1, self.regen):
+            u = _slot_uniform(self.seed, start + off, self._TAG_TRANSITION)
+            bad = (u >= self.p_bad_good) if bad else (u < self.p_good_bad)
+            states.append(bad)
+        self._windows[w] = states
+        return states
+
+    def classify(self, page_slot: float) -> int:
+        slot = math.floor(page_slot)
+        w, off = divmod(slot, self.regen)
+        rate = (
+            self.bad_rate if self._window_states(w)[off] else self.good_rate
+        )
+        if rate == 0.0:
+            return FAULT_OK
+        u = _slot_uniform(self.seed, page_slot, self._TAG_LOSS)
+        return FAULT_LOST if u < rate else FAULT_OK
+
+
+@dataclass(frozen=True)
+class PageCorruptionModel(FaultModel):
+    """I.i.d. detected bad decodes: received but failing the checksum.
+
+    Operationally identical to a loss — the client waits for the next
+    replica — but counted in ``ChannelTuner.corrupt_pages`` instead of
+    ``lost_pages``, so experiments can separate erasures (never heard)
+    from corruption (heard wrong), the split link-layer traces report.
+    """
+
+    rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_rate("corruption rate", self.rate)
+
+    def classify(self, page_slot: float) -> int:
+        if self.rate == 0.0:
+            return FAULT_OK
+        digest = hashlib.blake2b(
+            struct.pack("<qd", self.seed, float(page_slot)), digest_size=8
+        ).digest()
+        u = int.from_bytes(digest, "little") / 2**64
+        return FAULT_CORRUPT if u < self.rate else FAULT_OK
+
+
+# ----------------------------------------------------------------------
+# Fault-model registry (sweeps, benchmarks, CLI tools construct by name)
+# ----------------------------------------------------------------------
+_FAULT_REGISTRY: Dict[str, Callable[..., FaultModel]] = {}
+
+
+def register_fault_model(
+    name: str, factory: Callable[..., FaultModel]
+) -> None:
+    """Register a fault-model factory under ``name`` (overwrites silently)."""
+    _FAULT_REGISTRY[name] = factory
+
+
+def make_fault_model(name: str, **kwargs) -> FaultModel:
+    """Construct a registered fault model by name, e.g.
+    ``make_fault_model("gilbert-elliott", p_bad_good=0.2)``."""
+    try:
+        factory = _FAULT_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault model {name!r}; "
+            f"choose from {sorted(_FAULT_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_fault_models() -> List[str]:
+    """Registered fault-model names, sorted."""
+    return sorted(_FAULT_REGISTRY)
+
+
+register_fault_model("iid", PageLossModel)
+register_fault_model("loss", PageLossModel)
+register_fault_model("gilbert-elliott", GilbertElliottLossModel)
+register_fault_model("ge", GilbertElliottLossModel)
+register_fault_model("corruption", PageCorruptionModel)

@@ -5,10 +5,11 @@ downloaded (tune-in time — the paper's proxy for energy) and the clock
 position reached (access time).  Between downloads the client is dozing, so
 only explicit ``download_*`` calls consume energy.
 
-An optional :class:`~repro.broadcast.loss.PageLossModel` makes receptions
-fallible: a lost page still costs the listening energy (it counts toward
-tune-in) but the client must wait for the page's next replica, stretching
-access time.
+An optional :class:`~repro.broadcast.loss.FaultModel` makes receptions
+fallible: a lost (or corrupt — a detected bad decode) page still costs the
+listening energy (it counts toward tune-in) but the client must wait for
+the page's next replica, stretching access time.  Losses and corruptions
+are counted separately (``lost_pages`` / ``corrupt_pages``).
 
 **The columnar tuner ledger.**  A single query's tuner is four scalars and
 a list — the cheapest possible representation.  A *workload* of thousands
@@ -52,7 +53,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.broadcast.channel import BroadcastChannel
-from repro.broadcast.loss import PageLossModel
+from repro.broadcast.loss import FAULT_LOST, FaultModel
 
 #: Event-kind codes of the packed event arena.
 _KIND_INDEX = 0
@@ -76,12 +77,15 @@ class ChannelTuner:
     """Tracks time and pages downloaded on one broadcast channel."""
 
     channel: BroadcastChannel
-    loss: Optional[PageLossModel] = None
+    loss: Optional[FaultModel] = None
     now: float = 0.0
     index_pages: int = 0
     data_pages: int = 0
-    #: Reception attempts that failed (subset of the page counters above).
+    #: Reception attempts that failed (subsets of the page counters
+    #: above): pages never decoded vs pages decoded wrong (a detected
+    #: bad checksum) — both force a wait for the next replica.
     lost_pages: int = 0
+    corrupt_pages: int = 0
     #: ``(kind, ref, arrival, ok)`` reception events for trace tooling.
     log: list[tuple] = field(default_factory=list)
     #: Batch campaigns that never read traces set this False to skip the
@@ -111,19 +115,25 @@ class ChannelTuner:
         # NOTE: the shared-scan executor's serve loops inline this success
         # path for lossless tuners (``now = arrival + 1.0``, one page
         # counted, one ``(kind, ref, arrival, True)`` log entry — batched
-        # through the TunerLedger when attached) — see
+        # through the TunerLedger when attached), and its round flush
+        # replays the whole retry chain closed-form for faulty tuners
+        # (``TunerLedger.flush_round_faulty``) — see
         # repro/engine/shared_scan.py.  Any change to the accounting here
         # must be mirrored there to preserve the bit-identity contract.
+        loss = self.loss
         attempts = 0
         while True:
             arrival = next_arrival(self.now)
             self.now = arrival + 1.0
             attempts += 1
-            ok = self.loss is None or not self.loss.lost(arrival)
-            self._record_event(kind, ref, arrival, ok)
-            if ok:
+            fault = 0 if loss is None else loss.classify(arrival)
+            self._record_event(kind, ref, arrival, fault == 0)
+            if fault == 0:
                 return attempts
-            self.lost_pages += 1
+            if fault == FAULT_LOST:
+                self.lost_pages += 1
+            else:
+                self.corrupt_pages += 1
 
     def _receive_at(self, next_arrival, arg, kind: str, ref: int) -> int:
         """:meth:`_receive` with the page selector passed as ``arg``.
@@ -134,16 +144,20 @@ class ChannelTuner:
         along as a plain argument.  Accounting is identical to
         :meth:`_receive`.
         """
+        loss = self.loss
         attempts = 0
         while True:
             arrival = next_arrival(arg, self.now)
             self.now = arrival + 1.0
             attempts += 1
-            ok = self.loss is None or not self.loss.lost(arrival)
-            self._record_event(kind, ref, arrival, ok)
-            if ok:
+            fault = 0 if loss is None else loss.classify(arrival)
+            self._record_event(kind, ref, arrival, fault == 0)
+            if fault == 0:
                 return attempts
-            self.lost_pages += 1
+            if fault == FAULT_LOST:
+                self.lost_pages += 1
+            else:
+                self.corrupt_pages += 1
 
     # ------------------------------------------------------------------
     # Accounting primitives (overridden lane-for-lane by _LedgerTuner)
@@ -239,6 +253,7 @@ class TunerLedger:
         self._index = np.zeros(cap, dtype=np.int64)
         self._data = np.zeros(cap, dtype=np.int64)
         self._lost = np.zeros(cap, dtype=np.int64)
+        self._corrupt = np.zeros(cap, dtype=np.int64)
         self._rec = np.ones(cap, dtype=bool)
         #: Arena index of each row's newest event (-1: none yet).
         self._last = np.full(cap, -1, dtype=np.int64)
@@ -286,6 +301,7 @@ class TunerLedger:
         self._index[row] = d["index_pages"]
         self._data[row] = d["data_pages"]
         self._lost[row] = d["lost_pages"]
+        self._corrupt[row] = d["corrupt_pages"]
         self._rec[row] = d["record_log"]
         self._last[row] = -1
         self._tuners.append(tuner)
@@ -306,13 +322,15 @@ class TunerLedger:
         d["index_pages"] = int(self._index[row])
         d["data_pages"] = int(self._data[row])
         d["lost_pages"] = int(self._lost[row])
+        d["corrupt_pages"] = int(self._corrupt[row])
         del d["_ledger"], d["_row"], d["_log_cache"]
         tuner.__class__ = ChannelTuner
         self._tuners[row] = None  # type: ignore[call-overload]
         self._last[row] = -1
 
     def _grow_rows(self) -> None:
-        for name in ("_now", "_index", "_data", "_lost", "_rec", "_last"):
+        for name in ("_now", "_index", "_data", "_lost", "_corrupt",
+                     "_rec", "_last"):
             old = getattr(self, name)
             new = np.empty(old.shape[0] * 2, dtype=old.dtype)
             if name == "_last":
@@ -410,6 +428,74 @@ class TunerLedger:
         self._last[erows] = idx
         self._ev_n = end
 
+    def flush_round_faulty(
+        self,
+        rows: np.ndarray,
+        pages: np.ndarray,
+        attempts: np.ndarray,
+        finals: np.ndarray,
+        lost: np.ndarray,
+        corrupt: np.ndarray,
+        ev_arrivals: np.ndarray,
+    ) -> None:
+        """:meth:`flush_round` for rows whose download may have retried.
+
+        A faulty tuner's retry chain on a cyclic frontier re-attempts the
+        same page exactly one index replica later each time; the executor
+        resolves each row's chain against its fault model closed-form and
+        hands the results here: ``attempts`` (>= 1) counts every
+        reception including the final successful one, ``finals`` is each
+        row's successful arrival, ``lost`` / ``corrupt`` split the
+        ``attempts - 1`` failures by fault kind, and ``ev_arrivals``
+        concatenates every row's per-attempt arrival slots (row-major,
+        chronological — ``attempts.sum()`` values, bit-exact to the slots
+        the scalar ``_receive`` loop would visit).
+
+        One vectorised pass books the whole round: clocks move to
+        ``final + 1.0``, the index counters gain ``attempts``, the fault
+        counters gain their splits, and — for rows recording logs — each
+        row's full attempt chain joins the event arena in chronological
+        order (failures ``ok=False``, the final success ``ok=True``) with
+        the per-row ``prev`` chains linked across the run.
+        """
+        k = rows.shape[0]
+        if k == 0:
+            return
+        self._now[rows] = finals + 1.0
+        self._index[rows] += attempts
+        self._lost[rows] += lost
+        self._corrupt[rows] += corrupt
+        keep = self._rec[rows]
+        if keep.all():
+            erows, epages, eatt, earr = rows, pages, attempts, ev_arrivals
+        else:
+            if not keep.any():
+                return
+            erows = rows[keep]
+            epages = pages[keep]
+            eatt = attempts[keep]
+            earr = ev_arrivals[np.repeat(keep, attempts)]
+        total = int(eatt.sum())
+        base = self._ev_n
+        if base + total > self._ev_kind.shape[0]:
+            self._grow_events(base + total)
+        end = base + total
+        ends = base + np.cumsum(eatt)
+        starts = ends - eatt
+        # Intra-run attempt number of every event: 0..attempts-1 per row.
+        intra = np.arange(total, dtype=np.int64) - np.repeat(
+            starts - base, eatt
+        )
+        self._ev_kind[base:end] = _KIND_INDEX
+        self._ev_ref[base:end] = np.repeat(epages, eatt)
+        self._ev_arrival[base:end] = earr
+        self._ev_ok[base:end] = intra == np.repeat(eatt - 1, eatt)
+        prev = np.arange(base - 1, end - 1, dtype=np.int64)
+        prev[starts - base] = self._last[erows]
+        self._ev_prev[base:end] = prev
+        self._last[erows] = ends - 1
+        self._ev_n = end
+
     # ------------------------------------------------------------------
     # Materialisation
     # ------------------------------------------------------------------
@@ -483,6 +569,14 @@ class _LedgerTuner(ChannelTuner):
     @lost_pages.setter
     def lost_pages(self, value: int) -> None:
         self._ledger._lost[self._row] = value
+
+    @property
+    def corrupt_pages(self) -> int:
+        return int(self._ledger._corrupt[self._row])
+
+    @corrupt_pages.setter
+    def corrupt_pages(self, value: int) -> None:
+        self._ledger._corrupt[self._row] = value
 
     @property
     def record_log(self) -> bool:

@@ -11,7 +11,7 @@ from repro.broadcast import (
     BroadcastLayout,
     BroadcastProgram,
     ChannelTuner,
-    PageLossModel,
+    FaultModel,
     RTreeInterleavedLayout,
     SystemParameters,
 )
@@ -37,12 +37,17 @@ class TNNEnvironment:
     r_program: BroadcastProgram
     params: SystemParameters
     region: Rect
-    #: Optional page-loss model shared by every tuner the environment
-    #: hands out — the paper's lossless channel when ``None``.  Lossy
-    #: tuners retry receptions, which the shared-scan executor's inlined
-    #: download paths do not replay, so it degrades those searches to the
-    #: per-query burst oracle (see ``SharedScanExecutor._fast``).
-    loss: Optional[PageLossModel] = None
+    #: Optional channel fault model shared by every tuner the environment
+    #: hands out — the paper's lossless channel when ``None``.  Any
+    #: :class:`~repro.broadcast.loss.FaultModel` plugs in (i.i.d. loss,
+    #: Gilbert–Elliott bursts, detected corruption, or anything
+    #: registered via ``register_fault_model``); faulty tuners retry
+    #: receptions at the failed page's next replica.  NN searches stay on
+    #: the shared-scan arena/ledger fast path regardless — the round
+    #: flush replays the retry chains closed form, bit-identically —
+    #: while the drain serves (kNN / range / window) fall back to the
+    #: per-query oracle (see ``SharedScanExecutor._fast``).
+    loss: Optional[FaultModel] = None
     _s_object_index: Dict[Point, int] = field(repr=False, default_factory=dict)
     _r_object_index: Dict[Point, int] = field(repr=False, default_factory=dict)
 
@@ -58,7 +63,7 @@ class TNNEnvironment:
         layout: "BroadcastLayout | None" = None,
         tree_cache: Optional[MutableMapping] = None,
         program_cache: Optional[MutableMapping] = None,
-        loss: Optional[PageLossModel] = None,
+        loss: Optional[FaultModel] = None,
     ) -> "TNNEnvironment":
         """Index both datasets and lay them out as broadcast programs.
 

@@ -22,7 +22,9 @@ shared substrate:
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.base import TNNAlgorithm
@@ -53,12 +55,40 @@ def _pool_run_chunk(
     return [(i, algorithm.run(env, p, ps, pr)) for i, p, ps, pr in chunk]
 
 
-def _pool_run_shared_shard(
-    task: Tuple[TNNAlgorithm, List[Tuple[int, Point, float, float]], bool]
+def _chaos_maybe_die(shard_index: int) -> None:
+    """Fault-injection hook: kill this worker process once, mid-campaign.
+
+    ``REPRO_CHAOS_KILL_SHARD`` names the shard index the kill targets and
+    ``REPRO_CHAOS_MARKER`` points at an armed marker file; the worker that
+    claims the marker (removal is atomic, so exactly one wins) hard-exits
+    without cleanup — the crash the shard supervisor must absorb.  Tests
+    and the resilience benchmark use this to prove a lost worker costs a
+    retry, never a result.
+    """
+    target = os.environ.get("REPRO_CHAOS_KILL_SHARD")
+    if target is None or int(target) != shard_index:
+        return
+    marker = os.environ.get("REPRO_CHAOS_MARKER")
+    if not marker:
+        return
+    try:
+        os.remove(marker)  # atomic claim: only one worker dies
+    except OSError:
+        return
+    os._exit(1)
+
+
+def _run_shared_shard(
+    env: TNNEnvironment, task: tuple
 ) -> List[Tuple[int, TNNResult]]:
-    """Pool worker: run one phase-grouped shard through the shared scan."""
-    algorithm, shard, record_log = task
-    env = _POOL_STATE["env"]
+    """Run one phase-grouped shard through the shared scan.
+
+    A shard is a pure function of (algorithm, query slice): it reads no
+    worker-local state besides the environment, so a supervisor may rerun
+    it on any worker — or serially in the parent — and merge bit-identical
+    results.
+    """
+    algorithm, shard, record_log, _shard_index = task
     results = execute_tnn_batch(
         env,
         algorithm,
@@ -66,6 +96,12 @@ def _pool_run_shared_shard(
         record_log=record_log,
     )
     return [(item[0], res) for item, res in zip(shard, results)]
+
+
+def _pool_run_shared_shard(task: tuple) -> List[Tuple[int, TNNResult]]:
+    """Pool worker entry point for one shared-scan shard."""
+    _chaos_maybe_die(task[3])
+    return _run_shared_shard(_POOL_STATE["env"], task)
 
 
 #: Round-robin chunks handed to each pool worker, per worker.  More than
@@ -91,6 +127,68 @@ def pool_chunk_count(n_queries: int, workers: int) -> int:
 def default_workers() -> int:
     """Worker processes from ``REPRO_WORKERS`` (default 0 = in-process)."""
     return int(os.environ.get("REPRO_WORKERS", "0"))
+
+
+# ----------------------------------------------------------------------
+# Shard supervision (crash / hang recovery for the shared-scan pool)
+# ----------------------------------------------------------------------
+def shard_timeout() -> Optional[float]:
+    """Per-wave shard deadline in seconds (``REPRO_SHARD_TIMEOUT``).
+
+    ``0`` (the default) disables the deadline: crashes are still detected
+    through the broken-pool signal, but a genuinely hung worker waits
+    forever — set a timeout in CI and chaos runs so hangs fail fast.
+    """
+    t = float(os.environ.get("REPRO_SHARD_TIMEOUT", "0"))
+    return t if t > 0 else None
+
+
+def shard_retries() -> int:
+    """Pool retry waves for failed shards (``REPRO_SHARD_RETRIES``)."""
+    return int(os.environ.get("REPRO_SHARD_RETRIES", "2"))
+
+
+def shard_backoff() -> float:
+    """Base retry backoff seconds (``REPRO_SHARD_BACKOFF``), doubled per
+    wave — crashed workers often share a transient cause (memory
+    pressure, a dying host) that a beat of quiet lets pass."""
+    return float(os.environ.get("REPRO_SHARD_BACKOFF", "0.1"))
+
+
+class _SupervisedPool:
+    """A worker pool that can be torn down and rebuilt mid-run.
+
+    One instance is shared by every algorithm of a ``run()`` mapping; the
+    shard supervisor replaces the underlying executor when it detects a
+    broken pool (a worker crashed) or a hung wave (deadline passed), so
+    later waves — and later algorithms — fan out on fresh processes
+    instead of inheriting a dead executor.
+    """
+
+    def __init__(self, make) -> None:
+        self._make = make
+        self.pool: ProcessPoolExecutor = make()
+
+    def rebuild(self) -> None:
+        pool = self.pool
+        # A hung worker ignores the executor's graceful shutdown: kill
+        # the processes first, then discard the executor without waiting.
+        for p in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                p.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        self.pool = self._make()
+
+    def shutdown(self) -> None:
+        try:
+            self.pool.shutdown()
+        except Exception:
+            pass
 
 
 class BatchRunner:
@@ -239,6 +337,14 @@ class SharedScanRunner(BatchRunner):
     positions of the broadcast cycle and its round lanes stay full.
     Sharding is pure placement — per-query state is self-contained — and
     results are reassembled in workload order.
+
+    Shards run **supervised**: a crashed worker (broken pool) or a hung
+    wave (``REPRO_SHARD_TIMEOUT``) tears the pool down, rebuilds it,
+    reshards the failed slice across the fresh workers and retries with
+    exponential backoff (``REPRO_SHARD_RETRIES`` / ``REPRO_SHARD_BACKOFF``),
+    degrading to in-process serial execution as the last resort — every
+    recovery path merges bit-identical results, because a shard is a pure
+    function of (algorithm, query slice).
     """
 
     def run_algorithm(
@@ -259,10 +365,13 @@ class SharedScanRunner(BatchRunner):
             return super().run_algorithm(algorithm, workers)
         queries = self._queries
         if workers >= 2 and len(queries) > 1:
-            with self._make_pool(workers) as pool:
+            sp = _SupervisedPool(lambda: self._make_pool(workers))
+            try:
                 return self._run_shared_pool(
-                    algorithm, workers, pool, record_log
+                    algorithm, workers, sp, record_log
                 )
+            finally:
+                sp.shutdown()
         return execute_tnn_batch(
             self.env, algorithm, queries, record_log=record_log
         )
@@ -271,20 +380,134 @@ class SharedScanRunner(BatchRunner):
         self,
         algorithm: TNNAlgorithm,
         workers: int,
-        pool: ProcessPoolExecutor,
+        sp: _SupervisedPool,
         record_log: bool = True,
     ) -> List[TNNResult]:
         queries = self._queries
-        tasks = [
-            (algorithm, [(i, *queries[i]) for i in shard], record_log)
-            for shard in self._phase_shards(workers)
-            if shard
-        ]
+        tasks: Dict[int, tuple] = {}
+        for shard in self._phase_shards(workers):
+            if shard:
+                k = len(tasks)
+                tasks[k] = (
+                    algorithm,
+                    [(i, *queries[i]) for i in shard],
+                    record_log,
+                    k,
+                )
         results: List[Optional[TNNResult]] = [None] * len(queries)
-        for part in pool.map(_pool_run_shared_shard, tasks):
+        for part in self._supervise_shards(sp, workers, tasks):
             for i, res in part:
                 results[i] = res
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Shard supervision
+    # ------------------------------------------------------------------
+    def _supervise_shards(
+        self, sp: _SupervisedPool, workers: int, tasks: Dict[int, tuple]
+    ) -> List[List[Tuple[int, TNNResult]]]:
+        """Run shard tasks to completion despite crashed or hung workers.
+
+        Each wave submits every outstanding shard and drains completions
+        under the optional per-wave deadline (:func:`shard_timeout`).  A
+        crashed worker surfaces as a broken pool, a hung one as a missed
+        deadline; either tears the pool down, rebuilds it, reshards the
+        failed slice across the fresh workers and retries after an
+        exponential backoff.  When the retry budget is spent, whatever is
+        still outstanding runs serially in this process — shards are pure
+        functions of (algorithm, query slice), so every recovery path
+        merges bit-identical results.
+        """
+        pending = dict(tasks)
+        parts: List[List[Tuple[int, TNNResult]]] = []
+        backoff = shard_backoff()
+        for attempt in range(shard_retries() + 1):
+            if not pending:
+                return parts
+            if attempt:
+                time.sleep(backoff * (2 ** (attempt - 1)))
+                pending = self._reshard(pending, workers)
+            if self._dispatch_wave(sp, pending, parts):
+                sp.rebuild()
+        # Serial last resort: run the leftovers in-process (and let any
+        # genuine shard error propagate instead of retrying it forever).
+        for k in sorted(pending):
+            parts.append(_run_shared_shard(self.env, pending.pop(k)))
+        return parts
+
+    def _dispatch_wave(
+        self,
+        sp: _SupervisedPool,
+        pending: Dict[int, tuple],
+        parts: List[List[Tuple[int, TNNResult]]],
+    ) -> bool:
+        """One submit-and-drain pass over every outstanding shard.
+
+        Completed shards move from ``pending`` into ``parts``; returns
+        True when the pool must be rebuilt before the next wave (a worker
+        crashed, a deadline passed, or the executor refused submissions).
+        """
+        pool = sp.pool
+        try:
+            futures = {
+                pool.submit(_pool_run_shared_shard, t): k
+                for k, t in pending.items()
+            }
+        except (RuntimeError, BrokenProcessPool):
+            return True  # the pool died before the wave started
+        timeout = shard_timeout()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        not_done = set(futures)
+        rebuild = False
+        while not_done:
+            wait_for = None
+            if deadline is not None:
+                wait_for = deadline - time.monotonic()
+                if wait_for <= 0:
+                    return True  # hung wave: abandon it, rebuild, retry
+            done, not_done = wait(not_done, timeout=wait_for)
+            if not done and deadline is not None:
+                return True
+            for f in done:
+                k = futures[f]
+                try:
+                    parts.append(f.result())
+                    pending.pop(k)
+                except (BrokenProcessPool, OSError):
+                    rebuild = True  # worker crashed: shard stays pending
+                except Exception:
+                    # The shard itself raised.  Leave it pending: the
+                    # retry waves give transient faults a chance and the
+                    # serial last resort surfaces a real error.
+                    pass
+        return rebuild
+
+    def _reshard(
+        self, pending: Dict[int, tuple], workers: int
+    ) -> Dict[int, tuple]:
+        """Cut the failed slice into fresh shards across the pool.
+
+        Failed shards merge, reorder by workload index and split
+        contiguously over the workers — a lost worker's whole slice
+        spreads across the survivors' replacements instead of reloading
+        one.  Placement is pure scheduling: shard contents never change
+        a query's result.
+        """
+        if not pending:
+            return pending
+        algorithm = record_log = None
+        items: List[tuple] = []
+        for k in sorted(pending):
+            algorithm, shard, record_log, _ = pending[k]
+            items.extend(shard)
+        items.sort(key=lambda item: item[0])
+        n = min(workers, len(items))
+        size = -(-len(items) // n)  # ceil division
+        return {
+            k: (algorithm, items[k * size : (k + 1) * size], record_log, k)
+            for k in range(n)
+            if items[k * size : (k + 1) * size]
+        }
 
     def run(self, algorithms: Mapping[str, TNNAlgorithm]) -> Dict[str, "ResultStats"]:
         """Summary statistics per algorithm, via the shared-scan executor.
@@ -296,17 +519,25 @@ class SharedScanRunner(BatchRunner):
         from repro.sim.stats import summarize_batch
 
         if self.workers >= 2 and len(self._queries) > 1:
-            with self._make_pool(self.workers) as pool:
+            sp = _SupervisedPool(lambda: self._make_pool(self.workers))
+            try:
                 out = {}
                 for name, algo in algorithms.items():
                     if shared_scan_supported(algo):
                         results = self._run_shared_pool(
-                            algo, self.workers, pool
+                            algo, self.workers, sp
                         )
                     else:
-                        results = self._run_pool(algo, self.workers, pool=pool)
+                        # The per-query fallback reads the supervisor's
+                        # *current* pool — a rebuild from an earlier
+                        # algorithm's recovery hands it live workers.
+                        results = self._run_pool(
+                            algo, self.workers, pool=sp.pool
+                        )
                     out[name] = summarize_batch(results)
                 return out
+            finally:
+                sp.shutdown()
         return {
             name: summarize_batch(self.run_algorithm(algo, workers=0))
             for name, algo in algorithms.items()

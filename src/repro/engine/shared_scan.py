@@ -52,9 +52,15 @@ construction:
   page download replays the tuner's arrival arithmetic;
 * everything that cannot batch falls back to the search's own per-query
   code path: sub-threshold lanes, heap-backed searches (distributed
-  layouts), lossy tuners, unknown search types, and the whole executor
-  under ``REPRO_NO_KERNELS=1`` — where it degrades to a pure multiplexer
-  over the scalar oracle.
+  layouts), lossy *drain* serves (kNN / range / window), unknown search
+  types, and the whole executor under ``REPRO_NO_KERNELS=1`` — where it
+  degrades to a pure multiplexer over the scalar oracle.  Lossy NN
+  searches, by contrast, stay on the arena/ledger fast path: the round
+  flush replays the tuner's retry-to-next-replica loop closed form (a
+  missed page's next replica is exactly one cycle later), classifying
+  every attempt with the search's :class:`~repro.broadcast.loss
+  .FaultModel` and booking the whole chain in one vectorised
+  :meth:`~repro.broadcast.tuner.TunerLedger.flush_round_faulty` pass.
 """
 
 from __future__ import annotations
@@ -66,6 +72,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.broadcast.loss import FAULT_LOST
 from repro.broadcast.tuner import TunerLedger, scalar_tuners_forced
 from repro.client.frontier import FrontierArena
 from repro.client.knn import BroadcastKNNSearch
@@ -247,10 +254,13 @@ class SharedScanExecutor:
       and window never move), so one serve drains the whole search;
       collected leaves are resolved afterwards in one flat per-search
       kernel call that preserves leaf pop order.
-    * anything else (heap backends, lossy tuners, non-trivial pruning
-      policies, ``REPRO_NO_KERNELS=1``, unknown types) — a burst of the
-      search's own ``step()`` while it stays eligible: the executor
-      degrades to a pure multiplexer over the per-query oracle.
+    * anything else (heap backends, lossy *drain* serves, non-trivial
+      pruning policies, ``REPRO_NO_KERNELS=1``, unknown types) — a burst
+      of the search's own ``step()`` while it stays eligible: the
+      executor degrades to a pure multiplexer over the per-query oracle.
+      Lossy NN searches ride the arena: the round flush resolves their
+      retry chains closed form, bit-identically to the per-query
+      ``_receive`` loop.
     """
 
     def __init__(
@@ -270,6 +280,14 @@ class SharedScanExecutor:
         self._ledger: Optional[TunerLedger] = None
         #: Arena sid -> ledger row of the owning search's tuner.
         self._sid_row = np.empty(0, dtype=np.int64)
+        #: Arena sid -> fault model of the owning search's tuner (sparse:
+        #: only faulty sids appear).  A faulty NN search rides the arena
+        #: like any other — the round flush resolves its retry chain
+        #: closed-form (the next replica of a page missed at ``arrival``
+        #: on a cyclic frontier is exactly ``arrival + cycle``), so the
+        #: fast path stays bit-identical to the per-query retry loop.
+        self._sid_loss: dict = {}
+        self._any_lossy = False
         #: The round's confirmed serve downloads, held until the arena
         #: flush point and then written to the ledger in one pass.
         self._flush_pending: Optional[tuple] = None
@@ -332,6 +350,10 @@ class SharedScanExecutor:
             for s in group.pending:
                 if getattr(s, "_arena_sid", -1) < 0:
                     self._arena.register(s)
+                    loss = s.tuner.loss
+                    if loss is not None:
+                        self._any_lossy = True
+                        self._sid_loss[s._arena_sid] = loss
                     if ledger is not None:
                         # Hoist the tuner's scalars into ledger lanes; the
                         # attach is idempotent, so a tuner shared across
@@ -410,11 +432,7 @@ class SharedScanExecutor:
                 confirmed[rej] = False
             conf = np.flatnonzero(confirmed)
             if conf.size:
-                self._ledger.flush_round(
-                    self._sid_row[due[conf]],
-                    res["page_np"][conf],
-                    res["arrival_np"][conf],
-                )
+                self._flush_ledger(res, due, conf)
 
         # Finish bookkeeping: every probe entry was verified finished by
         # its serve (an emptied queue never refills).  on_finish fires
@@ -447,6 +465,84 @@ class SharedScanExecutor:
             for g in completed:
                 if g.tag is not None:
                     self.add(g.tag.advance())
+
+    def _flush_ledger(self, res, due, conf) -> None:
+        """Book the round's confirmed serve downloads into the ledger.
+
+        Lossless rows flush in one :meth:`TunerLedger.flush_round` pass.
+        Faulty rows replay the per-query retry loop closed form: replicas
+        of an index page on a cyclic frontier sit exactly one cycle
+        apart, so the attempt slots of a chain starting at ``arrival``
+        are ``slot0 + k * cycle``; each attempt is classified by the
+        row's fault model and the whole chain books in one
+        :meth:`TunerLedger.flush_round_faulty` pass, bit-identical to
+        ``ChannelTuner._receive`` — the attempt arrivals are rebuilt as
+        ``float(integer slot) + phase``, the same single rounding the
+        scalar channel arithmetic performs.
+        """
+        sids = due[conf]
+        pages = res["page_np"][conf]
+        arrs = res["arrival_np"][conf]
+        ledger = self._ledger
+        if not self._any_lossy:
+            ledger.flush_round(self._sid_row[sids], pages, arrs)
+            return
+        sid_loss = self._sid_loss
+        sids_l = sids.tolist()
+        lossy = [i for i, sid in enumerate(sids_l) if sid in sid_loss]
+        if not lossy:
+            ledger.flush_round(self._sid_row[sids], pages, arrs)
+            return
+        clean_mask = np.ones(len(sids_l), dtype=bool)
+        clean_mask[lossy] = False
+        if clean_mask.any():
+            clean = np.flatnonzero(clean_mask)
+            ledger.flush_round(
+                self._sid_row[sids[clean]], pages[clean], arrs[clean]
+            )
+        arena = self._arena
+        lsids = sids[lossy]
+        k = len(lossy)
+        attempts = np.empty(k, dtype=np.int64)
+        finals = np.empty(k, dtype=np.float64)
+        lost = np.zeros(k, dtype=np.int64)
+        corrupt = np.zeros(k, dtype=np.int64)
+        ev_arr: List[float] = []
+        lsids_l = lsids.tolist()
+        phases = arena._phase[lsids].tolist()
+        cycles = arena._cycle[lsids].tolist()
+        arrs_l = arrs[lossy].tolist()
+        for i in range(k):
+            model = sid_loss[lsids_l[i]]
+            phase = phases[i]
+            c = cycles[i]
+            slot0 = int(round(arrs_l[i] - phase))
+            n = 0
+            while True:
+                arrival = float(slot0 + n * c) + phase
+                ev_arr.append(arrival)
+                fault = model.classify(arrival)
+                n += 1
+                if fault == 0:
+                    break
+                if fault == FAULT_LOST:
+                    lost[i] += 1
+                else:
+                    corrupt[i] += 1
+            attempts[i] = n
+            finals[i] = arrival
+        ledger.flush_round_faulty(
+            self._sid_row[lsids],
+            pages[lossy],
+            attempts,
+            finals,
+            lost,
+            corrupt,
+            np.asarray(ev_arr, dtype=np.float64),
+        )
+        # serve() advanced the arena clocks to ``first arrival + 1``;
+        # retries push a faulty row's clock past its final attempt.
+        arena._now[lsids] = finals + 1.0
 
     def _retire_arena_member(self, g: SearchGroup, s) -> None:
         """Drop a finished arena search from the persistent serve rows.
@@ -668,12 +764,21 @@ class SharedScanExecutor:
             # deferred to the ledger's one-pass round flush; only the
             # forced-scalar oracle still books it here, row by row.
             if ledger is None:
-                arrival = arrivals[j]
                 tuner = s.tuner
-                tuner.now = arrival + 1.0
-                tuner.index_pages += 1
-                if tuner.record_log:
-                    tuner.log.append(("index", node.page_id, arrival, True))
+                if tuner.loss is None:
+                    arrival = arrivals[j]
+                    tuner.now = arrival + 1.0
+                    tuner.index_pages += 1
+                    if tuner.record_log:
+                        tuner.log.append(
+                            ("index", node.page_id, arrival, True)
+                        )
+                else:
+                    # Faulty forced-scalar download: the retry loop's
+                    # first attempt recomputes exactly this serve's
+                    # arrival; the arena clock re-syncs past the retries.
+                    tuner.download_index_page(node.page_id)
+                    arena_now[due[j]] = tuner.now
             if use_keys:
                 # Block-stamped nodes carry their packed lane shape; one
                 # ``or`` folds in the owner's metric bit.
@@ -730,17 +835,25 @@ class SharedScanExecutor:
         probe.append((g, s))
 
     def _fast(self, s, trivial_policy: bool) -> bool:
-        """Batched-serve eligibility of one search, cached on the search."""
-        try:
-            return s._shared_fast
-        except AttributeError:
-            fast = (
-                s._frontier is not None
-                and s.tuner.loss is None
-                and (not trivial_policy or s._policy_trivial)
-            )
-            s._shared_fast = fast
-            return fast
+        """Batched-serve eligibility of one search, cached on the search.
+
+        The cached verdict is keyed on the tuner's fault model, so a loss
+        model swapped in (or out) between runs recomputes instead of
+        serving a stale answer.  NN serves tolerate any fault model — the
+        round flush replays the retry-to-next-replica loop closed form —
+        while the drain serves (kNN / range / window) inline only
+        successful downloads (``record_index_run``) and stay
+        lossless-only.
+        """
+        loss = s.tuner.loss
+        cached = getattr(s, "_shared_fast", None)
+        if cached is not None and cached[0] is loss:
+            return cached[1]
+        fast = s._frontier is not None and (
+            s._policy_trivial if trivial_policy else loss is None
+        )
+        s._shared_fast = (loss, fast)
+        return fast
 
     def _serve_nn_one(self, g, s, limit, strict, ctx) -> None:
         if not self._use_kernels or not self._fast(s, True):
@@ -751,6 +864,7 @@ class SharedScanExecutor:
         lanes, _, _, probe = ctx
         epoch = s._metric_epoch
         tuner = s.tuner
+        loss = tuner.loss
         while True:
             res = f.pop_until(s.upper_bound, epoch, limit, strict)
             if res is None:
@@ -763,9 +877,18 @@ class SharedScanExecutor:
             # Survivor: download now, defer the expansion to the batch.
             # record_index books the download on either backend — scalar
             # writes standalone, the tuner's ledger row when attached.
-            tuner.record_index(node.page_id, arrival)
-            if arena is not None:
-                arena._now[f._sid] = arrival + 1.0
+            if loss is None:
+                tuner.record_index(node.page_id, arrival)
+                if arena is not None:
+                    arena._now[f._sid] = arrival + 1.0
+            else:
+                # Faulty tuner: the per-query retry loop books every
+                # attempt itself (on either backend — its first attempt
+                # recomputes exactly this pop's arrival), and the arena
+                # clock re-syncs past the retries.
+                tuner.download_index_page(node.page_id)
+                if arena is not None:
+                    arena._now[f._sid] = tuner.now
             if node.level == 0:
                 key = (node.fanout << 2) | 2 | s._point_bit
                 if f.finished():
@@ -1465,20 +1588,20 @@ class _TNNJob:
         policy_s, policy_r = algorithm._policies(env)
         self.nn_s = BroadcastNNSearch(env.s_tree, self.tuner_s, query, policy_s)
         self.nn_r = BroadcastNNSearch(env.r_tree, self.tuner_r, query, policy_r)
-        # Pre-stamp the executor's serve-eligibility flag (the searches
-        # were built right here, so the conditions are known); it must
-        # match SharedScanExecutor._fast exactly — in particular a lossy
-        # tuner forces the per-query burst path, whose _receive retry loop
-        # the inlined downloads do not replay.
+        # Pre-stamp the executor's serve-eligibility verdict (the
+        # searches were built right here, so the conditions are known);
+        # it must match SharedScanExecutor._fast exactly — a (fault
+        # model, verdict) tuple, so a loss model swapped onto the tuner
+        # later invalidates the cache instead of going stale.  NN serves
+        # tolerate any fault model: the round flush replays the retry
+        # loop closed form.
         self.nn_s._shared_fast = (
-            self.nn_s._frontier is not None
-            and self.tuner_s.loss is None
-            and self.nn_s._policy_trivial
+            self.tuner_s.loss,
+            self.nn_s._frontier is not None and self.nn_s._policy_trivial,
         )
         self.nn_r._shared_fast = (
-            self.nn_r._frontier is not None
-            and self.tuner_r.loss is None
-            and self.nn_r._policy_trivial
+            self.tuner_r.loss,
+            self.nn_r._frontier is not None and self.nn_r._policy_trivial,
         )
         self.in_filter = False
         self.result: Optional[TNNResult] = None

@@ -6,12 +6,20 @@ import random
 import pytest
 
 from repro.broadcast import (
+    FAULT_CORRUPT,
+    FAULT_LOST,
+    FAULT_OK,
     BroadcastChannel,
     BroadcastProgram,
     ChannelTuner,
     EnergyModel,
+    GilbertElliottLossModel,
+    PageCorruptionModel,
     PageLossModel,
     SystemParameters,
+    available_fault_models,
+    make_fault_model,
+    register_fault_model,
 )
 from repro.client import BroadcastNNSearch
 from repro.core import DoubleNN, TNNEnvironment
@@ -40,6 +48,18 @@ def test_loss_rate_validation():
     PageLossModel(rate=0.0)  # boundary ok
 
 
+def test_loss_rate_rejects_non_finite_and_explains_livelock():
+    """Satellite: NaN silently falls through chained comparisons, and
+    rate=1.0 would make every replica fail — both must raise clearly."""
+    for bad in (math.nan, math.inf, -math.inf):
+        with pytest.raises(ValueError, match="finite"):
+            PageLossModel(rate=bad)
+    with pytest.raises(ValueError, match="livelock"):
+        PageLossModel(rate=1.0)
+    with pytest.raises(ValueError, match="finite"):
+        PageLossModel(rate="0.5")  # type: ignore[arg-type]
+
+
 def test_loss_zero_never_loses():
     model = PageLossModel(rate=0.0)
     assert not any(model.lost(float(t)) for t in range(1000))
@@ -61,6 +81,113 @@ def test_loss_empirical_rate():
     model = PageLossModel(rate=0.25, seed=3)
     losses = sum(model.lost(float(t)) for t in range(20_000))
     assert abs(losses / 20_000 - 0.25) < 0.02
+
+
+# ----------------------------------------------------------------------
+# Gilbert-Elliott bursty loss
+# ----------------------------------------------------------------------
+def test_ge_validation():
+    with pytest.raises(ValueError):
+        GilbertElliottLossModel(bad_rate=1.0)  # livelocks inside a fade
+    with pytest.raises(ValueError):
+        GilbertElliottLossModel(p_good_bad=1.5)
+    with pytest.raises(ValueError):
+        GilbertElliottLossModel(p_bad_good=math.nan)
+    with pytest.raises(ValueError):
+        GilbertElliottLossModel(regen=0)
+    GilbertElliottLossModel(p_good_bad=1.0, p_bad_good=1.0)  # boundaries ok
+
+
+def test_ge_deterministic_and_order_independent():
+    """Any slot's outcome is a pure function of (seed, slot): querying out
+    of order, repeatedly, or on a fresh instance never changes it."""
+    kwargs = dict(
+        bad_rate=0.7, p_good_bad=0.1, p_bad_good=0.25, seed=5, regen=16
+    )
+    a = GilbertElliottLossModel(**kwargs)
+    forward = [a.classify(float(t)) for t in range(300)]
+    b = GilbertElliottLossModel(**kwargs)
+    backward = [b.classify(float(t)) for t in reversed(range(300))]
+    assert forward == backward[::-1]
+    assert forward == [a.classify(float(t)) for t in range(300)]  # memoised
+
+
+def test_ge_fades_are_bursty():
+    """Losses cluster: the conditional loss rate right after a loss is
+    well above the marginal rate (the whole point of the model)."""
+    model = GilbertElliottLossModel(
+        good_rate=0.0, bad_rate=0.9, p_good_bad=0.03, p_bad_good=0.15, seed=2
+    )
+    outcomes = [model.lost(float(t)) for t in range(30_000)]
+    marginal = sum(outcomes) / len(outcomes)
+    after_loss = [b for a, b in zip(outcomes, outcomes[1:]) if a]
+    conditional = sum(after_loss) / len(after_loss)
+    assert 0.0 < marginal < 0.5
+    assert conditional > 2.0 * marginal
+
+
+def test_ge_never_transitions_stays_good():
+    model = GilbertElliottLossModel(
+        good_rate=0.0, bad_rate=0.9, p_good_bad=0.0, p_bad_good=0.0, seed=1
+    )
+    assert not any(model.lost(float(t)) for t in range(2_000))
+
+
+def test_ge_fractional_slots_share_state_draw_independently():
+    """Sub-slot arrivals (phased channels) map to the floor slot's state
+    but draw their own loss uniform on the exact float arrival."""
+    model = GilbertElliottLossModel(
+        good_rate=0.0, bad_rate=1.0 - 1e-12, p_good_bad=0.5, p_bad_good=0.0,
+        seed=3,
+    )
+    # bad_rate ~ 1: inside a fade every attempt fails, outside none does,
+    # so two arrivals in the same slot must agree with the slot's state.
+    for t in range(200):
+        assert model.lost(t + 0.25) == model.lost(t + 0.75) == model.lost(
+            float(t)
+        )
+
+
+# ----------------------------------------------------------------------
+# Page corruption
+# ----------------------------------------------------------------------
+def test_corruption_classified_separately():
+    model = PageCorruptionModel(rate=0.4, seed=6)
+    codes = {model.classify(float(t)) for t in range(500)}
+    assert codes == {FAULT_OK, FAULT_CORRUPT}
+    assert FAULT_LOST not in codes
+    # Operationally a corrupt decode is a loss: lost() forces the retry.
+    assert any(model.lost(float(t)) for t in range(500))
+
+
+def test_corrupt_pages_counted_separately_from_lost():
+    _, tree, tuner = make_setup(
+        seed=6, loss=PageCorruptionModel(rate=0.5, seed=8)
+    )
+    search = BroadcastNNSearch(tree, tuner, Point(500.0, 500.0))
+    search.run_to_completion()
+    assert tuner.corrupt_pages > 0
+    assert tuner.lost_pages == 0
+    assert any(not ok for *_, ok in tuner.log)
+
+
+# ----------------------------------------------------------------------
+# Fault-model registry
+# ----------------------------------------------------------------------
+def test_fault_model_registry():
+    names = available_fault_models()
+    for expected in ("iid", "loss", "gilbert-elliott", "ge", "corruption"):
+        assert expected in names
+    assert make_fault_model("iid", rate=0.2, seed=3) == PageLossModel(
+        rate=0.2, seed=3
+    )
+    ge = make_fault_model("ge", p_bad_good=0.4)
+    assert isinstance(ge, GilbertElliottLossModel)
+    assert ge.p_bad_good == 0.4
+    with pytest.raises(ValueError, match="unknown fault model"):
+        make_fault_model("btree")
+    register_fault_model("test-iid", PageLossModel)
+    assert isinstance(make_fault_model("test-iid"), PageLossModel)
 
 
 # ----------------------------------------------------------------------

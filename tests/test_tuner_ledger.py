@@ -7,12 +7,13 @@ Two contracts under test:
   methods and materialised ``log`` are bit-identical to the standalone
   scalar oracle, through attach/detach round-trips, vectorised round
   flushes, lane growth and the ``REPRO_SCALAR_TUNERS=1`` escape hatch.
-* The shared-scan executor's lossy seam — a :class:`PageLossModel` makes
-  receptions fallible, which the executor's inlined lossless download
-  paths do not replay, so lossy searches must degrade to the per-query
-  burst oracle and stay bit-identical (results, ``lost_pages``, log
-  events) on both the arena-backed and heap-backed frontier paths, also
-  when sharing one executor run with lossless arena searches.
+* The shared-scan executor's lossy seam — a :class:`FaultModel` makes
+  receptions fallible; lossy NN searches stay on the arena/ledger fast
+  path (the round flush replays the retry-to-next-replica loop closed
+  form) and must stay bit-identical to the per-query oracle — results,
+  ``lost_pages`` / ``corrupt_pages``, log events — across every fault
+  model, loss seed, layout and tuner backend, also when sharing one
+  executor run with lossless searches.
 """
 
 import random
@@ -23,8 +24,12 @@ from repro.broadcast import (
     BroadcastChannel,
     BroadcastProgram,
     ChannelTuner,
+    GilbertElliottLossModel,
+    PageCorruptionModel,
     PageLossModel,
     SystemParameters,
+    available_layouts,
+    make_layout,
 )
 from repro.broadcast.tuner import (
     _KIND_DATA,
@@ -88,7 +93,14 @@ def _random_queries(env, n, seed=0):
 
 
 def _tuner_state(t):
-    return (t.now, t.index_pages, t.data_pages, t.lost_pages, t.log)
+    return (
+        t.now,
+        t.index_pages,
+        t.data_pages,
+        t.lost_pages,
+        t.corrupt_pages,
+        t.log,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -119,7 +131,7 @@ def test_detach_restores_scalar_oracle():
     t.lost_pages = 1
     ledger.detach(t)
     assert type(t) is ChannelTuner
-    assert _tuner_state(t) == (3.0, 1, 3, 1, [("index", 4, 2.0, True)])
+    assert _tuner_state(t) == (3.0, 1, 3, 1, 0, [("index", 4, 2.0, True)])
     # Standalone accounting keeps working on the plain dataclass.
     t.record_index(9, 20.0)
     assert t.now == 21.0 and t.index_pages == 2
@@ -288,7 +300,10 @@ def test_lossy_env_hands_out_lossy_tuners(env_lossy):
     assert ts.loss is LOSS and tr.loss is LOSS
 
 
-def test_lossy_search_classified_to_burst_path(env_lossless):
+def test_lossy_nn_search_joins_the_arena(env_lossless):
+    """Loss no longer demotes an NN search off the fast path: the round
+    flush replays the retry chain, so lossy and clean NN searches share
+    the arena, and the lossy sid is tracked for the faulty flush."""
     executor = SharedScanExecutor()
     lossy = BroadcastNNSearch(
         env_lossless.s_tree,
@@ -304,8 +319,32 @@ def test_lossy_search_classified_to_burst_path(env_lossless):
     with kernels.use_kernels(True):
         executor.add(lossy_group)
         executor.add(clean_group)
-    assert lossy_group in executor._legacy
+    assert lossy_group in executor._arena_groups
     assert clean_group in executor._arena_groups
+    assert not executor._legacy
+    assert executor._any_lossy
+    assert executor._sid_loss == {lossy._arena_sid: LOSS}
+
+
+def test_shared_fast_cache_invalidates_on_loss_change(env_lossless):
+    """Satellite regression: the cached fast-path verdict is keyed on the
+    tuner's fault model, so swapping the loss model between runs
+    recomputes instead of serving a stale verdict."""
+    executor = SharedScanExecutor()
+    tuner = ChannelTuner(BroadcastChannel(env_lossless.s_program))
+    s = BroadcastNNSearch(env_lossless.s_tree, tuner, Point(500.0, 500.0))
+    assert executor._fast(s, False)  # drain rules: lossless qualifies
+    tuner.loss = LOSS
+    assert not executor._fast(s, False)  # recomputed, not the stale True
+    tuner.loss = None
+    assert executor._fast(s, False)  # and back again
+    # NN rules tolerate any fault model (fresh search: one policy each).
+    s2 = BroadcastNNSearch(
+        env_lossless.s_tree,
+        ChannelTuner(BroadcastChannel(env_lossless.s_program), loss=LOSS),
+        Point(500.0, 500.0),
+    )
+    assert executor._fast(s2, True)
 
 
 @pytest.mark.parametrize("use_kernels", [True, False])
@@ -339,9 +378,9 @@ def _nn_search(env, query, phase, loss):
 
 
 def test_mixed_lossy_and_arena_searches_share_one_run(env_lossless):
-    """Lossy (burst) and lossless (arena) searches in the same executor
-    run each match the run_all oracle — results, counters, lost_pages and
-    log events."""
+    """Lossy and lossless NN searches in the same executor run all ride
+    the arena and each match the run_all oracle — results, counters,
+    lost_pages and log events."""
     rng = random.Random(42)
     cycle = env_lossless.s_program.cycle_length
     specs = [
@@ -360,9 +399,126 @@ def test_mixed_lossy_and_arena_searches_share_one_run(env_lossless):
         executor = SharedScanExecutor()
         for s in shared:
             executor.add(SearchGroup([s]))
-        assert executor._legacy and executor._arena_groups  # both paths live
+        # Loss no longer splits the run: every NN search is arena-served.
+        assert executor._arena_groups and not executor._legacy
         executor.run()
     for got, want in zip(shared, oracle):
         assert got.result() == want.result()
         assert _tuner_state(got.tuner) == _tuner_state(want.tuner)
     assert any(s.tuner.lost_pages > 0 for s in shared)  # loss engaged
+
+
+# ----------------------------------------------------------------------
+# Randomized lossy bit-identity sweep: fault models x layouts x backends
+# ----------------------------------------------------------------------
+#: (fault-model factory, label) pairs exercised by the sweep — i.i.d.
+#: loss, bursty Gilbert-Elliott fades and detected corruption.
+_SWEEP_FAULTS = [
+    lambda seed: PageLossModel(rate=0.3, seed=seed),
+    lambda seed: GilbertElliottLossModel(
+        good_rate=0.02,
+        bad_rate=0.7,
+        p_good_bad=0.1,
+        p_bad_good=0.3,
+        seed=seed,
+        regen=32,
+    ),
+    lambda seed: PageCorruptionModel(rate=0.25, seed=seed),
+]
+
+
+@pytest.mark.parametrize("layout", sorted(available_layouts()))
+def test_lossy_bit_identity_sweep_across_layouts(layout):
+    """Property sweep: for every registered layout and fault model, a
+    randomized NN workload on the shared executor matches the per-query
+    run_all oracle bit for bit — results, clocks, page counters,
+    lost/corrupt splits and full reception logs — with the ledger on
+    (arena path), the ledger off (forced-scalar arena) and kernels off
+    (scalar heap/burst oracle)."""
+    env = TNNEnvironment.build(
+        sized_uniform(240, seed=7),
+        sized_uniform(240, seed=8),
+        params=SystemParameters(page_capacity=64),
+        layout=make_layout(layout),
+    )
+    rng = random.Random(hash(layout) & 0xFFFF)
+    cycle = env.s_program.cycle_length
+    specs = []
+    for i, fault in enumerate(_SWEEP_FAULTS):
+        for seed in (rng.randrange(1 << 16), rng.randrange(1 << 16)):
+            specs.append(
+                (
+                    env.random_query_point(rng),
+                    rng.uniform(0, cycle),
+                    fault(seed),
+                )
+            )
+    oracle = [_nn_search(env, *spec) for spec in specs]
+    for s in oracle:
+        run_all([s])
+    for use_kernels in (True, False):
+        shared = [_nn_search(env, *spec) for spec in specs]
+        with kernels.use_kernels(use_kernels):
+            executor = SharedScanExecutor()
+            for s in shared:
+                executor.add(SearchGroup([s]))
+            executor.run()
+        for got, want in zip(shared, oracle):
+            assert got.result() == want.result()
+            assert _tuner_state(got.tuner) == _tuner_state(want.tuner)
+    assert any(s.tuner.lost_pages > 0 for s in oracle)
+    assert any(s.tuner.corrupt_pages > 0 for s in oracle)
+
+
+def test_lossy_sweep_forced_scalar_tuners(monkeypatch):
+    """The ledger-off escape hatch (arena on, tuners scalar) replays the
+    same faulty retry chains bit-identically."""
+    monkeypatch.setenv("REPRO_SCALAR_TUNERS", "1")
+    env = _build_env(n=240)
+    rng = random.Random(5)
+    cycle = env.s_program.cycle_length
+    specs = [
+        (
+            env.random_query_point(rng),
+            rng.uniform(0, cycle),
+            _SWEEP_FAULTS[i % 3](rng.randrange(1 << 16)),
+        )
+        for i in range(9)
+    ]
+    oracle = [_nn_search(env, *spec) for spec in specs]
+    shared = [_nn_search(env, *spec) for spec in specs]
+    with kernels.use_kernels(True):
+        for s in oracle:
+            run_all([s])
+        executor = SharedScanExecutor()
+        for s in shared:
+            executor.add(SearchGroup([s]))
+        assert executor._ledger is None  # the escape hatch is live
+        executor.run()
+    for got, want in zip(shared, oracle):
+        assert got.result() == want.result()
+        assert _tuner_state(got.tuner) == _tuner_state(want.tuner)
+
+
+@pytest.mark.parametrize(
+    "loss",
+    [
+        PageLossModel(rate=0.35, seed=21),
+        GilbertElliottLossModel(
+            bad_rate=0.8, p_good_bad=0.15, p_bad_good=0.2, seed=9
+        ),
+        PageCorruptionModel(rate=0.3, seed=4),
+    ],
+    ids=["iid", "ge", "corruption"],
+)
+@pytest.mark.parametrize("algo_cls", [DoubleNN, HybridNN])
+def test_faulty_tnn_campaign_bit_identity(loss, algo_cls):
+    """Whole TNN campaigns under each fault model: the page-major batch
+    (arena + ledger + faulty round flush) equals the per-query oracle."""
+    env = _build_env(loss=loss, n=300)
+    queries = _random_queries(env, 8)
+    algo = algo_cls()
+    with kernels.use_kernels(True):
+        want = [algo.run(env, q, ps, pr) for q, ps, pr in queries]
+        got = execute_tnn_batch(env, algo, queries)
+    assert got == want
