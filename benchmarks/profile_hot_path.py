@@ -46,7 +46,12 @@ import pathlib
 import pstats
 import time
 
-from repro.broadcast import SystemParameters, make_layout
+from repro.broadcast import (
+    SystemParameters,
+    available_fault_models,
+    make_fault_model,
+    make_layout,
+)
 from repro.core.environment import TNNEnvironment
 from repro.core.hybrid import HybridNN
 from repro.datasets import sized_uniform
@@ -278,14 +283,31 @@ def _measure(fn) -> tuple:
     return wall, breakdown
 
 
-def profile_hot_path(backend: str = None) -> dict:
+def _make_loss(name: str, rate: float):
+    """One registered fault model at ``rate``.
+
+    The bundled models disagree on the knob's name (i.i.d. loss and
+    corruption take ``rate``, Gilbert-Elliott shapes its fades with
+    ``bad_rate``), so try the common spelling first.
+    """
+    try:
+        return make_fault_model(name, rate=rate)
+    except TypeError:
+        return make_fault_model(name, bad_rate=rate)
+
+
+def profile_hot_path(
+    backend: str = None, loss: str = None, loss_rate: float = 0.05
+) -> dict:
     backend = BACKEND if backend is None else backend
     params = SystemParameters(page_capacity=PAGE_CAPACITY)
+    fault = _make_loss(loss, loss_rate) if loss else None
     env = TNNEnvironment.build(
         sized_uniform(N_POINTS, seed=1),
         sized_uniform(N_POINTS, seed=2),
         params=params,
         layout=make_layout(backend),
+        loss=fault,
     )
     workload = QueryWorkload(N_QUERIES, seed=0)
     algo = HybridNN()
@@ -304,6 +326,7 @@ def profile_hot_path(backend: str = None) -> dict:
         "benchmark": "profile_hot_path",
         "workload": "Hybrid-NN TNN queries, per-phase time breakdown",
         "backend": backend,
+        "loss": {"model": loss, "rate": loss_rate} if loss else None,
         "n_queries": N_QUERIES,
         "n_points_per_dataset": N_POINTS,
         "page_capacity": PAGE_CAPACITY,
@@ -364,4 +387,25 @@ if __name__ == "__main__":
         help="air-index backend to profile (default: %(default)s, "
         "or REPRO_BENCH_BACKEND)",
     )
-    print(json.dumps(profile_hot_path(cli.parse_args().backend), indent=2))
+    cli.add_argument(
+        "--loss",
+        default=None,
+        choices=available_fault_models(),
+        help="profile under a channel fault model (registered models: "
+        "%(choices)s; default: lossless)",
+    )
+    cli.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.05,
+        help="fault-model page loss/corruption rate (default %(default)s)",
+    )
+    cli_args = cli.parse_args()
+    print(
+        json.dumps(
+            profile_hot_path(
+                cli_args.backend, cli_args.loss, cli_args.loss_rate
+            ),
+            indent=2,
+        )
+    )

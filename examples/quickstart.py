@@ -44,7 +44,10 @@ unreliable medium lives behind the ``FaultModel`` seam
 (``repro.broadcast.loss``): pass ``loss=`` to ``TNNEnvironment.build``
 — i.i.d. ``PageLossModel``, bursty ``GilbertElliottLossModel``,
 checksum-failing ``PageCorruptionModel``, or anything registered via
-``register_fault_model`` — and every tuner retries failed receptions at
+``register_fault_model`` (``available_fault_models()`` lists what is
+installed; this script prints it, and
+``benchmarks/profile_hot_path.py --help`` offers the same registry as
+``--loss`` choices) — and every tuner retries failed receptions at
 the page's next replica, counting erasures (``lost_pages``) apart from
 corruption (``corrupt_pages``).  Faulty NN searches stay on the
 arena/ledger fast path: the round flush replays each retry chain closed
@@ -74,6 +77,30 @@ answers the same batch on a grid air index.  New backends subclass
 ``benchmarks/bench_air_index_matrix.py`` for the backend x population
 comparison matrix.
 
+Architecture note — the distributed campaign runner.  Bulk campaigns
+scale past one machine through ``repro.engine.distributed``: a
+coordinator cuts the workload into s-phase-ordered query-slice shards
+and leases them to whatever workers connect over TCP (length-prefixed
+pickle frames), merging streamed result chunks first-write-wins into
+the exact list ``SharedScanRunner`` would return.  Heartbeats with a
+miss budget and per-lease deadlines catch dead, frozen or slow workers;
+a revoked lease bumps the shard's epoch (so a zombie's late chunks are
+rejected — nothing double-books) and the unfinished remainder is
+resharded across survivors with backoff.  When no worker ever shows up
+— or all of them die — the remainder degrades to the supervised local
+pool, then to in-process serial execution, so a campaign always
+completes and every rung is bit-identical.  Two-terminal demo:
+
+    # terminal 1 — coordinator (prints the chosen port, waits, runs)
+    python -m repro.engine.distributed coordinator \\
+        --bind 127.0.0.1:7077 --queries 10000 --points 2000
+
+    # terminal 2 (and any machine that can reach it) — worker
+    python -m repro.engine.distributed worker --connect 127.0.0.1:7077
+
+or, in code, ``QueryEngine(env).run_campaign(workload, HybridNN(),
+spawn_workers=2)``.
+
 Run:  python examples/quickstart.py
 """
 
@@ -87,7 +114,7 @@ from repro import (
     TNNEnvironment,
     WindowBasedTNN,
 )
-from repro.broadcast import make_layout
+from repro.broadcast import available_fault_models, make_layout
 from repro.datasets import uniform
 from repro.engine import (
     KNNRequest,
@@ -186,6 +213,14 @@ def main() -> None:
             f"  {kind:<7} {len(ans.answers):>3} answer(s), "
             f"access {ans.access_time:>7.0f}, tune-in {ans.tune_in:>3d}"
         )
+
+    # The unreliable-channel seam is discoverable: any of these names can
+    # be passed to make_fault_model(...) / TNNEnvironment.build(loss=...)
+    # (profile_hot_path.py --loss offers the same registry).
+    print(
+        "\nRegistered channel fault models: "
+        + ", ".join(available_fault_models())
+    )
 
 
 if __name__ == "__main__":

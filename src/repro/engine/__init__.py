@@ -26,6 +26,14 @@ from repro.engine.batch import (
     default_workers,
     pool_chunk_count,
 )
+from repro.engine.distributed import (
+    CampaignConfig,
+    CampaignCoordinator,
+    CampaignResult,
+    FaultInjector,
+    run_worker,
+    spawn_local_workers,
+)
 from repro.engine.query import (
     ClientQueryAnswer,
     ClientRequest,
@@ -40,7 +48,13 @@ from repro.engine.workload import QueryWorkload
 
 __all__ = [
     "BatchRunner",
+    "CampaignConfig",
+    "CampaignCoordinator",
+    "CampaignResult",
+    "FaultInjector",
     "SharedScanRunner",
+    "run_worker",
+    "spawn_local_workers",
     "SharedScanExecutor",
     "ClientQueryAnswer",
     "ClientRequest",

@@ -21,6 +21,7 @@ shared substrate:
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, wait
@@ -132,27 +133,53 @@ def default_workers() -> int:
 # ----------------------------------------------------------------------
 # Shard supervision (crash / hang recovery for the shared-scan pool)
 # ----------------------------------------------------------------------
+def _env_number(name: str, default: str, integer: bool = False):
+    """A validated supervisor knob from the environment.
+
+    The supervisor knobs silently shaped recovery behaviour whatever
+    garbage they held; a negative timeout or a NaN backoff must fail
+    loudly at the first read, not skew a retry loop mid-campaign.
+    """
+    raw = os.environ.get(name, default)
+    try:
+        value = int(raw) if integer else float(raw)
+    except (TypeError, ValueError):
+        kind = "an integer" if integer else "a number"
+        raise ValueError(f"{name} must be {kind}, got {raw!r}") from None
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {raw!r}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {raw!r}")
+    return value
+
+
 def shard_timeout() -> Optional[float]:
     """Per-wave shard deadline in seconds (``REPRO_SHARD_TIMEOUT``).
 
     ``0`` (the default) disables the deadline: crashes are still detected
     through the broken-pool signal, but a genuinely hung worker waits
     forever — set a timeout in CI and chaos runs so hangs fail fast.
+    Negative or non-finite values are rejected.
     """
-    t = float(os.environ.get("REPRO_SHARD_TIMEOUT", "0"))
+    t = _env_number("REPRO_SHARD_TIMEOUT", "0")
     return t if t > 0 else None
 
 
 def shard_retries() -> int:
-    """Pool retry waves for failed shards (``REPRO_SHARD_RETRIES``)."""
-    return int(os.environ.get("REPRO_SHARD_RETRIES", "2"))
+    """Pool retry waves for failed shards (``REPRO_SHARD_RETRIES``).
+
+    Must be a non-negative integer; ``0`` degrades straight to the serial
+    last resort after the first failed wave.
+    """
+    return _env_number("REPRO_SHARD_RETRIES", "2", integer=True)
 
 
 def shard_backoff() -> float:
     """Base retry backoff seconds (``REPRO_SHARD_BACKOFF``), doubled per
     wave — crashed workers often share a transient cause (memory
-    pressure, a dying host) that a beat of quiet lets pass."""
-    return float(os.environ.get("REPRO_SHARD_BACKOFF", "0.1"))
+    pressure, a dying host) that a beat of quiet lets pass.  Must be a
+    finite non-negative number."""
+    return _env_number("REPRO_SHARD_BACKOFF", "0.1")
 
 
 class _SupervisedPool:
@@ -205,11 +232,17 @@ class BatchRunner:
         env: TNNEnvironment,
         workload: QueryWorkload,
         workers: Optional[int] = None,
+        queries: Optional[List[Tuple[Point, float, float]]] = None,
     ) -> None:
         self.env = env
         self.workload = workload
         self.workers = default_workers() if workers is None else workers
-        self._queries = workload.queries(env)
+        # An explicit query list overrides the workload materialisation:
+        # the distributed coordinator's local-rescue rung runs arbitrary
+        # slices of a campaign through the supervised pool this way.
+        self._queries = (
+            list(queries) if queries is not None else workload.queries(env)
+        )
         self._reference_cache: Dict[str, List[TNNResult]] = {}
 
     @property

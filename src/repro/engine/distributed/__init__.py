@@ -1,0 +1,56 @@
+"""Fault-tolerant multi-machine campaign execution.
+
+The coordinator/worker tier over the embarrassingly-parallel shared-scan
+shards: a :class:`CampaignCoordinator` registers workers over TCP
+(length-prefixed pickle frames), leases them s-phase-ordered query-slice
+shards under epoch-fenced leases, and merges their streamed result
+chunks bit-identically into the same workload-ordered list the local
+:class:`~repro.engine.batch.SharedScanRunner` produces.  Heartbeat miss
+budgets and per-lease deadlines revoke dead/slow workers' leases and
+reshard the unfinished remainder across survivors with exponential
+backoff; when no workers remain the campaign degrades to the supervised
+local pool and finally to in-process serial execution — it always
+completes, and every recovery path is bit-identical because a shard is a
+pure function of (environment, query slice).
+
+Client entry points:
+
+* ``QueryEngine.run_campaign(...)`` — build, drive and merge a campaign
+  (optionally spawning localhost workers);
+* ``python -m repro.engine.distributed worker --connect HOST:PORT`` —
+  join a campaign from any machine;
+* ``python -m repro.engine.distributed coordinator ...`` — the
+  two-terminal demo coordinator.
+
+:class:`FaultInjector` (``REPRO_DIST_CHAOS`` on workers) deterministically
+drops/duplicates/delays frames, kills workers mid-shard and freezes
+heartbeats, driving the chaos suite in ``tests/test_distributed_chaos.py``.
+"""
+
+from repro.engine.distributed.coordinator import (
+    CampaignConfig,
+    CampaignCoordinator,
+    CampaignResult,
+    ChunkMerger,
+    spawn_local_workers,
+)
+from repro.engine.distributed.protocol import (
+    FaultInjector,
+    FrameChannel,
+    ProtocolError,
+    parse_address,
+)
+from repro.engine.distributed.worker import run_worker
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignCoordinator",
+    "CampaignResult",
+    "ChunkMerger",
+    "FaultInjector",
+    "FrameChannel",
+    "ProtocolError",
+    "parse_address",
+    "run_worker",
+    "spawn_local_workers",
+]

@@ -1,0 +1,123 @@
+"""CLI for the distributed campaign runner.
+
+Worker (join a campaign from any machine that can reach the coordinator):
+
+    python -m repro.engine.distributed worker --connect 127.0.0.1:7077
+
+Coordinator (the two-terminal demo: builds a seeded environment, waits
+for workers, runs a Hybrid-TNN campaign and prints the stats):
+
+    python -m repro.engine.distributed coordinator --bind 127.0.0.1:7077 \\
+        --queries 10000 --points 2000
+
+Both sides derive everything else from the coordinator's campaign
+payload; the worker needs no dataset, no seeds, no flags beyond the
+address.  ``REPRO_DIST_CHAOS`` (see ``protocol.FaultInjector``) arms a
+worker with deterministic fault injection for chaos testing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.engine.distributed.protocol import FaultInjector, parse_address
+from repro.engine.distributed.worker import run_worker
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    injector = FaultInjector.from_env()
+    clean = run_worker(
+        parse_address(args.connect),
+        name=args.name,
+        retry_timeout=args.retry_timeout,
+        injector=injector,
+    )
+    return 0 if clean else 1
+
+
+def _cmd_coordinator(args: argparse.Namespace) -> int:
+    # Deferred imports: the worker subcommand must start fast, it is
+    # spawned in bulk by benchmarks and the chaos suite.
+    from repro.broadcast import SystemParameters
+    from repro.core.double import DoubleNN
+    from repro.core.environment import TNNEnvironment
+    from repro.core.hybrid import HybridNN
+    from repro.datasets import sized_uniform
+    from repro.engine.distributed.coordinator import (
+        CampaignConfig,
+        CampaignCoordinator,
+    )
+    from repro.engine.workload import QueryWorkload
+
+    env = TNNEnvironment.build(
+        sized_uniform(args.points, seed=1),
+        sized_uniform(args.points, seed=2),
+        params=SystemParameters(page_capacity=args.page_capacity),
+    )
+    workload = QueryWorkload(args.queries, seed=args.seed)
+    algorithm = HybridNN() if args.algorithm == "hybrid" else DoubleNN()
+    config = CampaignConfig(worker_wait=args.worker_wait)
+    coordinator = CampaignCoordinator(
+        env,
+        workload.queries(env),
+        algorithm,
+        bind=parse_address(args.bind),
+        config=config,
+        record_log=False,
+        workload_spec=(args.queries, args.seed),
+    )
+    with coordinator:
+        host, port = coordinator.address
+        print(f"coordinator listening on {host}:{port}", file=sys.stderr)
+        outcome = coordinator.run()
+    print(json.dumps(outcome.stats, indent=2))
+    return 0
+
+
+def main(argv=None) -> int:
+    cli = argparse.ArgumentParser(
+        prog="python -m repro.engine.distributed",
+        description=__doc__.splitlines()[0],
+    )
+    sub = cli.add_subparsers(dest="command", required=True)
+
+    worker = sub.add_parser("worker", help="join a campaign as a worker")
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    worker.add_argument("--name", default="worker", help="worker label")
+    worker.add_argument(
+        "--retry-timeout", type=float, default=30.0,
+        help="seconds to keep retrying (re)connection (default %(default)s)",
+    )
+    worker.set_defaults(fn=_cmd_worker)
+
+    coord = sub.add_parser(
+        "coordinator", help="run a demo campaign coordinator"
+    )
+    coord.add_argument(
+        "--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="listen address (default %(default)s; port 0 picks a free one)",
+    )
+    coord.add_argument("--queries", type=int, default=10_000)
+    coord.add_argument("--points", type=int, default=2_000)
+    coord.add_argument("--seed", type=int, default=5)
+    coord.add_argument("--page-capacity", type=int, default=64)
+    coord.add_argument(
+        "--algorithm", choices=("hybrid", "double"), default="hybrid"
+    )
+    coord.add_argument(
+        "--worker-wait", type=float, default=30.0,
+        help="seconds to wait for workers before degrading locally",
+    )
+    coord.set_defaults(fn=_cmd_coordinator)
+
+    args = cli.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,736 @@
+"""Campaign coordinator: registers workers, leases shards, merges chunks.
+
+The coordinator owns one campaign — a (environment, algorithm, query
+workload) triple — and drives it to completion over whatever workers show
+up, fall over, hang, or lie about being alive:
+
+* **Registration** — workers connect over TCP, say hello, and receive the
+  campaign payload (the pickled environment plus the workload spec), so a
+  worker needs nothing but this address to participate.
+* **Leases** — the workload is cut into contiguous, s-phase-ordered
+  query-slice shards (the PR 4 sharding that keeps shared-scan round
+  lanes full).  An idle worker is leased the next pending shard under a
+  **lease epoch** and a per-lease deadline scaled by slice size.
+* **Streamed merge** — workers stream ``chunk`` frames (workload-index /
+  result pairs) as they finish each sub-batch.  Chunks are epoch-gated
+  (a revoked lease's late frames are rejected outright — a zombie can
+  never double-book) and merged first-write-wins into the same
+  workload-ordered result list ``SharedScanRunner.run_algorithm``
+  returns.  A shard is a pure function of (environment, query slice), so
+  any arrival order, any duplication and any re-execution merge
+  bit-identically.
+* **Supervision** — per-worker heartbeats with a miss budget detect dead
+  or frozen workers; per-lease deadlines detect slow ones.  Either
+  revokes the lease (epoch bump) and reshards the *unfinished remainder*
+  of the slice across the survivors with exponential backoff — work a
+  dead worker already streamed back stays booked.
+* **Degradation** — when no worker ever registers, every worker is lost,
+  or a shard exhausts its revocation budget, the remainder runs locally:
+  through the PR 8 supervised local pool when ``local_workers >= 2``,
+  else serially in-process.  The campaign always completes, and every
+  rung of the ladder is bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.environment import TNNEnvironment
+from repro.core.result import TNNResult
+from repro.engine.distributed.protocol import FaultInjector, FrameChannel
+from repro.engine.shared_scan import execute_tnn_batch
+from repro.geometry import Point, kernels
+
+
+def _check_positive(name: str, value, minimum=0.0, integer=False) -> None:
+    kind = "an integer" if integer else "a number"
+    if integer and not isinstance(value, int):
+        raise ValueError(f"{name} must be {kind}, got {value!r}")
+    if not isinstance(value, (int, float)) or not math.isfinite(value):
+        raise ValueError(f"{name} must be a finite {kind[2:]}, got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value!r}")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Tunable robustness knobs of one distributed campaign."""
+
+    #: Worker heartbeat period (seconds); shipped to workers in the
+    #: campaign payload so both sides agree.
+    heartbeat_interval: float = 0.5
+    #: Beats a worker may miss before it is declared dead.
+    heartbeat_miss_budget: int = 4
+    #: Per-lease deadline: ``lease_timeout + per_query * len(slice)``.
+    lease_timeout: float = 30.0
+    lease_timeout_per_query: float = 0.02
+    #: Grace period to wait for a first worker (and for survivors to
+    #: reconnect after the last one died) before degrading locally.
+    worker_wait: float = 10.0
+    #: Queries per streamed result chunk (the worker's sub-batch size).
+    chunk_size: int = 256
+    #: Upper bound on one shard's slice; the initial cut also guarantees
+    #: at least ``2 * workers`` shards so stragglers overlap.
+    shard_size: int = 2048
+    #: Base re-lease backoff after a revocation, doubled per revocation
+    #: of the same slice and capped at ``max_backoff``.
+    reshard_backoff: float = 0.1
+    max_backoff: float = 5.0
+    #: Revocations one slice may suffer before it retires to the local
+    #: rescue path (it is probably poisoning workers, or there are none).
+    max_revocations: int = 6
+
+    def __post_init__(self) -> None:
+        _check_positive("heartbeat_interval", self.heartbeat_interval, 1e-3)
+        _check_positive(
+            "heartbeat_miss_budget", self.heartbeat_miss_budget, 1, True
+        )
+        _check_positive("lease_timeout", self.lease_timeout, 1e-3)
+        _check_positive(
+            "lease_timeout_per_query", self.lease_timeout_per_query, 0.0
+        )
+        _check_positive("worker_wait", self.worker_wait, 0.0)
+        _check_positive("chunk_size", self.chunk_size, 1, True)
+        _check_positive("shard_size", self.shard_size, 1, True)
+        _check_positive("reshard_backoff", self.reshard_backoff, 0.0)
+        _check_positive("max_backoff", self.max_backoff, 0.0)
+        _check_positive("max_revocations", self.max_revocations, 0, True)
+
+
+class ChunkMerger:
+    """First-write-wins merge of streamed (workload index, result) pairs.
+
+    The merge is pure bookkeeping — no sockets, no locks — so the
+    determinism property tests drive it directly: any interleaving of
+    chunk arrivals, including duplicated late chunks, produces the same
+    workload-ordered result list, and a query is only ever counted once.
+    """
+
+    def __init__(self, n_queries: int) -> None:
+        self.results: List[Optional[TNNResult]] = [None] * n_queries
+        self.filled = 0
+        self.duplicates_dropped = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.filled == len(self.results)
+
+    def book(self, pairs: Sequence[Tuple[int, TNNResult]]) -> int:
+        """Merge one chunk; returns how many results were new."""
+        new = 0
+        for i, res in pairs:
+            if self.results[i] is None:
+                self.results[i] = res
+                new += 1
+            else:
+                self.duplicates_dropped += 1
+        self.filled += new
+        return new
+
+    def unbooked(self, indices: Sequence[int]) -> List[int]:
+        """The subset of ``indices`` still missing a result."""
+        results = self.results
+        return [i for i in indices if results[i] is None]
+
+
+@dataclass
+class _Shard:
+    sid: int
+    indices: List[int]
+    epoch: int = 0
+    owner: Optional[str] = None
+    deadline: float = 0.0
+    not_before: float = 0.0
+    revocations: int = 0
+    retired: bool = False  # completed, split away, or sent to local rescue
+
+
+@dataclass
+class _Worker:
+    wid: str
+    name: str
+    channel: FrameChannel
+    last_seen: float
+    alive: bool = True
+    chunks: int = 0
+    queries: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class CampaignResult:
+    """A completed campaign: results in workload order, plus run stats."""
+
+    results: List[TNNResult]
+    stats: dict
+
+
+class CampaignCoordinator:
+    """Runs one campaign over registered workers; see the module docs.
+
+    Use as a context manager (or call :meth:`start` / :meth:`close`):
+    ``start`` binds the listening socket so :attr:`address` is known
+    before any worker is spawned, ``run`` drives the campaign to
+    completion, ``close`` tears every connection down.
+    """
+
+    def __init__(
+        self,
+        env: TNNEnvironment,
+        queries: Sequence[Tuple[Point, float, float]],
+        algorithm,
+        *,
+        bind: Tuple[str, int] = ("127.0.0.1", 0),
+        config: Optional[CampaignConfig] = None,
+        record_log: bool = True,
+        workload_spec: Optional[Tuple[int, int]] = None,
+        local_workers: int = 0,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.env = env
+        self.queries = list(queries)
+        self.algorithm = algorithm
+        self.config = config or CampaignConfig()
+        self.record_log = record_log
+        #: ``(n_queries, seed)`` of a :class:`QueryWorkload`; when given,
+        #: workers re-derive the queries from the seed instead of
+        #: receiving a million pickled points.
+        self.workload_spec = workload_spec
+        self.local_workers = local_workers
+        self.injector = injector
+        self._bind = bind
+        self.merger = ChunkMerger(len(self.queries))
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._workers: Dict[str, _Worker] = {}
+        self._shards: Dict[int, _Shard] = {}
+        self._next_sid = 0
+        self._worker_serial = 0
+        self._stop = False
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._rescue: List[int] = []
+        self._last_death = 0.0
+        self.stats = {
+            "workers_seen": 0,
+            "workers_lost": 0,
+            "leases": 0,
+            "revocations": 0,
+            "reshards": 0,
+            "chunks": 0,
+            "stale_chunks_rejected": 0,
+            "local_rescue_queries": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "CampaignCoordinator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self._listener is not None, "coordinator not started"
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the (host, port) workers connect to."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(self._bind)
+        listener.listen(64)
+        listener.settimeout(0.2)
+        self._listener = listener
+        for target in (self._accept_loop, self._monitor_loop):
+            t = threading.Thread(target=target, daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self.address
+
+    def close(self) -> None:
+        with self._lock:
+            self._stop = True
+            workers = list(self._workers.values())
+            self._cond.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for w in workers:
+            w.channel.close()
+        for t in self._threads:
+            t.join(timeout=2.0)
+
+    # ------------------------------------------------------------------
+    # The campaign
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        """Drive the campaign to completion; always returns full results."""
+        t0 = time.perf_counter()
+        start = time.monotonic()
+        self._build_shards()
+        while True:
+            with self._cond:
+                if self.merger.complete:
+                    break
+                rescue = self._drain_rescue_locked()
+                if not rescue and self._should_degrade_locked(start):
+                    rescue = self._retire_all_locked()
+                if not rescue:
+                    self._cond.wait(timeout=0.05)
+                    continue
+            # Local rescue runs outside the lock: handler threads keep
+            # merging whatever live workers still stream in parallel.
+            self._run_local_rescue(rescue)
+        self._shutdown_idle_workers()
+        wall = time.perf_counter() - t0
+        results = list(self.merger.results)
+        assert all(r is not None for r in results)
+        n = len(results)
+        rescued = self.stats["local_rescue_queries"]
+        mode = (
+            "local"
+            if rescued >= n or self.stats["workers_seen"] == 0
+            else ("distributed" if rescued == 0 else "mixed")
+        )
+        with self._lock:
+            per_worker = {
+                w.wid: {
+                    "chunks": w.chunks,
+                    "queries": w.queries,
+                    "seconds": round(w.seconds, 6),
+                }
+                for w in self._workers.values()
+            }
+        stats = {
+            "n_queries": n,
+            "wall_seconds": round(wall, 6),
+            "queries_per_second": round(n / wall, 3) if wall else None,
+            "mode": mode,
+            "duplicate_results_dropped": self.merger.duplicates_dropped,
+            **self.stats,
+            "per_worker": per_worker,
+        }
+        return CampaignResult(results=results, stats=stats)
+
+    def _build_shards(self) -> None:
+        """Contiguous s-phase-ordered slices, at most ``shard_size`` each."""
+        order = sorted(
+            range(len(self.queries)), key=lambda i: (self.queries[i][1], i)
+        )
+        if not order:
+            return
+        size = max(1, min(self.config.shard_size, -(-len(order) // 2)))
+        with self._lock:
+            for at in range(0, len(order), size):
+                sid = self._next_sid
+                self._next_sid += 1
+                self._shards[sid] = _Shard(sid, order[at : at + size])
+
+    # ------------------------------------------------------------------
+    # Degradation ladder
+    # ------------------------------------------------------------------
+    def _should_degrade_locked(self, start: float) -> bool:
+        now = time.monotonic()
+        live = any(w.alive for w in self._workers.values())
+        if live:
+            return False
+        if self.stats["workers_seen"] == 0:
+            return now - start > self.config.worker_wait
+        return now - self._last_death > self.config.worker_wait
+
+    def _retire_all_locked(self) -> List[int]:
+        out: List[int] = []
+        for shard in self._shards.values():
+            if shard.retired:
+                continue
+            shard.retired = True
+            shard.epoch += 1  # reject any still-in-flight chunks
+            shard.owner = None
+            out.extend(self.merger.unbooked(shard.indices))
+        return out
+
+    def _drain_rescue_locked(self) -> List[int]:
+        out, self._rescue = self._rescue, []
+        return out
+
+    def _run_local_rescue(self, indices: List[int]) -> None:
+        """Run retired slices in-process — supervised pool, then serial.
+
+        The last rung of the ladder reuses PR 8's supervisor wholesale:
+        with ``local_workers >= 2`` the slice fans out over the
+        supervised shard pool (crash/hang recovery, resharding, its own
+        serial last resort); otherwise it runs serially right here.
+        Either way the results are bit-identical, so rescue is invisible
+        in the merged output.
+        """
+        indices = [i for i in indices if self.merger.results[i] is None]
+        if not indices:
+            return
+        picked = [self.queries[i] for i in indices]
+        if self.local_workers >= 2 and len(picked) > 1:
+            from repro.engine.batch import SharedScanRunner
+            from repro.engine.workload import QueryWorkload
+
+            runner = SharedScanRunner(
+                self.env,
+                QueryWorkload(0),
+                workers=self.local_workers,
+                queries=picked,
+            )
+            results = runner.run_algorithm(
+                self.algorithm, record_log=self.record_log
+            )
+        else:
+            # Serial rescue runs in shard-sized sub-batches: one scan over
+            # a million queries would overflow the frontier arena's packed
+            # index capacity, and partition invariance makes the chunked
+            # concatenation bit-identical anyway.
+            step = self.config.shard_size
+            results = []
+            for at in range(0, len(picked), step):
+                results.extend(
+                    execute_tnn_batch(
+                        self.env,
+                        self.algorithm,
+                        picked[at : at + step],
+                        record_log=self.record_log,
+                    )
+                )
+        with self._cond:
+            self.stats["local_rescue_queries"] += len(indices)
+            self.merger.book(list(zip(indices, results)))
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Listener / per-worker handlers
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop:
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            sock.settimeout(None)
+            t = threading.Thread(
+                target=self._serve_worker, args=(sock,), daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def _serve_worker(self, sock: socket.socket) -> None:
+        channel = FrameChannel(sock, injector=self.injector)
+        worker: Optional[_Worker] = None
+        try:
+            hello = channel.recv()
+            if hello["kind"] != "hello":
+                channel.close()
+                return
+            with self._cond:
+                self._worker_serial += 1
+                wid = f"{hello.get('name') or 'worker'}@{self._worker_serial}"
+                worker = _Worker(
+                    wid, hello.get("name") or "worker", channel,
+                    time.monotonic(),
+                )
+                self._workers[wid] = worker
+                self.stats["workers_seen"] += 1
+                self._cond.notify_all()
+            channel.send(
+                "welcome",
+                worker_id=wid,
+                env=self.env,
+                algorithm=self.algorithm,
+                workload_spec=self.workload_spec,
+                queries=None if self.workload_spec else self.queries,
+                record_log=self.record_log,
+                chunk_size=self.config.chunk_size,
+                heartbeat_interval=self.config.heartbeat_interval,
+                kernels_enabled=kernels.enabled(),
+            )
+            while not self._stop:
+                msg = channel.recv()
+                if not self._dispatch(worker, msg):
+                    return
+        except (ConnectionError, EOFError, OSError):
+            pass
+        finally:
+            if worker is not None:
+                self._on_worker_lost(worker)
+            channel.close()
+
+    def _dispatch(self, worker: _Worker, msg: dict) -> bool:
+        kind = msg["kind"]
+        with self._cond:
+            worker.last_seen = time.monotonic()
+            if kind == "heartbeat":
+                return True
+            if kind == "ready":
+                return self._grant_lease_locked(worker)
+            if kind == "chunk":
+                self._accept_chunk_locked(worker, msg)
+                return True
+            if kind == "done":
+                self._accept_done_locked(worker, msg)
+                return True
+            if kind == "goodbye":
+                # A clean departure, not a death: release any leases but
+                # do not count the worker as lost.  (Revocation can split
+                # shards, so iterate over a snapshot.)
+                worker.alive = False
+                for shard in list(self._shards.values()):
+                    if shard.owner == worker.wid and not shard.retired:
+                        shard.owner = None
+                        self._revoke_locked(
+                            shard, self.merger.unbooked(shard.indices)
+                        )
+                self._cond.notify_all()
+                return False
+        return True
+
+    def _grant_lease_locked(self, worker: _Worker) -> bool:
+        if self.merger.complete:
+            worker.channel.send("shutdown")
+            return True
+        now = time.monotonic()
+        for shard in self._shards.values():
+            if shard.retired or shard.owner is not None:
+                continue
+            if shard.not_before > now:
+                continue
+            remaining = self.merger.unbooked(shard.indices)
+            if not remaining:
+                shard.retired = True
+                continue
+            shard.indices = remaining
+            shard.epoch += 1
+            shard.owner = worker.wid
+            shard.deadline = now + (
+                self.config.lease_timeout
+                + self.config.lease_timeout_per_query * len(remaining)
+            )
+            self.stats["leases"] += 1
+            worker.channel.send(
+                "lease",
+                shard=shard.sid,
+                epoch=shard.epoch,
+                indices=list(remaining),
+            )
+            return True
+        worker.channel.send("idle", poll=self.config.heartbeat_interval / 2)
+        return True
+
+    def _accept_chunk_locked(self, worker: _Worker, msg: dict) -> None:
+        shard = self._shards.get(msg["shard"])
+        if (
+            shard is None
+            or shard.retired
+            or shard.epoch != msg["epoch"]
+            or shard.owner != worker.wid
+        ):
+            # A revoked lease's (or a zombie's) late chunk: rejected
+            # outright — re-leased copies of this slice are the only
+            # writers, so nothing double-books.
+            self.stats["stale_chunks_rejected"] += 1
+            return
+        pairs = msg["pairs"]
+        self.stats["chunks"] += 1
+        worker.chunks += 1
+        worker.queries += len(pairs)
+        worker.seconds += float(msg.get("seconds", 0.0))
+        self.merger.book(pairs)
+        self._cond.notify_all()
+
+    def _accept_done_locked(self, worker: _Worker, msg: dict) -> None:
+        shard = self._shards.get(msg["shard"])
+        if (
+            shard is None
+            or shard.retired
+            or shard.epoch != msg["epoch"]
+            or shard.owner != worker.wid
+        ):
+            self.stats["stale_chunks_rejected"] += 1
+            return
+        shard.owner = None
+        remaining = self.merger.unbooked(shard.indices)
+        if remaining:
+            # "done" with gaps means frames were dropped on the wire:
+            # treat it like a deadline miss and re-lease the remainder.
+            self._revoke_locked(shard, remaining)
+        else:
+            shard.retired = True
+        self._cond.notify_all()
+
+    def _on_worker_lost(self, worker: _Worker) -> None:
+        with self._cond:
+            if not worker.alive:
+                return
+            worker.alive = False
+            self.stats["workers_lost"] += 1
+            self._last_death = time.monotonic()
+            for shard in list(self._shards.values()):
+                if shard.owner == worker.wid and not shard.retired:
+                    shard.owner = None
+                    self._revoke_locked(
+                        shard, self.merger.unbooked(shard.indices)
+                    )
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Revocation / resharding
+    # ------------------------------------------------------------------
+    def _revoke_locked(self, shard: _Shard, remaining: List[int]) -> None:
+        """Bump the epoch and requeue (or split, or retire) the remainder.
+
+        The epoch bump is the zombie fence: chunks of the revoked lease
+        still in flight no longer match and are rejected.  The remainder
+        backs off exponentially; when several workers are alive it is cut
+        across them so one lost worker's slice spreads over the
+        survivors, and when the revocation budget is spent it retires to
+        the local rescue queue instead of poisoning another worker.
+        """
+        cfg = self.config
+        shard.epoch += 1
+        shard.owner = None
+        shard.revocations += 1
+        self.stats["revocations"] += 1
+        if not remaining:
+            shard.retired = True
+            return
+        if shard.revocations > cfg.max_revocations:
+            shard.retired = True
+            self._rescue.extend(remaining)
+            return
+        backoff = min(
+            cfg.reshard_backoff * (2 ** (shard.revocations - 1)),
+            cfg.max_backoff,
+        )
+        live = sum(1 for w in self._workers.values() if w.alive)
+        parts = min(
+            max(live, 1), max(1, -(-len(remaining) // cfg.chunk_size))
+        )
+        if parts <= 1:
+            shard.indices = remaining
+            shard.not_before = time.monotonic() + backoff
+            return
+        # Split across survivors: retire this shard, enqueue the pieces
+        # (each inherits the revocation count, so the budget still caps
+        # total churn for the slice).
+        shard.retired = True
+        self.stats["reshards"] += 1
+        size = -(-len(remaining) // parts)
+        for at in range(0, len(remaining), size):
+            sid = self._next_sid
+            self._next_sid += 1
+            self._shards[sid] = _Shard(
+                sid,
+                remaining[at : at + size],
+                revocations=shard.revocations,
+                not_before=time.monotonic() + backoff,
+            )
+
+    # ------------------------------------------------------------------
+    # Monitor: heartbeat misses and lease deadlines
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        cfg = self.config
+        tick = min(0.05, cfg.heartbeat_interval / 2)
+        while not self._stop:
+            time.sleep(tick)
+            now = time.monotonic()
+            dead: List[_Worker] = []
+            with self._cond:
+                budget = cfg.heartbeat_interval * cfg.heartbeat_miss_budget
+                for w in self._workers.values():
+                    if w.alive and now - w.last_seen > budget:
+                        dead.append(w)
+                # Deadline revocation can split a shard into fresh ones,
+                # mutating the table: iterate over a snapshot.
+                for shard in list(self._shards.values()):
+                    if (
+                        not shard.retired
+                        and shard.owner is not None
+                        and now > shard.deadline
+                    ):
+                        shard.owner = None
+                        self._revoke_locked(
+                            shard, self.merger.unbooked(shard.indices)
+                        )
+                        self._cond.notify_all()
+            for w in dead:
+                # Closing the channel unblocks the handler thread, whose
+                # cleanup path revokes the worker's leases.
+                w.channel.close()
+                self._on_worker_lost(w)
+
+    def _shutdown_idle_workers(self) -> None:
+        with self._lock:
+            workers = [w for w in self._workers.values() if w.alive]
+        for w in workers:
+            try:
+                w.channel.send("shutdown")
+            except (ConnectionError, OSError):
+                pass
+
+
+def spawn_local_workers(
+    address: Tuple[str, int],
+    n: int,
+    *,
+    chaos_specs: Optional[Sequence[Optional[str]]] = None,
+    retry_timeout: float = 30.0,
+    extra_env: Optional[Dict[str, str]] = None,
+) -> List[subprocess.Popen]:
+    """Spawn ``n`` localhost worker subprocesses aimed at ``address``.
+
+    ``chaos_specs[i]`` (a :meth:`FaultInjector.to_spec` string) arms
+    worker ``i`` with that fault injector via ``REPRO_DIST_CHAOS`` —
+    benchmarks and the chaos suite kill or degrade exactly the workers
+    they mean to.  The caller owns the returned processes (terminate or
+    wait on them); ``QueryEngine.run_campaign`` does both.
+    """
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    )
+    procs: List[subprocess.Popen] = []
+    for i in range(n):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        env.pop("REPRO_DIST_CHAOS", None)
+        if chaos_specs is not None and i < len(chaos_specs) and chaos_specs[i]:
+            env["REPRO_DIST_CHAOS"] = chaos_specs[i]
+        procs.append(
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.engine.distributed",
+                    "worker",
+                    "--connect",
+                    f"{address[0]}:{address[1]}",
+                    "--name",
+                    f"w{i}",
+                    "--retry-timeout",
+                    str(retry_timeout),
+                ],
+                env=env,
+            )
+        )
+    return procs

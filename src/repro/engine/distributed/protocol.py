@@ -1,0 +1,269 @@
+"""Wire protocol of the distributed campaign runner.
+
+One frame = an 8-byte big-endian length prefix followed by a pickled
+message dict (``{"kind": ..., **fields}``).  :class:`FrameChannel` wraps a
+connected socket with thread-safe framed send/recv — the worker's
+heartbeat thread and its chunk-streaming main loop share one socket.
+
+Fault injection lives here too, because the faults this tier must survive
+are *frame* faults: :class:`FaultInjector` can drop, duplicate or delay
+outgoing frames, kill the worker process after a number of result chunks
+(mid-shard), or freeze the heartbeat thread while the worker keeps
+computing (the zombie scenario).  Every decision is a pure function of
+``(seed, frame kind, per-kind sequence number)`` — no wall clock, no
+global RNG — so a chaos run replays the same fault pattern every time and
+the chaos suite's recoveries are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+_HEADER = struct.Struct(">Q")
+
+#: Hard cap on one frame's payload; a corrupt length prefix must fail the
+#: connection, not attempt a multi-terabyte allocation.
+MAX_FRAME_BYTES = 1 << 31
+
+
+class ProtocolError(ConnectionError):
+    """A malformed frame (bad length prefix, truncated payload)."""
+
+
+#: Frame kinds the injector targets by default: the worker's data plane.
+_DEFAULT_CHAOS_KINDS = ("chunk", "done", "heartbeat")
+
+
+@dataclass
+class FaultInjector:
+    """Seeded, deterministic frame/process fault injection.
+
+    ``drop`` / ``dup`` / ``delay_p`` are per-frame probabilities applied to
+    outgoing frames whose kind is in ``kinds``; ``delay`` is the sleep (in
+    seconds) a delayed frame pays.  ``kill_after_chunks`` hard-exits the
+    process (``os._exit(1)``, no cleanup — a real crash) right after that
+    many result chunks were handed to the channel, i.e. mid-shard.
+    ``freeze_heartbeats_after`` silences the heartbeat thread after that
+    many beats while everything else keeps running — the zombie whose
+    late chunks the coordinator's lease epochs must reject.
+
+    Decisions hash ``(seed, kind, per-kind sequence, tag)``: frame #n of a
+    kind meets the same fate in every run, independent of timing.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    dup: float = 0.0
+    delay: float = 0.0
+    delay_p: float = 0.0
+    kill_after_chunks: Optional[int] = None
+    freeze_heartbeats_after: Optional[int] = None
+    kinds: Tuple[str, ...] = _DEFAULT_CHAOS_KINDS
+    _counts: dict = field(default_factory=dict, repr=False, compare=False)
+    _chunks_sent: int = field(default=0, repr=False, compare=False)
+    _beats: int = field(default=0, repr=False, compare=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    # Domain-separation tags for the per-frame uniform draws.
+    _TAG_DROP = 0
+    _TAG_DUP = 1
+    _TAG_DELAY = 2
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "dup", "delay_p"):
+            p = getattr(self, name)
+            if not isinstance(p, (int, float)) or not math.isfinite(p):
+                raise ValueError(f"{name} must be a finite number, got {p!r}")
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if (
+            not isinstance(self.delay, (int, float))
+            or not math.isfinite(self.delay)
+            or self.delay < 0.0
+        ):
+            raise ValueError(f"delay must be >= 0 seconds, got {self.delay!r}")
+
+    def _u(self, kind: str, seq: int, tag: int) -> float:
+        digest = hashlib.blake2b(
+            f"{self.seed}:{kind}:{seq}:{tag}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "little") / 2**64
+
+    def plan_send(self, kind: str) -> Tuple[int, float]:
+        """``(copies, delay_seconds)`` for the next outgoing ``kind`` frame.
+
+        ``copies == 0`` drops the frame on the floor (the peer never sees
+        it), ``copies == 2`` duplicates it back to back.
+        """
+        if kind not in self.kinds:
+            return 1, 0.0
+        with self._lock:
+            seq = self._counts.get(kind, 0)
+            self._counts[kind] = seq + 1
+        copies = 1
+        if self.drop and self._u(kind, seq, self._TAG_DROP) < self.drop:
+            copies = 0
+        elif self.dup and self._u(kind, seq, self._TAG_DUP) < self.dup:
+            copies = 2
+        wait = 0.0
+        if self.delay_p and self._u(kind, seq, self._TAG_DELAY) < self.delay_p:
+            wait = self.delay
+        return copies, wait
+
+    def on_chunk_sent(self) -> None:
+        """Count one streamed result chunk; kill the process on schedule."""
+        with self._lock:
+            self._chunks_sent += 1
+            n = self._chunks_sent
+        if self.kill_after_chunks is not None and n >= self.kill_after_chunks:
+            os._exit(1)
+
+    def heartbeat_allowed(self) -> bool:
+        """Whether the next heartbeat may be sent (False once frozen)."""
+        with self._lock:
+            self._beats += 1
+            n = self._beats
+        if self.freeze_heartbeats_after is None:
+            return True
+        return n <= self.freeze_heartbeats_after
+
+    # ------------------------------------------------------------------
+    # Spec round-trip (worker subprocesses receive theirs via env var)
+    # ------------------------------------------------------------------
+    def to_spec(self) -> str:
+        """A ``key=value,...`` spec string reconstructing this injector."""
+        parts = [f"seed={self.seed}"]
+        for name in ("drop", "dup", "delay", "delay_p"):
+            v = getattr(self, name)
+            if v:
+                parts.append(f"{name}={v!r}")
+        if self.kill_after_chunks is not None:
+            parts.append(f"kill_after_chunks={self.kill_after_chunks}")
+        if self.freeze_heartbeats_after is not None:
+            parts.append(
+                f"freeze_heartbeats_after={self.freeze_heartbeats_after}"
+            )
+        if tuple(self.kinds) != _DEFAULT_CHAOS_KINDS:
+            parts.append("kinds=" + "+".join(self.kinds))
+        return ",".join(parts)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultInjector":
+        """Parse a :meth:`to_spec` string (``REPRO_DIST_CHAOS``)."""
+        kwargs: dict = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(
+                    f"bad chaos spec item {item!r}; expected key=value"
+                )
+            key, value = item.split("=", 1)
+            key = key.strip()
+            value = value.strip()
+            if key == "kinds":
+                kwargs[key] = tuple(k for k in value.split("+") if k)
+            elif key in ("seed", "kill_after_chunks", "freeze_heartbeats_after"):
+                kwargs[key] = int(value)
+            elif key in ("drop", "dup", "delay", "delay_p"):
+                kwargs[key] = float(value)
+            else:
+                raise ValueError(f"unknown chaos spec key {key!r}")
+        return cls(**kwargs)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultInjector"]:
+        """The worker-side injector from ``REPRO_DIST_CHAOS``, if set."""
+        spec = os.environ.get("REPRO_DIST_CHAOS")
+        return cls.from_spec(spec) if spec else None
+
+
+class FrameChannel:
+    """Thread-safe framed pickle messages over one connected socket.
+
+    ``send`` may be called from several threads (the worker's main loop
+    and its heartbeat thread share the socket); frames never interleave
+    because the length-prefix + payload write happens as one locked
+    ``sendall``.  ``recv`` is single-consumer.
+    """
+
+    def __init__(
+        self, sock: socket.socket, injector: Optional[FaultInjector] = None
+    ) -> None:
+        self.sock = sock
+        self.injector = injector
+        self._send_lock = threading.Lock()
+        self._rfile = sock.makefile("rb")
+
+    def send(self, kind: str, **fields) -> None:
+        """Frame and send one message (subject to fault injection)."""
+        payload = pickle.dumps(
+            {"kind": kind, **fields}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        copies, wait = (
+            (1, 0.0)
+            if self.injector is None
+            else self.injector.plan_send(kind)
+        )
+        if wait:
+            time.sleep(wait)
+        if copies == 0:
+            return  # injected drop: the peer never hears this frame
+        frame = _HEADER.pack(len(payload)) + payload
+        with self._send_lock:
+            for _ in range(copies):
+                self.sock.sendall(frame)
+
+    def recv(self) -> dict:
+        """Read one message; raises ``ConnectionError`` on EOF/teardown."""
+        header = self._read_exact(_HEADER.size)
+        (n,) = _HEADER.unpack(header)
+        if n > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame length {n} exceeds cap")
+        msg = pickle.loads(self._read_exact(n))
+        if not isinstance(msg, dict) or "kind" not in msg:
+            raise ProtocolError(f"malformed message: {msg!r}")
+        return msg
+
+    def _read_exact(self, n: int) -> bytes:
+        buf = bytearray()
+        while len(buf) < n:
+            try:
+                part = self._rfile.read(n - len(buf))
+            except (OSError, ValueError) as exc:
+                raise ConnectionError(f"read failed: {exc}") from exc
+            if not part:
+                raise ConnectionError("connection closed mid-frame")
+            buf.extend(part)
+        return bytes(buf)
+
+    def close(self) -> None:
+        for closer in (
+            lambda: self.sock.shutdown(socket.SHUT_RDWR),
+            self._rfile.close,
+            self.sock.close,
+        ):
+            try:
+                closer()
+            except OSError:
+                pass
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (for the CLI)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address must be host:port, got {text!r}")
+    return host, int(port)

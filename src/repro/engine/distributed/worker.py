@@ -1,0 +1,202 @@
+"""Campaign worker: connect, lease shards, stream result chunks back.
+
+A worker is stateless beyond its TCP connection: everything it needs —
+the pickled environment, the workload spec, the algorithm, the chunk and
+heartbeat cadence — arrives in the coordinator's ``welcome`` frame, so
+``python -m repro.engine.distributed worker --connect HOST:PORT`` on any
+machine with this package is a full-fledged campaign participant.
+
+Robustness on this side of the socket:
+
+* **Connect retry with jitter** — the worker may start before the
+  coordinator (the two-terminal quickstart does exactly that); connection
+  attempts back off exponentially with a seeded multiplicative jitter so
+  a restarted fleet does not reconnect in lockstep.
+* **Heartbeats** — a daemon thread beats every ``heartbeat_interval``
+  seconds on the shared (locked) channel; the coordinator's miss budget
+  turns silence into lease revocation.
+* **Chunked streaming** — a leased slice is executed as consecutive
+  shared-scan sub-batches of ``chunk_size`` queries, each streamed back
+  as soon as it finishes.  Shared-scan results are bit-identical to the
+  per-query oracle *regardless of batch composition*, so chunk size and
+  lease boundaries never change an answer — only when it arrives.
+* **Session retry** — a dropped connection tears the session down and
+  reconnects from hello (fresh registration, fresh leases) until the
+  retry budget is spent; the coordinator reshards whatever this worker
+  was holding.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from typing import Optional, Tuple
+
+from repro.engine.distributed.protocol import FaultInjector, FrameChannel
+from repro.engine.shared_scan import execute_tnn_batch
+from repro.geometry import kernels
+
+
+def _connect_with_retry(
+    address: Tuple[str, int],
+    deadline: float,
+    rng: random.Random,
+    attempt_timeout: float = 2.0,
+) -> socket.socket:
+    """Dial until it works or the budget runs out (exponential + jitter)."""
+    backoff = 0.05
+    while True:
+        try:
+            sock = socket.create_connection(address, timeout=attempt_timeout)
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError:
+            now = time.monotonic()
+            if now >= deadline:
+                raise ConnectionError(
+                    f"could not reach coordinator at {address[0]}:{address[1]}"
+                )
+            # Jittered exponential backoff: 0.5x-1.5x of the nominal wait,
+            # so a restarted worker fleet spreads its reconnections.
+            time.sleep(min(backoff, deadline - now) * rng.uniform(0.5, 1.5))
+            backoff = min(backoff * 2, 2.0)
+
+
+def _heartbeat_loop(
+    channel: FrameChannel,
+    interval: float,
+    stop: threading.Event,
+    injector: Optional[FaultInjector],
+) -> None:
+    while not stop.wait(interval):
+        if injector is not None and not injector.heartbeat_allowed():
+            # Frozen heartbeats: the thread stays up but goes silent —
+            # the zombie the coordinator must declare dead by miss budget.
+            continue
+        try:
+            channel.send("heartbeat")
+        except (ConnectionError, OSError):
+            return
+
+
+def _serve_session(
+    channel: FrameChannel,
+    name: str,
+    injector: Optional[FaultInjector],
+) -> bool:
+    """One hello-to-shutdown session; returns True on clean shutdown."""
+    channel.send("hello", name=name)
+    welcome = channel.recv()
+    if welcome["kind"] != "welcome":
+        raise ConnectionError(f"expected welcome, got {welcome['kind']!r}")
+    env = welcome["env"]
+    algorithm = welcome["algorithm"]
+    record_log = welcome["record_log"]
+    chunk_size = welcome["chunk_size"]
+    if welcome["workload_spec"] is not None:
+        from repro.engine.workload import QueryWorkload
+
+        n_queries, seed = welcome["workload_spec"]
+        queries = QueryWorkload(n_queries, seed=seed).queries(env)
+    else:
+        queries = welcome["queries"]
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(channel, welcome["heartbeat_interval"], stop, injector),
+        daemon=True,
+    )
+    beat.start()
+    try:
+        with kernels.use_kernels(welcome["kernels_enabled"]):
+            while True:
+                channel.send("ready")
+                msg = channel.recv()
+                kind = msg["kind"]
+                if kind == "shutdown":
+                    channel.send("goodbye")
+                    return True
+                if kind == "idle":
+                    time.sleep(msg.get("poll", 0.05))
+                    continue
+                if kind != "lease":
+                    continue
+                _run_lease(
+                    channel, env, algorithm, queries, msg,
+                    chunk_size, record_log, injector,
+                )
+    finally:
+        stop.set()
+
+
+def _run_lease(
+    channel: FrameChannel,
+    env,
+    algorithm,
+    queries,
+    lease: dict,
+    chunk_size: int,
+    record_log: bool,
+    injector: Optional[FaultInjector],
+) -> None:
+    """Execute one leased slice as streamed shared-scan sub-batches."""
+    indices = lease["indices"]
+    for at in range(0, len(indices), chunk_size):
+        chunk = indices[at : at + chunk_size]
+        t0 = time.perf_counter()
+        results = execute_tnn_batch(
+            env,
+            algorithm,
+            [queries[i] for i in chunk],
+            record_log=record_log,
+        )
+        channel.send(
+            "chunk",
+            shard=lease["shard"],
+            epoch=lease["epoch"],
+            pairs=list(zip(chunk, results)),
+            seconds=time.perf_counter() - t0,
+        )
+        if injector is not None:
+            injector.on_chunk_sent()  # chaos: may os._exit mid-shard
+    channel.send("done", shard=lease["shard"], epoch=lease["epoch"])
+
+
+def run_worker(
+    address: Tuple[str, int],
+    *,
+    name: str = "worker",
+    retry_timeout: float = 30.0,
+    injector: Optional[FaultInjector] = None,
+) -> bool:
+    """Serve campaigns at ``address`` until shutdown or retry exhaustion.
+
+    Returns True after a clean coordinator-issued shutdown, False when
+    the retry budget expired without reaching (or re-reaching) a
+    coordinator.  Tests run this in a thread; the CLI runs it as the
+    process main.  ``injector`` arms the deterministic chaos hooks.
+    """
+    deadline = time.monotonic() + retry_timeout
+    rng = random.Random(f"{name}:{retry_timeout}")
+    while True:
+        try:
+            sock = _connect_with_retry(address, deadline, rng)
+        except ConnectionError:
+            return False
+        # A successful dial refreshes the retry budget: mid-campaign
+        # disconnections get a full window to find the coordinator again,
+        # however long the campaign has already been running.
+        deadline = time.monotonic() + retry_timeout
+        channel = FrameChannel(sock, injector=injector)
+        try:
+            if _serve_session(channel, name, injector):
+                return True
+        except (ConnectionError, EOFError, OSError):
+            pass  # session died: reconnect while the budget lasts
+        finally:
+            channel.close()
+        if time.monotonic() >= deadline:
+            return False

@@ -1,0 +1,164 @@
+"""Chaos suite: every injected fault recovers bit-identically.
+
+Each test arms worker subprocesses with a seeded, deterministic
+:class:`FaultInjector` (via ``chaos_specs`` / ``REPRO_DIST_CHAOS``) and
+asserts two things: the campaign's merged results equal the serial
+shared-scan oracle bit for bit, and the stats ledger shows the fault
+actually fired (a chaos test that injects nothing proves nothing).
+
+Faults that must hit a worker holding a lease run with a *single* chaos
+worker — with a healthy sibling racing for leases the fault could be
+starved of work and the test would silently stop testing anything.
+"""
+
+import pytest
+
+from repro.broadcast import SystemParameters
+from repro.core import HybridNN, TNNEnvironment
+from repro.datasets import sized_uniform
+from repro.engine import QueryEngine, QueryWorkload, SharedScanRunner
+from repro.engine.distributed import CampaignConfig
+from repro.geometry import kernels
+
+
+@pytest.fixture(scope="module")
+def env():
+    return TNNEnvironment.build(
+        sized_uniform(240, seed=3),
+        sized_uniform(240, seed=4),
+        params=SystemParameters(page_capacity=64),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return QueryWorkload(n_queries=12, seed=9)
+
+
+@pytest.fixture(scope="module")
+def reference(env, workload):
+    with kernels.use_kernels(True):
+        runner = SharedScanRunner(env, workload, workers=0)
+        return runner.run_algorithm(HybridNN(), record_log=False)
+
+
+def _run(env, workload, *, specs, **cfg):
+    base = dict(
+        worker_wait=2.0,
+        chunk_size=3,
+        shard_size=4,
+        heartbeat_interval=0.2,
+        heartbeat_miss_budget=3,
+        lease_timeout=10.0,
+        reshard_backoff=0.01,
+    )
+    base.update(cfg)
+    with kernels.use_kernels(True):
+        return QueryEngine(env).run_campaign(
+            workload,
+            HybridNN(),
+            spawn_workers=len(specs),
+            config=CampaignConfig(**base),
+            chaos_specs=specs,
+        )
+
+
+def test_worker_killed_mid_shard_recovers(env, workload, reference):
+    """The worker hard-exits (os._exit) right after its first chunk:
+    the connection drop revokes its lease and, with nobody left, the
+    unbooked remainder degrades to local rescue — results identical,
+    the streamed first chunk stays booked."""
+    out = _run(
+        env, workload, specs=["seed=17,kill_after_chunks=1"]
+    )
+    s = out.stats
+    assert out.results == reference
+    assert s["workers_lost"] == 1
+    assert s["revocations"] >= 1
+    assert s["chunks"] >= 1  # the pre-kill chunk was merged, not re-run
+    assert s["local_rescue_queries"] > 0
+    assert s["mode"] in ("mixed", "local")
+    assert s["duplicate_results_dropped"] == 0
+
+
+def test_killed_worker_with_healthy_survivor(env, workload, reference):
+    """Same kill, but a healthy worker is present to absorb the
+    resharded remainder — no local rescue needed."""
+    out = _run(
+        env,
+        workload,
+        specs=["seed=17,kill_after_chunks=1", None],
+        worker_wait=15.0,
+    )
+    assert out.results == reference
+    assert out.stats["workers_lost"] == 1
+
+
+def test_frozen_heartbeats_zombie_is_fenced(env, workload, reference):
+    """A zombie: heartbeats frozen from the start and every chunk send
+    stalls past the miss budget.  The monitor declares it dead, revokes
+    its lease, and the campaign completes without it — its in-flight
+    work can never double-book (lease epochs + closed socket)."""
+    out = _run(
+        env,
+        workload,
+        specs=["seed=19,freeze_heartbeats_after=0,delay=2.0,delay_p=1.0"],
+        worker_wait=1.0,
+    )
+    s = out.stats
+    assert out.results == reference
+    assert s["workers_lost"] == 1
+    assert s["revocations"] >= 1
+    assert s["duplicate_results_dropped"] == 0
+
+
+def test_slow_worker_lease_deadline_reshards(env, workload, reference):
+    """A worker too slow for its lease (every chunk delayed beyond the
+    deadline) gets revoked by the monitor; the healthy sibling absorbs
+    the slice.  The slowpoke's late frames are epoch-stale."""
+    out = _run(
+        env,
+        workload,
+        specs=["seed=7,delay=1.2,delay_p=1.0,kinds=chunk", None],
+        lease_timeout=0.4,
+        lease_timeout_per_query=0.0,
+        worker_wait=15.0,
+    )
+    s = out.stats
+    assert out.results == reference
+    assert s["revocations"] >= 1
+    assert s["local_rescue_queries"] == 0  # survivors absorbed it all
+    assert s["mode"] == "distributed"
+
+
+def test_dropped_chunk_frames_requeue_remainder(env, workload, reference):
+    """Half the chunk frames vanish on the wire.  ``done`` then arrives
+    with gaps, which is treated as a deadline miss: the unbooked
+    remainder is revoked and re-leased until everything lands."""
+    out = _run(
+        env,
+        workload,
+        specs=["seed=11,drop=0.5,kinds=chunk"],
+        worker_wait=10.0,
+    )
+    s = out.stats
+    assert out.results == reference
+    assert s["revocations"] >= 1
+    assert s["workers_lost"] == 0  # lossy, not dead
+
+
+def test_duplicated_frames_merge_once(env, workload, reference):
+    """Every chunk and done frame is sent twice.  Duplicate pairs are
+    dropped first-write-wins; the duplicate ``done`` of a retired shard
+    is rejected by the epoch gate."""
+    out = _run(
+        env,
+        workload,
+        specs=["seed=13,dup=1.0,kinds=chunk+done"],
+        worker_wait=10.0,
+    )
+    s = out.stats
+    assert out.results == reference
+    assert s["duplicate_results_dropped"] >= 1
+    assert s["stale_chunks_rejected"] >= 1
+    assert s["mode"] == "distributed"

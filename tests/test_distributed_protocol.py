@@ -1,0 +1,343 @@
+"""Wire-level and bookkeeping units of the distributed campaign runner.
+
+Everything here runs without spawning a single subprocess: framing over a
+socketpair, deterministic fault-injection decisions, the first-write-wins
+chunk merger, the lease-epoch zombie fence, and config validation.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.broadcast import SystemParameters
+from repro.core import HybridNN, TNNEnvironment
+from repro.datasets import sized_uniform
+from repro.engine.distributed import (
+    CampaignConfig,
+    CampaignCoordinator,
+    ChunkMerger,
+    FaultInjector,
+    FrameChannel,
+    ProtocolError,
+    parse_address,
+)
+from repro.engine.distributed.coordinator import _Worker
+
+
+def _channel_pair():
+    a, b = socket.socketpair()
+    return FrameChannel(a), FrameChannel(b)
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def test_frame_round_trip_preserves_fields():
+    tx, rx = _channel_pair()
+    try:
+        tx.send("chunk", shard=3, epoch=7, pairs=[(0, "r0"), (5, "r5")])
+        msg = rx.recv()
+        assert msg == {
+            "kind": "chunk",
+            "shard": 3,
+            "epoch": 7,
+            "pairs": [(0, "r0"), (5, "r5")],
+        }
+    finally:
+        tx.close()
+        rx.close()
+
+
+def test_frame_channel_is_thread_safe_under_concurrent_sends():
+    tx, rx = _channel_pair()
+    received = []
+    try:
+        def blast(tag):
+            for i in range(50):
+                tx.send("heartbeat", tag=tag, i=i)
+
+        threads = [
+            threading.Thread(target=blast, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for _ in range(200):
+            received.append(rx.recv())
+        for t in threads:
+            t.join()
+        # No frame was torn: every message parsed with its fields intact.
+        assert len(received) == 200
+        for tag in range(4):
+            seq = [m["i"] for m in received if m["tag"] == tag]
+            assert seq == sorted(seq)  # per-sender order survives
+    finally:
+        tx.close()
+        rx.close()
+
+
+def test_recv_on_closed_peer_raises_connection_error():
+    tx, rx = _channel_pair()
+    tx.close()
+    with pytest.raises((ConnectionError, EOFError, OSError)):
+        rx.recv()
+    rx.close()
+
+
+def test_oversized_frame_rejected():
+    tx, rx = _channel_pair()
+    try:
+        # Forge a header promising an absurd frame length.
+        tx.sock.sendall((1 << 62).to_bytes(8, "big"))
+        with pytest.raises(ProtocolError):
+            rx.recv()
+    finally:
+        tx.close()
+        rx.close()
+
+
+def test_parse_address():
+    assert parse_address("127.0.0.1:7077") == ("127.0.0.1", 7077)
+    assert parse_address("localhost:0") == ("localhost", 0)
+    with pytest.raises(ValueError):
+        parse_address("no-port-here")
+
+
+# ----------------------------------------------------------------------
+# Fault injector: deterministic, spec round-trip
+# ----------------------------------------------------------------------
+def test_injector_decisions_are_deterministic():
+    a = FaultInjector(seed=42, drop=0.3, dup=0.2, delay=0.1, delay_p=0.5)
+    b = FaultInjector(seed=42, drop=0.3, dup=0.2, delay=0.1, delay_p=0.5)
+    plans_a = [a.plan_send("chunk") for _ in range(64)]
+    plans_b = [b.plan_send("chunk") for _ in range(64)]
+    assert plans_a == plans_b
+    # ...and the sequence actually exercises every decision branch.
+    copies = [c for c, _ in plans_a]
+    assert 0 in copies and 1 in copies and 2 in copies
+
+
+def test_injector_different_seeds_diverge():
+    a = FaultInjector(seed=1, drop=0.5)
+    b = FaultInjector(seed=2, drop=0.5)
+    assert [a.plan_send("chunk") for _ in range(64)] != [
+        b.plan_send("chunk") for _ in range(64)
+    ]
+
+
+def test_injector_only_targets_configured_kinds():
+    inj = FaultInjector(seed=3, drop=1.0, kinds=("done",))
+    assert inj.plan_send("chunk") == (1, 0.0)
+    assert inj.plan_send("done")[0] == 0
+
+
+def test_injector_spec_round_trip():
+    inj = FaultInjector(
+        seed=9,
+        drop=0.25,
+        dup=0.5,
+        delay=1.5,
+        delay_p=0.75,
+        kill_after_chunks=3,
+        freeze_heartbeats_after=2,
+        kinds=("chunk", "done"),
+    )
+    back = FaultInjector.from_spec(inj.to_spec())
+    assert back.to_spec() == inj.to_spec()
+    assert back.seed == 9 and back.kill_after_chunks == 3
+    assert back.kinds == ("chunk", "done")
+
+
+def test_injector_spec_rejects_garbage():
+    with pytest.raises(ValueError):
+        FaultInjector.from_spec("drop")
+    with pytest.raises(ValueError):
+        FaultInjector.from_spec("explode=1.0")
+
+
+def test_injector_heartbeat_freeze():
+    inj = FaultInjector(seed=0, freeze_heartbeats_after=2)
+    allowed = [inj.heartbeat_allowed() for _ in range(5)]
+    assert allowed == [True, True, False, False, False]
+
+
+# ----------------------------------------------------------------------
+# Chunk merger
+# ----------------------------------------------------------------------
+def test_merger_first_write_wins_and_counts_duplicates():
+    m = ChunkMerger(4)
+    assert m.book([(0, "a"), (2, "c")]) == 2
+    assert not m.complete
+    # A duplicated late chunk for an already-booked index changes nothing.
+    assert m.book([(0, "ZOMBIE"), (1, "b")]) == 1
+    assert m.results == ["a", "b", "c", None]
+    assert m.duplicates_dropped == 1
+    assert m.unbooked([0, 1, 2, 3]) == [3]
+    assert m.book([(3, "d")]) == 1
+    assert m.complete
+
+
+# ----------------------------------------------------------------------
+# Lease-epoch zombie fence (driven straight at the coordinator internals)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_env():
+    return TNNEnvironment.build(
+        sized_uniform(80, seed=3),
+        sized_uniform(80, seed=4),
+        params=SystemParameters(page_capacity=64),
+    )
+
+
+def _fresh_coordinator(tiny_env, n=6):
+    queries = [(p, 0.0, 0.0) for p, _, _ in _fake_queries(tiny_env, n)]
+    return CampaignCoordinator(tiny_env, queries, HybridNN())
+
+
+def _fake_queries(env, n):
+    from repro.engine.workload import QueryWorkload
+
+    return QueryWorkload(n, seed=9).queries(env)
+
+
+def _fake_result(i):
+    # The merger and the epoch gate treat results as opaque payloads, so
+    # the fence tests don't need to build real TNNResult records.
+    return f"result-{i}"
+
+
+def test_stale_epoch_chunk_is_rejected(tiny_env):
+    coord = _fresh_coordinator(tiny_env)
+    coord._build_shards()
+    sid = next(iter(coord._shards))
+    shard = coord._shards[sid]
+    zombie = _Worker("z@1", "z", None, 0.0)
+    live = _Worker("l@2", "l", None, 0.0)
+    coord._workers = {"z@1": zombie, "l@2": live}
+    shard.epoch, shard.owner = 1, "z@1"
+    granted_epoch = shard.epoch
+    # The lease is revoked (deadline miss / death): epoch bumps.
+    coord._revoke_locked(shard, coord.merger.unbooked(shard.indices))
+    pairs = [(i, _fake_result(i)) for i in shard.indices[:2]]
+    coord._accept_chunk_locked(
+        zombie, {"shard": sid, "epoch": granted_epoch, "pairs": pairs}
+    )
+    assert coord.stats["stale_chunks_rejected"] == 1
+    assert coord.merger.filled == 0  # the zombie booked nothing
+
+
+def test_wrong_owner_chunk_is_rejected(tiny_env):
+    coord = _fresh_coordinator(tiny_env)
+    coord._build_shards()
+    sid = next(iter(coord._shards))
+    shard = coord._shards[sid]
+    shard.epoch, shard.owner = 1, "rightful@1"
+    impostor = _Worker("impostor@2", "i", None, 0.0)
+    coord._accept_chunk_locked(
+        impostor,
+        {
+            "shard": sid,
+            "epoch": 1,
+            "pairs": [(shard.indices[0], _fake_result(0))],
+        },
+    )
+    assert coord.stats["stale_chunks_rejected"] == 1
+    assert coord.merger.filled == 0
+
+
+def test_done_with_gaps_revokes_and_requeues_remainder(tiny_env):
+    coord = _fresh_coordinator(tiny_env)
+    coord._build_shards()
+    sid = next(iter(coord._shards))
+    shard = coord._shards[sid]
+    w = _Worker("w@1", "w", None, 0.0)
+    coord._workers = {"w@1": w}
+    shard.epoch, shard.owner = 1, "w@1"
+    # Only part of the slice ever arrived (dropped frames)...
+    part = shard.indices[:1]
+    with coord._cond:
+        coord._accept_chunk_locked(
+            w,
+            {"shard": sid, "epoch": 1, "pairs": [(part[0], _fake_result(0))]},
+        )
+        coord._accept_done_locked(w, {"shard": sid, "epoch": 1})
+    # ...so "done" behaves like a deadline miss: revoked, remainder kept.
+    assert coord.stats["revocations"] == 1
+    assert shard.owner is None
+    live = [
+        s for s in coord._shards.values() if not s.retired
+    ]
+    requeued = sorted(i for s in live for i in s.indices)
+    assert requeued == sorted(coord.merger.unbooked(range(len(coord.queries))))
+
+
+def test_revocation_budget_retires_to_rescue(tiny_env):
+    coord = _fresh_coordinator(tiny_env)
+    coord._build_shards()
+    sid = next(iter(coord._shards))
+    shard = coord._shards[sid]
+    for _ in range(coord.config.max_revocations + 1):
+        coord._revoke_locked(shard, list(shard.indices))
+        if shard.retired and coord._rescue:
+            break
+        # single live-worker path keeps the same shard object
+    assert shard.retired
+    assert sorted(coord._rescue) == sorted(shard.indices)
+
+
+def test_revocation_splits_across_survivors(tiny_env):
+    coord = _fresh_coordinator(tiny_env)
+    coord._build_shards()
+    sid = next(iter(coord._shards))
+    shard = coord._shards[sid]
+    coord._workers = {
+        "a@1": _Worker("a@1", "a", None, 0.0),
+        "b@2": _Worker("b@2", "b", None, 0.0),
+    }
+    cfg = CampaignConfig(chunk_size=1)
+    coord.config = cfg
+    before = set(coord._shards)
+    indices = list(shard.indices)
+    coord._revoke_locked(shard, indices)
+    assert shard.retired  # split away
+    assert coord.stats["reshards"] == 1
+    pieces = [
+        s
+        for sid2, s in coord._shards.items()
+        if sid2 not in before and not s.retired
+    ]
+    assert len(pieces) == 2
+    assert sorted(i for s in pieces for i in s.indices) == sorted(indices)
+    # Pieces inherit the revocation count: the budget caps total churn.
+    assert all(s.revocations == shard.revocations for s in pieces)
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"heartbeat_interval": 0.0},
+        {"heartbeat_interval": float("nan")},
+        {"heartbeat_miss_budget": 0},
+        {"heartbeat_miss_budget": 1.5},
+        {"lease_timeout": -1.0},
+        {"lease_timeout_per_query": float("inf")},
+        {"worker_wait": -0.1},
+        {"chunk_size": 0},
+        {"shard_size": 0},
+        {"reshard_backoff": -1.0},
+        {"max_backoff": float("-inf")},
+        {"max_revocations": -1},
+    ],
+)
+def test_campaign_config_rejects_bad_knobs(kwargs):
+    with pytest.raises(ValueError):
+        CampaignConfig(**kwargs)
+
+
+def test_campaign_config_defaults_are_valid():
+    cfg = CampaignConfig()
+    assert cfg.heartbeat_interval > 0
+    assert cfg.chunk_size >= 1

@@ -1,0 +1,157 @@
+"""End-to-end campaigns over the coordinator/worker protocol.
+
+Every path must merge bit-identical to the serial shared-scan oracle:
+real subprocess workers, an in-thread worker, the no-workers degradation
+ladder, and the non-shared-scan fallback.  Workloads are tiny — the
+point is the protocol, not throughput (BENCH_million_query.json covers
+that).
+"""
+
+import threading
+
+import pytest
+
+from repro.broadcast import SystemParameters
+from repro.core import ApproximateTNN, DoubleNN, HybridNN, TNNEnvironment
+from repro.datasets import sized_uniform
+from repro.engine import (
+    QueryEngine,
+    QueryWorkload,
+    SharedScanRunner,
+)
+from repro.engine.distributed import CampaignConfig, run_worker
+from repro.geometry import kernels
+from repro.sim.stats import summarize_batch
+
+
+@pytest.fixture(scope="module")
+def env():
+    return TNNEnvironment.build(
+        sized_uniform(240, seed=3),
+        sized_uniform(240, seed=4),
+        params=SystemParameters(page_capacity=64),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return QueryWorkload(n_queries=12, seed=9)
+
+
+@pytest.fixture(scope="module")
+def reference(env, workload):
+    with kernels.use_kernels(True):
+        runner = SharedScanRunner(env, workload, workers=0)
+        return runner.run_algorithm(HybridNN(), record_log=False)
+
+
+def _config(**kw):
+    base = dict(
+        worker_wait=20.0,
+        chunk_size=3,
+        shard_size=4,
+        heartbeat_interval=0.2,
+        lease_timeout=10.0,
+    )
+    base.update(kw)
+    return CampaignConfig(**base)
+
+
+def test_campaign_over_subprocess_workers_bit_identical(
+    env, workload, reference
+):
+    with kernels.use_kernels(True):
+        out = QueryEngine(env).run_campaign(
+            workload,
+            HybridNN(),
+            spawn_workers=2,
+            config=_config(),
+        )
+    assert out.results == reference
+    s = out.stats
+    assert s["mode"] == "distributed"
+    assert s["workers_seen"] == 2
+    assert s["local_rescue_queries"] == 0
+    assert s["n_queries"] == len(reference)
+    # The stats ledger is coherent: every query was streamed exactly once.
+    assert sum(w["queries"] for w in s["per_worker"].values()) == len(
+        reference
+    )
+    assert summarize_batch(out.results) == summarize_batch(reference)
+
+
+def test_campaign_with_in_thread_worker(env, workload, reference):
+    """A worker living in this very process (no subprocess, no CLI)
+    joins over TCP and the campaign still merges bit-identically."""
+    from repro.engine.distributed import CampaignCoordinator
+
+    with kernels.use_kernels(True):
+        queries = workload.queries(env)
+        coordinator = CampaignCoordinator(
+            env,
+            queries,
+            HybridNN(),
+            config=_config(),
+            record_log=False,
+            workload_spec=(workload.n_queries, workload.seed),
+        )
+        with coordinator:
+            t = threading.Thread(
+                target=run_worker,
+                args=(coordinator.address,),
+                kwargs={"name": "inproc", "retry_timeout": 10.0},
+                daemon=True,
+            )
+            t.start()
+            out = coordinator.run()
+        t.join(timeout=10.0)
+    assert out.results == reference
+    assert out.stats["mode"] == "distributed"
+    assert out.stats["workers_lost"] == 0  # clean goodbye, not a death
+
+
+def test_no_workers_degrades_to_local_serial(env, workload, reference):
+    with kernels.use_kernels(True):
+        out = QueryEngine(env).run_campaign(
+            workload,
+            HybridNN(),
+            spawn_workers=0,
+            config=_config(worker_wait=0.1),
+        )
+    assert out.results == reference
+    assert out.stats["mode"] == "local"
+    assert out.stats["workers_seen"] == 0
+    assert out.stats["local_rescue_queries"] == len(reference)
+
+
+def test_no_workers_degrades_to_supervised_pool(env, workload, reference):
+    with kernels.use_kernels(True):
+        out = QueryEngine(env).run_campaign(
+            workload,
+            HybridNN(),
+            spawn_workers=0,
+            config=_config(worker_wait=0.1),
+            local_workers=2,
+        )
+    assert out.results == reference
+    assert out.stats["mode"] == "local"
+
+
+def test_unsupported_algorithm_falls_back_to_local_runner(env, workload):
+    """Algorithms outside the shared-scan family skip the distributed
+    tier entirely — run_campaign is a drop-in for any campaign."""
+    algo = ApproximateTNN()
+    with kernels.use_kernels(True):
+        want = SharedScanRunner(env, workload, workers=0).run_algorithm(
+            algo, record_log=False
+        )
+        out = QueryEngine(env).run_campaign(workload, algo)
+    assert out.results == want
+    assert out.stats["mode"] == "local"
+    assert out.stats["workers_seen"] == 0
+
+
+def test_empty_workload_completes_locally(env):
+    out = QueryEngine(env).run_campaign(QueryWorkload(0), DoubleNN())
+    assert out.results == []
+    assert out.stats["mode"] == "local"

@@ -1,0 +1,135 @@
+"""Property tests: chunked distributed execution is order-insensitive.
+
+Two layers make the distributed campaign bit-identical to the serial
+oracle, and each is pinned down here on its own:
+
+* a shard is a **pure function** of (environment, query slice) — however
+  the workload is partitioned, ``execute_tnn_batch`` over the pieces
+  concatenates to the serial run;
+* the **merge is order-insensitive** — any interleaving of chunk
+  arrivals, including shuffled, duplicated and stale-late chunks,
+  produces the same workload-ordered result list, and therefore the
+  same tuner summaries.
+"""
+
+import random
+
+import pytest
+
+from repro.broadcast import SystemParameters
+from repro.core import DoubleNN, HybridNN, TNNEnvironment
+from repro.datasets import sized_uniform
+from repro.engine import QueryWorkload, execute_tnn_batch
+from repro.engine.distributed import ChunkMerger
+from repro.geometry import kernels
+from repro.sim.stats import summarize_batch
+
+
+@pytest.fixture(scope="module")
+def env():
+    return TNNEnvironment.build(
+        sized_uniform(200, seed=3),
+        sized_uniform(200, seed=4),
+        params=SystemParameters(page_capacity=64),
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(env):
+    return QueryWorkload(n_queries=18, seed=9).queries(env)
+
+
+@pytest.fixture(scope="module", params=["double", "hybrid"])
+def oracle(request, env, queries):
+    algo = DoubleNN() if request.param == "double" else HybridNN()
+    with kernels.use_kernels(True):
+        return algo, execute_tnn_batch(env, algo, queries, record_log=False)
+
+
+def _random_partition(rng, n):
+    """A random contiguous-free partition of range(n) into chunks."""
+    indices = list(range(n))
+    rng.shuffle(indices)
+    chunks, at = [], 0
+    while at < n:
+        size = rng.randint(1, 5)
+        chunks.append(indices[at : at + size])
+        at += size
+    return chunks
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_any_partition_executes_bit_identical(env, queries, oracle, seed):
+    """Shards are pure: executing arbitrary (even non-contiguous,
+    shuffled) slices independently reproduces the serial results."""
+    algo, want = oracle
+    rng = random.Random(seed)
+    merged = [None] * len(queries)
+    with kernels.use_kernels(True):
+        for chunk in _random_partition(rng, len(queries)):
+            results = execute_tnn_batch(
+                env, algo, [queries[i] for i in chunk], record_log=False
+            )
+            for i, res in zip(chunk, results):
+                merged[i] = res
+    assert merged == want
+    assert summarize_batch(merged) == summarize_batch(want)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_merge_is_arrival_order_insensitive(queries, oracle, seed):
+    """Any interleaving of chunk arrivals — shuffled across shards,
+    duplicated, and replayed late — books the same result list."""
+    algo, want = oracle
+    rng = random.Random(seed)
+    chunks = [
+        [(i, want[i]) for i in chunk]
+        for chunk in _random_partition(rng, len(queries))
+    ]
+    arrivals = list(chunks)
+    # Duplicate a random subset (a zombie's resent frames)...
+    arrivals += [rng.choice(chunks) for _ in range(rng.randint(1, 4))]
+    # ...and shuffle the whole arrival order.
+    rng.shuffle(arrivals)
+    merger = ChunkMerger(len(queries))
+    for pairs in arrivals:
+        merger.book(pairs)
+    assert merger.complete
+    assert merger.results == want
+    assert summarize_batch(merger.results) == summarize_batch(want)
+    dup_pairs = sum(len(c) for c in arrivals) - len(queries)
+    assert merger.duplicates_dropped == dup_pairs
+
+
+def test_late_duplicate_with_divergent_payload_cannot_double_book(
+    queries, oracle
+):
+    """First-write-wins: even a *corrupted* late duplicate (payload
+    differs from the booked result) changes nothing — the fence is
+    positional, not value-based."""
+    _algo, want = oracle
+    merger = ChunkMerger(len(queries))
+    for i, res in enumerate(want):
+        merger.book([(i, res)])
+    merger.book([(0, "poison"), (1, "poison")])
+    assert merger.results == want
+    assert merger.duplicates_dropped == 2
+
+
+def test_interleaved_partial_chunks_from_competing_leases(queries, oracle):
+    """Two leases racing over the same slice (one revoked, re-leased)
+    interleave partial chunks; the merge still lands exactly once per
+    query."""
+    _algo, want = oracle
+    merger = ChunkMerger(len(queries))
+    n = len(queries)
+    first = [(i, want[i]) for i in range(0, n, 2)]
+    second = [(i, want[i]) for i in range(n)]  # the re-lease redoes all
+    # Alternate arrivals pair by pair.
+    for a, b in zip(first, second):
+        merger.book([a])
+        merger.book([b])
+    merger.book(second[len(first):])
+    assert merger.complete
+    assert merger.results == want
+    assert summarize_batch(merger.results) == summarize_batch(want)

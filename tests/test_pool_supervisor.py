@@ -58,6 +58,33 @@ def test_supervisor_knobs_parse_env(monkeypatch):
     assert shard_backoff() == 0.25
 
 
+@pytest.mark.parametrize(
+    "name,reader",
+    [
+        ("REPRO_SHARD_TIMEOUT", shard_timeout),
+        ("REPRO_SHARD_RETRIES", shard_retries),
+        ("REPRO_SHARD_BACKOFF", shard_backoff),
+    ],
+)
+@pytest.mark.parametrize("raw", ["-1", "nan", "inf", "-inf", "soon", ""])
+def test_supervisor_knobs_reject_garbage(monkeypatch, name, reader, raw):
+    """Negative, non-finite or non-numeric knobs fail loudly at first
+    read, naming the variable and the offending value."""
+    if name == "REPRO_SHARD_RETRIES" and raw in ("nan", "inf", "-inf"):
+        pass  # int() already rejects these as non-numeric — same error
+    monkeypatch.setenv(name, raw)
+    with pytest.raises(ValueError) as err:
+        reader()
+    assert name in str(err.value)
+    assert repr(raw) in str(err.value)
+
+
+def test_supervisor_knob_retries_rejects_fractional(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_RETRIES", "1.5")
+    with pytest.raises(ValueError, match="REPRO_SHARD_RETRIES"):
+        shard_retries()
+
+
 def test_reshard_splits_failed_slice(env, workload):
     runner = SharedScanRunner(env, workload, workers=3)
     algo = HybridNN()
