@@ -12,8 +12,22 @@ timers over the same four phase buckets:
   (`geometry/`): bounds, leaf distances, certified estimates;
 * **download** — broadcast arrival arithmetic and tuner accounting
   (`broadcast/`): page arithmetic, clock moves, reception logs;
-* **bookkeeping** — everything else on the hot path (`engine/`,
-  `client/search.py` absorb logic, `core/`, scheduler, numpy glue).
+* **phase_a** — the shared-scan executor's survivor handling
+  (``_arena_phase_a`` and its row/store finishers): due assembly, keep
+  classification, fallback dispatch, absorb-lane binning;
+* **absorb** — the executor's absorb glue (``_absorb_*`` lanes and the
+  lane marshalling helpers): kernel-input gathers, staging handoffs,
+  witness/upper-bound mirror updates;
+* **bookkeeping** — everything else on the hot path (`engine/` runner
+  remainder, `client/search.py` absorb logic, `core/`, scheduler, numpy
+  glue).
+
+The node-store sub-buckets (phase_a / absorb) split what earlier
+recordings lumped into bookkeeping, and the shared-scan path is measured
+twice — with the global node store (default) and under
+``REPRO_NO_NODE_STORE=1`` (the scalar row-loop oracle, i.e. the pre-store
+implementation) — so the store's effect on each sub-bucket is recorded in
+the same artifact.
 
 The **wall timer** (primary, ``share`` in the JSON) wraps the bucket entry
 points — frontier/arena methods, the public kernels, tuner accounting —
@@ -65,6 +79,10 @@ PAGE_CAPACITY = int(os.environ.get("REPRO_BENCH_CAPACITY", 64))
 #: non-cyclic backends (rtree-distributed, disk) profile the heap-fallback
 #: queue instead of the arena.
 BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "rtree")
+#: Measured passes per configuration; the minimum-wall pass is recorded.
+#: Single passes on shared vCPUs randomly absorb neighbour steal into
+#: whichever phase was running — min-of-N keeps the least-perturbed run.
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", 3))
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_profile_hot_path.json"
@@ -76,9 +94,23 @@ PHASES = (
     ("download", ("repro/broadcast/",)),
 )
 
+#: Executor function-name prefixes -> node-store sub-buckets (only
+#: consulted for engine/shared_scan.py frames, before the module rules).
+SUBBUCKET_PREFIXES = (
+    ("phase_a", ("_arena_phase_a", "_phase_a_")),
+    ("absorb", ("_absorb_", "_sync_lane", "_lane_")),
+)
 
-def _bucket(filename: str) -> str:
+ALL_PHASES = ("queue", "geometry", "download", "phase_a", "absorb",
+              "bookkeeping")
+
+
+def _bucket(filename: str, funcname: str = "") -> str:
     path = filename.replace("\\", "/")
+    if "engine/shared_scan.py" in path:
+        for phase, prefixes in SUBBUCKET_PREFIXES:
+            if funcname.startswith(prefixes):
+                return phase
     for phase, fragments in PHASES:
         for fragment in fragments:
             if fragment in path:
@@ -88,9 +120,9 @@ def _bucket(filename: str) -> str:
 
 def _phase_breakdown(profile: cProfile.Profile) -> dict:
     stats = pstats.Stats(profile)
-    totals: dict = {"queue": 0.0, "geometry": 0.0, "download": 0.0, "bookkeeping": 0.0}
-    for (filename, _, _), (_, _, tottime, _, _) in stats.stats.items():
-        totals[_bucket(filename)] += tottime
+    totals: dict = {phase: 0.0 for phase in ALL_PHASES}
+    for (filename, _, funcname), (_, _, tottime, _, _) in stats.stats.items():
+        totals[_bucket(filename, funcname)] += tottime
     profiled_total = sum(totals.values())
     shares = {
         phase: (round(t / profiled_total, 4) if profiled_total else 0.0)
@@ -112,7 +144,10 @@ class _WallPhaseTimer:
     """
 
     def __init__(self) -> None:
-        self.totals = {"queue": 0.0, "geometry": 0.0, "download": 0.0}
+        self.totals = {
+            "queue": 0.0, "geometry": 0.0, "download": 0.0,
+            "phase_a": 0.0, "absorb": 0.0,
+        }
         self._child = [0.0]  # child-time accumulator per active frame
 
     def wrap(self, fn, bucket: str):
@@ -181,7 +216,8 @@ def _wrap_sites() -> list:
         "point_bounds", "segment_intersects_rects", "min_trans_dist",
         "min_max_trans_dist", "trans_bounds", "point_dists_multi",
         "trans_dists_multi", "mindist_multi", "point_bounds_multi",
-        "trans_bounds_multi", "point_weak_bounds_multi",
+        "trans_bounds_multi", "trans_lower_multi",
+        "point_weak_bounds_multi",
         "trans_weak_bounds_multi", "trans_corner_minmax_multi",
         "point_dists_raw", "trans_dists_raw",
     ):
@@ -201,7 +237,8 @@ def _wrap_sites() -> list:
     ):
         sites.append((frontier_mod.ArrivalFrontier, name, "queue"))
     for name in (
-        "register", "sync", "stage", "stage_lane", "flush", "begin_round",
+        "register", "sync", "stage", "stage_lane", "stage_lane_ids",
+        "flush", "begin_round",
         "serve", "kill", "peek_arrival_attached", "peek_page_attached",
         "pop_attached", "pop_until_attached", "active_nodes_attached",
         "active_mbrs_attached", "store_lower_attached", "len_attached",
@@ -218,6 +255,19 @@ def _wrap_sites() -> list:
         "_serve_window_one",
     ):
         sites.append((shared_scan_mod.SharedScanExecutor, name, "queue"))
+    # Node-store sub-buckets: the executor's phase-A survivor handling
+    # and the absorb glue.  Nested frontier/arena calls (queue), kernels
+    # (geometry) and tuner accounting (download) are wrapped separately,
+    # so self-time attribution keeps the split honest on both the store
+    # path and the REPRO_NO_NODE_STORE=1 row-loop oracle.
+    for name in ("_arena_phase_a", "_phase_a_rows", "_phase_a_store"):
+        sites.append((shared_scan_mod.SharedScanExecutor, name, "phase_a"))
+    for name in (
+        "_absorb_nn_lanes", "_absorb_nn_lanes_ids", "_absorb_point_leaves",
+        "_absorb_flat_leaves", "_sync_lane", "_lane_sids", "_lane_queries",
+        "_lane_transitive",
+    ):
+        sites.append((shared_scan_mod.SharedScanExecutor, name, "absorb"))
     for cls in (tuner_mod.ChannelTuner, tuner_mod._LedgerTuner):
         for name in (
             "advance_to", "record_index_run", "download_index_page",
@@ -263,14 +313,25 @@ def _measure(fn) -> tuple:
     gc_was_on = gc.isenabled()
     gc.disable()
     try:
-        t0 = time.perf_counter()
-        fn()
-        wall = time.perf_counter() - t0
-        timer = _WallPhaseTimer()
-        with _patched(timer):
+        wall = float("inf")
+        for _ in range(REPEATS):
             t0 = time.perf_counter()
             fn()
-            timed_wall = time.perf_counter() - t0
+            wall = min(wall, time.perf_counter() - t0)
+        # Keep the breakdown of the fastest wrapped pass — the one the
+        # scheduler interfered with least — so phase attribution is not
+        # polluted by whichever phase happened to absorb a steal spike.
+        timer = None
+        timed_wall = float("inf")
+        for _ in range(REPEATS):
+            cand = _WallPhaseTimer()
+            with _patched(cand):
+                t0 = time.perf_counter()
+                fn()
+                tw = time.perf_counter() - t0
+            if tw < timed_wall:
+                timed_wall = tw
+                timer = cand
         profile = cProfile.Profile()
         profile.enable()
         fn()
@@ -321,6 +382,20 @@ def profile_hot_path(
         shared_wall, shared_phases = _measure(
             lambda: runner.run_algorithm(algo)
         )
+        # The same workload under REPRO_NO_NODE_STORE=1: the scalar
+        # row-loop oracle, i.e. the pre-store implementation — recorded
+        # so the store's effect on each sub-bucket lives in the artifact.
+        saved = os.environ.get("REPRO_NO_NODE_STORE")
+        os.environ["REPRO_NO_NODE_STORE"] = "1"
+        try:
+            nostore_wall, nostore_phases = _measure(
+                lambda: runner.run_algorithm(algo)
+            )
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_NO_NODE_STORE", None)
+            else:
+                os.environ["REPRO_NO_NODE_STORE"] = saved
 
     return {
         "benchmark": "profile_hot_path",
@@ -332,15 +407,25 @@ def profile_hot_path(
         "page_capacity": PAGE_CAPACITY,
         "leaf_capacity": params.leaf_capacity,
         "fanout": params.internal_fanout,
+        "repeats": REPEATS,
         "note": (
             "share is from the wall-clock phase timer (perf_counter "
             "wrappers on bucket entry points, self-time attribution, "
             "bookkeeping = remainder); profiled_share is the cProfile "
             "cross-check, which inflates python-call-heavy phases; "
-            "wall_seconds is the uninstrumented reference"
+            "wall_seconds is the uninstrumented reference; every "
+            "measured pass runs REPEATS times and keeps the minimum "
+            "wall (least scheduler interference); phase_a and "
+            "absorb are executor sub-buckets that earlier recordings "
+            "lumped into bookkeeping; shared_scan_no_store replays the "
+            "shared path under REPRO_NO_NODE_STORE=1 (the pre-store "
+            "scalar row loop)"
         ),
         "per_query": {"wall_seconds": round(pq_wall, 6), **pq_phases},
         "shared_scan": {"wall_seconds": round(shared_wall, 6), **shared_phases},
+        "shared_scan_no_store": {
+            "wall_seconds": round(nostore_wall, 6), **nostore_phases
+        },
         "pr6_reference": {
             "shared_bookkeeping_share": 0.6271,
             "shared_wall_seconds": 0.644262,
@@ -358,17 +443,16 @@ def test_profile_hot_path(record_experiment):
     payload = profile_hot_path()
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     lines = [f"[profile_hot_path] {payload['workload']}"]
-    for path in ("per_query", "shared_scan"):
+    for path in ("per_query", "shared_scan", "shared_scan_no_store"):
         entry = payload[path]
         share = " ".join(
-            f"{phase}={entry['share'][phase]:.0%}"
-            for phase in ("queue", "geometry", "download", "bookkeeping")
+            f"{phase}={entry['share'][phase]:.0%}" for phase in ALL_PHASES
         )
         lines.append(f"  {path}: {entry['wall_seconds']:.3f}s wall | {share}")
     record_experiment("profile_hot_path", "\n".join(lines))
     # The harness is a measurement, not a gate; the only invariant is that
     # both timers saw the hot path at all.
-    for path in ("per_query", "shared_scan"):
+    for path in ("per_query", "shared_scan", "shared_scan_no_store"):
         assert sum(payload[path]["profiled_seconds"].values()) > 0.0
         timed = payload[path]["wall_seconds_by_phase"]
         assert sum(timed[p] for p in ("queue", "geometry", "download")) > 0.0

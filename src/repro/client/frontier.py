@@ -70,6 +70,7 @@ are the fastest single-search representation.
 from __future__ import annotations
 
 import math
+import os
 from bisect import bisect_left, bisect_right
 from typing import Callable, List, Optional, Tuple
 
@@ -77,6 +78,18 @@ import numpy as np
 
 from repro.geometry import kernels
 from repro.rtree.node import RTreeNode
+
+
+def node_store_disabled() -> bool:
+    """True when ``REPRO_NO_NODE_STORE=1`` disables the global node store.
+
+    The escape hatch mirrors ``REPRO_NO_KERNELS`` / ``REPRO_SCALAR_TUNERS``:
+    with it set, the shared-scan executor keeps every arena frontier on the
+    per-frontier node-slot lists and serves phase A through the original
+    per-survivor row loop — the bit-identity oracle for the vectorised
+    store path.
+    """
+    return os.environ.get("REPRO_NO_NODE_STORE", "0") == "1"
 
 #: Bit width of the entry-index field in the packed ``key << BITS | index``
 #: comparison values of the arena's segmented argmin — supports 4M queued
@@ -89,6 +102,169 @@ _HUGE = np.int64(1) << np.int64(62)
 #: Epoch sentinel for entries pushed without a bound record: never equal to
 #: a search's metric epoch (epochs start at 0 and only grow).
 _NO_EPOCH = -1
+
+
+def _tree_store_struct(tree) -> tuple:
+    """One tree's BFS-ordered structural node columns (cached).
+
+    Returns ``(nodes, child0, level, lane_key, mbr)`` where ``nodes`` is
+    the BFS node list (every internal node's children occupy one
+    contiguous run — the property the arena's base-plus-intra flush
+    arithmetic needs), ``child0`` holds each internal node's first-child
+    index (-1 for leaves), ``lane_key`` packs the fan-out shape as
+    ``(fanout << 2) | (is_leaf << 1)`` (matching the executor's lane
+    keys), and ``mbr`` serves each node's ``(4,)`` float64 row gathered
+    from the parents' pack-time child-MBR chunks — the same float values
+    :meth:`ArrivalFrontier._mbr_row` returns.  Structure never changes
+    after packing, so the cache lives on the tree object for good;
+    page ids are handled separately (:func:`_tree_store_pages`).
+    """
+    try:
+        return tree._store_struct
+    except AttributeError:
+        pass
+    order: List[RTreeNode] = [tree.root]
+    child0: List[int] = []
+    keys: List[int] = []
+    levels: List[int] = []
+    i = 0
+    while i < len(order):
+        nd = order[i]
+        if nd.is_leaf:
+            child0.append(-1)
+            keys.append((len(nd.points) << 2) | 2)
+        else:
+            child0.append(len(order))
+            keys.append(len(nd.children) << 2)
+            order.extend(nd.children)
+        levels.append(nd.level)
+        i += 1
+    n = len(order)
+    c0 = np.array(child0, dtype=np.int64)
+    mbr = np.empty((n, 4), dtype=np.float64)
+    mbr[0] = np.asarray(tree.root.mbr, dtype=np.float64)
+    for i, nd in enumerate(order):
+        if not nd.is_leaf:
+            b = child0[i]
+            mbr[b:b + len(nd.children)] = nd.child_mbr_array()
+    struct = (
+        order,
+        c0,
+        np.array(levels, dtype=np.int64),
+        np.array(keys, dtype=np.int64),
+        mbr,
+    )
+    tree._store_struct = struct
+    return struct
+
+
+def _tree_store_pages(tree) -> np.ndarray:
+    """The BFS-ordered page-id column of one tree (cached).
+
+    Page ids bind the current broadcast layout, so — unlike the
+    structural columns — this cache is part of the node store's
+    **invalidation contract**: :meth:`repro.rtree.tree.RTree
+    .assign_page_ids` resets it (alongside the per-node child-page
+    views) whenever a program renumbers the tree.
+    """
+    pages = getattr(tree, "_store_pages", None)
+    if pages is not None:
+        return pages
+    order = _tree_store_struct(tree)[0]
+    pages = np.fromiter(
+        (nd.page_id for nd in order), dtype=np.int64, count=len(order)
+    )
+    tree._store_pages = pages
+    return pages
+
+
+class NodeStore:
+    """Global columnar registry of every node an arena run can serve.
+
+    One store backs one :class:`~repro.engine.shared_scan
+    .SharedScanExecutor` run over a fixed set of trees.  Every node of
+    every tree gets a *store id* (``nid``): BFS order per tree, trees
+    concatenated — so each internal node's children are the contiguous
+    run ``child0[nid] .. child0[nid] + fanout``, and a staged fan-out is
+    an ``(offset, count)`` pair instead of a python list splice.  The
+    arena's ``_e_slot`` lane holds nids when a store is attached, which
+    turns phase A's survivor handling (lane-key gathers, weak-point
+    MINDIST checks, argsort binning) and the absorb glue (``stage_lane``
+    handoffs, witness/upper-bound mirror updates) into whole-workload
+    array passes.
+
+    ``lane_row`` mirrors each node's per-run ``_lane_row`` stamp against
+    the executor's combined geometry blocks, so a store must be built
+    **after** :func:`~repro.engine.shared_scan.combine_lane_blocks` of
+    the same trees.  ``_store_nid`` stamps on the nodes are per-build,
+    like the lane-row stamps: a node may appear in stores with different
+    partners (and hence different offsets) across environments.
+
+    Invalidation contract: structure and geometry are immutable after
+    packing and cache on the tree forever; the page column binds the
+    broadcast layout and is dropped by ``RTree.assign_page_ids`` — a
+    store built before a re-layout must not be reused afterwards (the
+    executor builds one store per run, after the program assigns pages).
+    """
+
+    __slots__ = (
+        "nodes", "child0", "level", "lane_key", "lane_row", "page",
+        "mbr", "leaf_bit", "tree_ids",
+    )
+
+    @classmethod
+    def build(cls, trees) -> "NodeStore":
+        seen: list = []
+        for t in trees:
+            if not any(t is u for u in seen):
+                seen.append(t)
+        nodes: List[RTreeNode] = []
+        c0_parts: List[np.ndarray] = []
+        lvl_parts: List[np.ndarray] = []
+        key_parts: List[np.ndarray] = []
+        mbr_parts: List[np.ndarray] = []
+        page_parts: List[np.ndarray] = []
+        off = 0
+        for t in seen:
+            order, c0, levels, keys, mbr = _tree_store_struct(t)
+            for i, nd in enumerate(order):
+                nd._store_nid = off + i
+            if off:
+                c0 = c0.copy()
+                c0[c0 >= 0] += off
+            nodes.extend(order)
+            c0_parts.append(c0)
+            lvl_parts.append(levels)
+            key_parts.append(keys)
+            mbr_parts.append(mbr)
+            page_parts.append(_tree_store_pages(t))
+            off += len(order)
+        store = cls()
+        store.nodes = nodes
+        store.child0 = (
+            c0_parts[0] if len(c0_parts) == 1 else np.concatenate(c0_parts)
+        )
+        store.level = (
+            lvl_parts[0] if len(lvl_parts) == 1 else np.concatenate(lvl_parts)
+        )
+        store.lane_key = (
+            key_parts[0] if len(key_parts) == 1 else np.concatenate(key_parts)
+        )
+        store.mbr = (
+            mbr_parts[0] if len(mbr_parts) == 1 else np.vstack(mbr_parts)
+        )
+        store.page = (
+            page_parts[0] if len(page_parts) == 1
+            else np.concatenate(page_parts)
+        )
+        store.lane_row = np.fromiter(
+            (nd._lane_row for nd in nodes), dtype=np.int64, count=len(nodes)
+        )
+        # Pre-split leaf flag (lane-key bit 1): the round's leaf-finish
+        # probe mask gathers this directly instead of re-masking keys.
+        store.leaf_bit = (store.lane_key & 2) != 0
+        store.tree_ids = frozenset(id(t) for t in seen)
+        return store
 
 
 class ArrivalFrontier:
@@ -113,8 +289,6 @@ class ArrivalFrontier:
         "_eval_guard",
         "_arena",
         "_sid",
-        "_staged_n",
-        "_staged_ver",
         "max_size",
         "lower_evaluator",
     )
@@ -128,8 +302,6 @@ class ArrivalFrontier:
         #: frontier runs standalone on its own list lanes).
         self._arena: Optional["FrontierArena"] = None
         self._sid = -1
-        self._staged_n = 0
-        self._staged_ver = -1
         #: Cached child-MBR chunk per ``push_many`` (base slot -> the
         #: parent's contiguous ``(n, 4)`` array): rescans and pending-batch
         #: evaluations gather rows from these instead of re-packing MBR
@@ -172,19 +344,16 @@ class ArrivalFrontier:
     def __len__(self) -> int:
         arena = self._arena
         if arena is not None:
-            staged = (
-                self._staged_n if self._staged_ver == arena._flushes else 0
-            )
-            return int(arena._live[self._sid]) + staged
+            sid = self._sid
+            return int(arena._live[sid]) + int(arena._staged_cnt[sid])
         return len(self._order_pages)
 
     def finished(self) -> bool:
         """True when no candidates remain queued."""
         arena = self._arena
         if arena is not None:
-            return not arena._live[self._sid] and (
-                self._staged_n == 0 or self._staged_ver != arena._flushes
-            )
+            sid = self._sid
+            return not arena._live[sid] and not arena._staged_cnt[sid]
         return not self._order_pages
 
     def footprint(self) -> int:
@@ -652,8 +821,17 @@ class FrontierArena:
     standalone list lanes.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional[NodeStore] = None) -> None:
         self._searches: List[object] = []
+        #: Global :class:`NodeStore` of the run's trees.  When present,
+        #: the ``_e_slot`` lane holds store ids instead of per-frontier
+        #: node-slot indices: staging never touches the frontiers' node
+        #: lists (a fan-out is ``child0[nid] + arange(n)``), attached
+        #: pops resolve nodes/MBRs through the store columns, and the
+        #: executor's phase A reads survivors as pure array gathers.
+        #: ``None`` (standalone arenas, ``REPRO_NO_NODE_STORE=1``) keeps
+        #: the original per-frontier slot addressing.
+        self._store = store
         # Per-search state lanes (grown amortised; index = search id).
         cap = 64
         self._now = np.zeros(cap, dtype=np.float64)
@@ -672,7 +850,22 @@ class FrontierArena:
         self._sy = np.full(cap, math.nan, dtype=np.float64)
         self._ex = np.full(cap, math.nan, dtype=np.float64)
         self._ey = np.full(cap, math.nan, dtype=np.float64)
+        #: Packed ``(sx, sy, ex, ey)`` rows mirroring the four transitive
+        #: lanes above: a margin-band serve batch gathers all four
+        #: endpoint components with one fancy index.
+        self._trans = np.full((cap, 4), math.nan, dtype=np.float64)
         self._live = np.zeros(cap, dtype=np.int64)
+        #: Entries staged since the last flush, per search — replaces the
+        #: per-frontier versioned counters, so lane staging can bump a
+        #: whole absorb lane's counts with one scatter-add.
+        self._staged_cnt = np.zeros(cap, dtype=np.int64)
+        #: Mirror of each search's ``_point_bit`` (1 = point metric, 0 =
+        #: transitive) — folds into the store's lane keys so phase A
+        #: builds every survivor's absorb-lane key in one vector ``or``.
+        self._pbit = np.zeros(cap, dtype=np.int64)
+        #: Boolean view of the same bit: the weak-survivor split masks
+        #: with it directly, skipping a per-round ``== 1`` pass.
+        self._pbool = np.zeros(cap, dtype=bool)
         #: Mirror of each attached frontier's ``max_size`` footprint,
         #: updated by one masked vector maximum per flush.
         self._maxsz = np.zeros(cap, dtype=np.int64)
@@ -734,9 +927,14 @@ class FrontierArena:
         self._phase[sid] = f._phase
         self._cycle[sid] = f._cycle
         self._live[sid] = 0
+        self._staged_cnt[sid] = 0
         self._maxsz[sid] = f.max_size
         search._arena_sid = sid
-        # Import the standalone entries before flipping the backend.
+        # Import the standalone entries before flipping the backend.  In
+        # store mode the staged base is the entry's store id — the
+        # frontier's slot numbering is abandoned (its node list is never
+        # consulted again); otherwise the slot survives as-is.
+        store = self._store
         order_pages = f._order_pages
         order_slots = f._order_slots
         f._arena = self
@@ -749,11 +947,12 @@ class FrontierArena:
                 lbs, epoch, weak = (
                     np.array([rec[1]], dtype=np.float64), rec[0], rec[2]
                 )
+            base = f._nodes[slot]._store_nid if store is not None else slot
             self._staged.append(
-                (f, 1, np.array([page], dtype=np.int64), slot, lbs,
+                (f, 1, np.array([page], dtype=np.int64), base, lbs,
                  epoch, weak)
             )
-            self._bump_staged(f, 1)
+            self._staged_cnt[sid] += 1
         f._order_pages = None  # the arena segment is the queue now
         f._order_slots = None
         self.sync(search)
@@ -764,9 +963,9 @@ class FrontierArena:
     def _grow_searches(self) -> None:
         for name in ("_now", "_phase", "_cycle", "_ub", "_epoch", "_wit",
                      "_qx", "_qy", "_sx", "_sy", "_ex", "_ey", "_live",
-                     "_maxsz"):
+                     "_staged_cnt", "_pbit", "_pbool", "_maxsz", "_trans"):
             old = getattr(self, name)
-            new = np.empty(old.shape[0] * 2, dtype=old.dtype)
+            new = np.empty((old.shape[0] * 2,) + old.shape[1:], dtype=old.dtype)
             new[: old.shape[0]] = old
             setattr(self, name, new)
 
@@ -780,6 +979,9 @@ class FrontierArena:
         sid = search._arena_sid
         self._ub[sid] = search.upper_bound
         self._epoch[sid] = search._metric_epoch
+        pb = getattr(search, "_point_bit", 0)
+        self._pbit[sid] = pb
+        self._pbool[sid] = pb == 1
         wp = search._witness_page
         self._wit[sid] = -1 if wp is None else wp
         q = search.query
@@ -793,6 +995,7 @@ class FrontierArena:
             self._sy[sid] = start.y
             self._ex[sid] = end.x
             self._ey[sid] = end.y
+            self._trans[sid] = (start.x, start.y, end.x, end.y)
 
     def queries_of(self, sids: List[int]) -> np.ndarray:
         """``(k, 2)`` query-point block for a point-metric kernel lane."""
@@ -820,14 +1023,38 @@ class FrontierArena:
         every intermediate one).
         """
         n = len(nodes)
-        base = len(f._nodes)
-        f._nodes.extend(nodes)
-        if src is not None:
-            pages = src.child_page_array()
-            f._mbr_bases.append(base)
-            f._mbr_chunks.append(src.child_mbr_array())
+        store = self._store
+        if store is not None:
+            # Store mode: the staged base is a store id run — no node-list
+            # extension, no MBR-chunk bookkeeping (the store columns serve
+            # both).  A complete fan-out starts at the parent's first
+            # child; loose nodes stage as single-entry runs (the defensive
+            # multi-node case splits, since arbitrary nids need not be
+            # contiguous).
+            if src is not None:
+                base = int(store.child0[src._store_nid])
+                pages = src.child_page_array()
+            elif n == 1:
+                base = nodes[0]._store_nid
+                pages = np.array([nodes[0].page_id], dtype=np.int64)
+            else:  # pragma: no cover - no driver stages loose multi-pushes
+                for i, nd in enumerate(nodes):
+                    self.stage(
+                        f, [nd], None if lbs is None else [lbs[i]],
+                        epoch, weak, None,
+                    )
+                return
         else:
-            pages = np.array([nd.page_id for nd in nodes], dtype=np.int64)
+            base = len(f._nodes)
+            f._nodes.extend(nodes)
+            if src is not None:
+                pages = src.child_page_array()
+                f._mbr_bases.append(base)
+                f._mbr_chunks.append(src.child_mbr_array())
+            else:
+                pages = np.array(
+                    [nd.page_id for nd in nodes], dtype=np.int64
+                )
         if lbs is None:
             run = (f, n, pages, base, None, _NO_EPOCH, False)
         else:
@@ -853,19 +1080,30 @@ class FrontierArena:
         shared-scan executor reads them out of its per-fan-out page
         blocks — replacing the per-node concatenation here.
         """
-        flushes = self._flushes
-        fs = [s._frontier for s in searches]
+        k = len(searches)
+        store = self._store
         epochs = [s._metric_epoch for s in searches]
-        bases = [len(f._nodes) for f in fs]
-        for f, node, base in zip(fs, nodes, bases):
-            f._nodes.extend(node.children)
-            f._mbr_bases.append(base)
-            f._mbr_chunks.append(node.child_mbr_array())
-            if f._staged_ver == flushes:
-                f._staged_n += n
-            else:
-                f._staged_ver = flushes
-                f._staged_n = n
+        if store is not None:
+            # Store mode: bases are the parents' first-child store ids —
+            # pure array arithmetic, no node-list splices, no MBR chunks.
+            sids = np.fromiter(
+                (s._arena_sid for s in searches), dtype=np.int64, count=k
+            )
+            nids = np.fromiter(
+                (nd._store_nid for nd in nodes), dtype=np.int64, count=k
+            )
+            bases = store.child0[nids]
+            self._staged_cnt[sids] += n
+            fs: object = sids
+        else:
+            fs = [s._frontier for s in searches]
+            bases_l = [len(f._nodes) for f in fs]
+            for f, node, base in zip(fs, nodes, bases_l):
+                f._nodes.extend(node.children)
+                f._mbr_bases.append(base)
+                f._mbr_chunks.append(node.child_mbr_array())
+                self._staged_cnt[f._sid] += n
+            bases = np.array(bases_l, dtype=np.int64)
         if pages is None:
             pages = np.concatenate(
                 [node.child_page_array() for node in nodes]
@@ -873,27 +1111,43 @@ class FrontierArena:
         else:
             pages = pages.reshape(-1)
         self._staged_lanes.append(
-            (fs, n, pages, np.array(bases, dtype=np.int64), lbs.ravel(),
+            (fs, n, pages, bases, lbs.ravel(),
              np.array(epochs, dtype=np.int64), weak,
              None if ubs is None else ubs.ravel())
         )
 
+    def stage_lane_ids(self, sids: np.ndarray, nids: np.ndarray, n: int,
+                       lbs: np.ndarray, weak: bool,
+                       ubs: Optional[np.ndarray] = None) -> None:
+        """Store-mode :meth:`stage_lane` taking id arrays directly.
+
+        The vectorised absorb path never materialises search or node
+        objects for a lane — it hands the survivor sids/nids straight
+        through, and the fan-out bases, child pages and owner epochs all
+        come from store/arena column gathers.  Requires an attached
+        :class:`NodeStore`.
+        """
+        store = self._store
+        bases = store.child0[nids]
+        pages = store.page[
+            (bases[:, None] + np.arange(n, dtype=np.int64)).reshape(-1)
+        ]
+        self._staged_cnt[sids] += n
+        self._staged_lanes.append(
+            (sids, n, pages, bases, lbs.ravel(), self._epoch[sids], weak,
+             None if ubs is None else ubs.ravel())
+        )
+
     def _bump_staged(self, f: ArrivalFrontier, n: int) -> None:
-        if f._staged_ver == self._flushes:
-            f._staged_n += n
-        else:
-            f._staged_ver = self._flushes
-            f._staged_n = n
+        self._staged_cnt[f._sid] += n
 
     def len_attached(self, f: ArrivalFrontier) -> int:
-        staged = f._staged_n if f._staged_ver == self._flushes else 0
-        return int(self._live[f._sid]) + staged
+        sid = f._sid
+        return int(self._live[sid]) + int(self._staged_cnt[sid])
 
     def _fresh(self, f: ArrivalFrontier) -> None:
         """Flush when ``f`` has staged entries or unmerged registrations."""
-        if self._dirty_adds or (
-            f._staged_n and f._staged_ver == self._flushes
-        ):
+        if self._dirty_adds or self._staged_cnt[f._sid]:
             self.flush()
 
     def flush(self) -> None:
@@ -949,9 +1203,11 @@ class FrontierArena:
             for (lfs, ln, lpages, lbases, llbs, lepochs, lweak,
                  lubs) in lanes:
                 k = len(lfs)
-                sid_parts.append(np.fromiter(
-                    (ft._sid for ft in lfs), dtype=np.int64, count=k
-                ))
+                sid_parts.append(
+                    lfs if isinstance(lfs, np.ndarray) else np.fromiter(
+                        (ft._sid for ft in lfs), dtype=np.int64, count=k
+                    )
+                )
                 count_parts.append(np.full(k, ln, dtype=np.int64))
                 base_parts.append(lbases)
                 epoch_parts.append(lepochs)
@@ -1061,6 +1317,7 @@ class FrontierArena:
         self._seg_start = seg
         self._staged = []
         self._staged_lanes = []
+        self._staged_cnt[:S] = 0
         self._flushes += 1
         self._dirty_adds = False
         self._ver += 1
@@ -1175,17 +1432,7 @@ class FrontierArena:
             self._ver += 1
         gidx = np.where(has, sidx, 0)
         live = self._live[due]
-        return {
-            "act": ok.tolist(),
-            "has": has.tolist(),
-            "idx": sidx.tolist(),
-            "arrival": sarr.tolist(),
-            "slot": self._e_slot[gidx].tolist(),
-            "lb": self._e_lb[gidx].tolist(),
-            "ub": self._e_ub[gidx].tolist(),
-            "weak": self._e_weak[gidx].tolist(),
-            "stamped": stamped[gidx].tolist(),
-            "live": live.tolist(),
+        res = {
             # Vector views for the executor's row selection and the
             # TunerLedger round flush: actionable / finish-probe rows come
             # from flatnonzero over these, and the confirmed downloads'
@@ -1196,7 +1443,29 @@ class FrontierArena:
             "live_np": live,
             "arrival_np": sarr,
             "page_np": self._e_page[gidx],
+            "idx_np": sidx,
+            "slot_np": self._e_slot[gidx],
+            "lb_np": self._e_lb[gidx],
+            "ub_np": self._e_ub[gidx],
+            "weak_np": self._e_weak[gidx],
+            "stamped_np": stamped[gidx],
         }
+        if self._store is None:
+            # The scalar row loop reads per-row python values; the store
+            # path replaces it with array passes and skips the tolists.
+            res.update(
+                act=ok.tolist(),
+                has=has.tolist(),
+                idx=sidx.tolist(),
+                arrival=sarr.tolist(),
+                slot=res["slot_np"].tolist(),
+                lb=res["lb_np"].tolist(),
+                ub=res["ub_np"].tolist(),
+                weak=res["weak_np"].tolist(),
+                stamped=res["stamped_np"].tolist(),
+                live=live.tolist(),
+            )
+        return res
 
     def kill(self, sid: int, idx: int) -> None:
         """Tombstone one entry (a consumed survivor)."""
@@ -1237,6 +1506,12 @@ class FrontierArena:
         comp = (keys << _IDX_BITS) | (_IDX_MASK - idxs)
         return int(self._e_page[idxs[int(np.argmin(comp))]])
 
+    def _node_of(self, f: ArrivalFrontier, e: int) -> RTreeNode:
+        """The entry's node — store column or frontier slot list."""
+        slot = int(self._e_slot[e])
+        store = self._store
+        return store.nodes[slot] if store is not None else f._nodes[slot]
+
     def pop_attached(
         self, f: ArrivalFrontier, epoch: int
     ) -> Tuple[RTreeNode, Optional[float], bool, float]:
@@ -1253,7 +1528,7 @@ class FrontierArena:
         e = int(idxs[t])
         arrival = base + int(keys[t]) + f._phase
         self.kill(sid, e)
-        node = f._nodes[int(self._e_slot[e])]
+        node = self._node_of(f, e)
         lb: Optional[float] = None
         weak = False
         if int(self._e_epoch[e]) == epoch:
@@ -1297,10 +1572,10 @@ class FrontierArena:
                 if lb > upper_bound:
                     continue  # certified prune (weak or exact)
                 return (
-                    f._nodes[int(self._e_slot[e])], lb,
+                    self._node_of(f, e), lb,
                     bool(self._e_weak[e]), arrival,
                 )
-            node = f._nodes[int(self._e_slot[e])]
+            node = self._node_of(f, e)
             if f.lower_evaluator is not None:
                 lb = self._eval_stale_attached(f, e, epoch)
                 if lb is not None:
@@ -1318,12 +1593,19 @@ class FrontierArena:
         stale = idxs[self._e_epoch[idxs] != epoch]
         if not stale.size:
             return None
-        nodes = f._nodes
-        slots = self._e_slot[stale].tolist()
-        slots.append(int(self._e_slot[popped_idx]))
-        rows = np.empty((len(slots), 4), dtype=np.float64)
-        for k, slot in enumerate(slots):
-            rows[k] = f._mbr_row(slot, nodes[slot])
+        store = self._store
+        if store is not None:
+            # One MBR-column gather replaces the per-slot chunk walk.
+            rows = store.mbr[
+                np.append(self._e_slot[stale], self._e_slot[popped_idx])
+            ]
+        else:
+            nodes = f._nodes
+            slots = self._e_slot[stale].tolist()
+            slots.append(int(self._e_slot[popped_idx]))
+            rows = np.empty((len(slots), 4), dtype=np.float64)
+            for k, slot in enumerate(slots):
+                rows[k] = f._mbr_row(slot, nodes[slot])
         values = f.lower_evaluator(rows)
         self._e_lb[stale] = values[:-1]
         self._e_epoch[stale] = epoch
@@ -1357,12 +1639,16 @@ class FrontierArena:
 
     def active_nodes_attached(self, f: ArrivalFrontier) -> List[RTreeNode]:
         self._fresh(f)
-        nodes = f._nodes
+        store = self._store
+        nodes = store.nodes if store is not None else f._nodes
         return [nodes[slot] for slot in
                 self._e_slot[self._sorted_alive(f)].tolist()]
 
     def active_mbrs_attached(self, f: ArrivalFrontier) -> np.ndarray:
         self._fresh(f)
+        store = self._store
+        if store is not None:
+            return store.mbr[self._e_slot[self._sorted_alive(f)]]
         nodes = f._nodes
         slots = self._e_slot[self._sorted_alive(f)].tolist()
         rows = np.empty((len(slots), 4), dtype=np.float64)

@@ -74,7 +74,11 @@ import numpy as np
 
 from repro.broadcast.loss import FAULT_LOST
 from repro.broadcast.tuner import TunerLedger, scalar_tuners_forced
-from repro.client.frontier import FrontierArena
+from repro.client.frontier import (
+    FrontierArena,
+    NodeStore,
+    node_store_disabled,
+)
 from repro.client.knn import BroadcastKNNSearch
 from repro.client.range_query import BroadcastRangeSearch
 from repro.client.scheduler import SearchGroup
@@ -95,6 +99,16 @@ from repro.geometry import Circle, Point, kernels
 #: array packing plus dispatch; results are identical either way, so this
 #: is purely a performance dial.
 _MIN_LANE = int(os.environ.get("REPRO_SHARED_MIN_LANE", "4"))
+
+
+def _sid_append(arr: np.ndarray, i: int, sid: int) -> np.ndarray:
+    """Append ``sid`` at index ``i`` of a grown int64 scratch array."""
+    if i >= arr.shape[0]:
+        new = np.empty(max(64, 2 * (i + 1)), dtype=np.int64)
+        new[: arr.shape[0]] = arr
+        arr = new
+    arr[i] = sid
+    return arr
 
 
 def tree_all_backed(tree) -> bool:
@@ -267,6 +281,7 @@ class SharedScanExecutor:
         self,
         all_trees_backed: bool = False,
         lane_blocks: Optional[tuple] = None,
+        node_store: Optional[NodeStore] = None,
     ) -> None:
         #: Groups whose members all serve through the columnar arena
         #: (fast-eligible NN searches) vs everything else.
@@ -294,16 +309,40 @@ class SharedScanExecutor:
         #: Persistent serve structures for the arena round: live pairs as
         #: ``(group, s0, s1)`` rows, everything else as ``(group, s)``
         #: always-due rows — updated incrementally on finish events, so no
-        #: per-round reclassification pass is needed.
+        #: per-round reclassification pass is needed.  The parallel sid
+        #: arrays (``_pa`` / ``_pb`` / ``_solo_sids``) mirror the rows
+        #: under the same incremental swap-removal, so no per-round
+        #: ``np.fromiter`` rebuild happens either; the due/limits/stricts
+        #: vectors of each round assemble into grown scratch buffers.
         self._pairs: List[tuple] = []
         self._pair_index: dict = {}
         self._solos: List[tuple] = []
         self._solo_index: dict = {}
-        self._due_dirty = True
         self._pa = np.empty(0, dtype=np.int64)
         self._pb = np.empty(0, dtype=np.int64)
         self._solo_sids = np.empty(0, dtype=np.int64)
+        self._due_buf = np.empty(0, dtype=np.int64)
+        self._lim_buf = np.empty(0, dtype=np.float64)
+        self._strict_buf = np.empty(0, dtype=bool)
+        #: The scratch buffers' solo tail (always-due sids, inf limits,
+        #: non-strict) only changes when the group membership does, so
+        #: rounds in between skip rewriting it.
+        self._tail_dirty = True
+        #: Cached length-n views over the scratch buffers; recut only
+        #: when the row count (or the buffers) change.
+        self._round_views: Optional[tuple] = None
+        #: Live point-query members among the arena rows.  All-transitive
+        #: rounds (the TNN common case) skip the weak-row point split and
+        #: the point-bit lane-key OR entirely while it is zero.
+        self._n_point = 0
         self._use_kernels = True
+        #: Global :class:`~repro.client.frontier.NodeStore` over the run's
+        #: trees — the arena's ``_e_slot`` lane then holds store ids and
+        #: phase A runs as whole-workload array passes.  Requires the
+        #: combined lane blocks (store lane keys address them); ``None``
+        #: (or no lane blocks) keeps the per-frontier slot addressing and
+        #: the scalar row loop — the ``REPRO_NO_NODE_STORE=1`` oracle.
+        self._node_store = node_store if lane_blocks is not None else None
         #: Callers pass True after checking every involved tree with
         #: :func:`tree_all_backed`: no expanded node can then have an
         #: empty child subtree, and the absorb lanes skip the per-node
@@ -335,15 +374,20 @@ class SharedScanExecutor:
             group = group.tag.advance() if group.tag is not None else None
         if group is None:
             return
+        store = self._node_store
         if kernels.enabled() and all(
             type(s) is BroadcastNNSearch and self._fast(s, True)
+            and (store is None or id(s.tree) in store.tree_ids)
             for s in group.pending
         ):
             # Fast NN searches join the shared columnar arena: their
             # frontiers' queued entries move into one set of numpy lanes
             # and the round serves them with whole-workload array passes.
+            # (A search over a tree the node store does not cover — only
+            # possible for externally built executors — keeps the legacy
+            # per-group serve, which never touches store ids.)
             if self._arena is None:
-                self._arena = FrontierArena()
+                self._arena = FrontierArena(store)
                 if not scalar_tuners_forced():
                     self._ledger = TunerLedger()
             ledger = self._ledger
@@ -368,15 +412,25 @@ class SharedScanExecutor:
                             self._sid_row = grown
                         self._sid_row[sid] = row
             self._arena_groups.append(group)
+            self._tail_dirty = True
             pending = group.pending
+            for s in pending:
+                if getattr(s, "_point_bit", 0):
+                    self._n_point += 1
             if group.paired and len(pending) > 1:
-                self._pair_index[id(group)] = len(self._pairs)
+                i = len(self._pairs)
+                self._pair_index[id(group)] = i
                 self._pairs.append((group, pending[0], pending[1]))
+                self._pa = _sid_append(self._pa, i, pending[0]._arena_sid)
+                self._pb = _sid_append(self._pb, i, pending[1]._arena_sid)
             else:
                 for s in pending:
-                    self._solo_index[id(s)] = len(self._solos)
+                    i = len(self._solos)
+                    self._solo_index[id(s)] = i
                     self._solos.append((group, s))
-            self._due_dirty = True
+                    self._solo_sids = _sid_append(
+                        self._solo_sids, i, s._arena_sid
+                    )
         else:
             self._legacy.append(group)
 
@@ -397,9 +451,10 @@ class SharedScanExecutor:
         #: Searches verified finished by their serve, with their groups.
         probe: List[Tuple[SearchGroup, object]] = []
         ctx = (lanes, point_leaves, flat_leaves, probe)
+        id_lanes: Optional[tuple] = None
         if self._arena_groups:
             if self._use_kernels:
-                self._arena_phase_a(ctx)
+                id_lanes = self._arena_phase_a(ctx)
             else:
                 # Kernels were toggled off for the run: the arena groups
                 # degrade to the per-group multiplexer (attached frontiers
@@ -410,6 +465,8 @@ class SharedScanExecutor:
 
         if lanes:
             self._absorb_nn_lanes(lanes)
+        if id_lanes:
+            self._absorb_nn_lanes_ids(id_lanes)
         if point_leaves:
             self._absorb_point_leaves(point_leaves)
         for s, leaves in flat_leaves:
@@ -550,6 +607,9 @@ class SharedScanExecutor:
         A finished pair member demotes its group to an always-due solo row
         for the surviving sibling; a finished solo row is swap-removed.
         """
+        self._tail_dirty = True
+        if getattr(s, "_point_bit", 0):
+            self._n_point -= 1
         i = self._pair_index.pop(id(g), None)
         if i is not None:
             pairs = self._pairs
@@ -558,9 +618,16 @@ class SharedScanExecutor:
             if last[0] is not g:
                 pairs[i] = last
                 self._pair_index[id(last[0])] = i
+                n = len(pairs)
+                self._pa[i] = self._pa[n]
+                self._pb[i] = self._pb[n]
             sibling = row[2] if row[1] is s else row[1]
-            self._solo_index[id(sibling)] = len(self._solos)
+            j = len(self._solos)
+            self._solo_index[id(sibling)] = j
             self._solos.append((g, sibling))
+            self._solo_sids = _sid_append(
+                self._solo_sids, j, sibling._arena_sid
+            )
         else:
             j = self._solo_index.pop(id(s))
             solos = self._solos
@@ -568,7 +635,7 @@ class SharedScanExecutor:
             if last[1] is not s:
                 solos[j] = last
                 self._solo_index[id(last[1])] = j
-        self._due_dirty = True
+                self._solo_sids[j] = self._solo_sids[len(solos)]
 
     def _group_loop(self, groups: List[SearchGroup], ctx) -> None:
         """The per-group serve dispatch (non-arena groups)."""
@@ -613,54 +680,86 @@ class SharedScanExecutor:
     # ------------------------------------------------------------------
     # Arena phase A: the whole-workload vectorised serve
     # ------------------------------------------------------------------
-    def _arena_phase_a(self, ctx) -> None:
+    def _arena_phase_a(self, ctx) -> Optional[tuple]:
         """Serve every arena group's due member through batched lanes.
 
         One :meth:`FrontierArena.begin_round` pass yields every search's
         head arrival (the pairing ping-pong reads), one
         :meth:`FrontierArena.serve` pass consumes every due search's
-        certified-prunable run and hands back its survivor; the python
-        loop below finishes each serve in O(1) — the rare certified-keep
-        margin cases fall back to the scalar serve, bit-identically.
+        certified-prunable run and hands back its survivor.  With a node
+        store attached the survivors then resolve through whole-round
+        array passes (:meth:`_phase_a_store`) and the absorb lanes come
+        back as id arrays; without one, the scalar row loop
+        (:meth:`_phase_a_rows`) finishes each serve in O(1) — the rare
+        certified-keep margin cases fall back to the scalar serve,
+        bit-identically on both paths.
         """
         arena = self._arena
         arena.flush()  # merge registrations staged since the last round
         heads = arena.begin_round()
-        if self._due_dirty:
-            pairs = self._pairs
-            solos = self._solos
-            self._pa = np.fromiter(
-                (r[1]._arena_sid for r in pairs), np.int64, len(pairs)
-            )
-            self._pb = np.fromiter(
-                (r[2]._arena_sid for r in pairs), np.int64, len(pairs)
-            )
-            self._solo_sids = np.fromiter(
-                (r[1]._arena_sid for r in solos), np.int64, len(solos)
-            )
-            self._due_dirty = False
-        pa = self._pa
+        n_pairs = len(self._pairs)
         n_solo = len(self._solos)
-        if pa.size:
-            pb = self._pb
+        n = n_pairs + n_solo
+        views = self._round_views
+        if views is None or views[0].shape[0] != n:
+            if self._due_buf.shape[0] < n:
+                # Grown scratch: the round's due/limits/stricts assembly
+                # writes into these reused views instead of concatenating
+                # three fresh arrays every round.
+                cap = max(64, 2 * n)
+                self._due_buf = np.empty(cap, dtype=np.int64)
+                self._lim_buf = np.empty(cap, dtype=np.float64)
+                self._strict_buf = np.empty(cap, dtype=bool)
+                self._tail_dirty = True
+            # The length-n views only change with the membership, so the
+            # long stretches of rounds in between reuse them as-is.
+            views = (
+                self._due_buf[:n],
+                self._lim_buf[:n],
+                self._strict_buf[:n],
+            )
+            self._round_views = views
+        due, limits, stricts = views
+        if self._tail_dirty:
+            # The solo tail is membership-static: rewrite it only after a
+            # register / retire / regrow touched the rows behind it.
+            due[n_pairs:] = self._solo_sids[:n_solo]
+            limits[n_pairs:] = math.inf
+            stricts[n_pairs:] = False
+            self._tail_dirty = False
+        if n_pairs:
+            pa = self._pa[:n_pairs]
+            pb = self._pb[:n_pairs]
             ta = heads[pa]
             tb = heads[pb]
-            first = ta <= tb  # tie: first member, like run_all
-            due = np.concatenate((np.where(first, pa, pb), self._solo_sids))
-            limits = np.concatenate((
-                np.where(first, tb, ta),
-                np.full(n_solo, math.inf),
-            ))
-            stricts = np.concatenate((
-                ~first, np.zeros(n_solo, dtype=bool)
-            ))
-            first_l = first.tolist()
+            # One mask drives the whole pair assembly; ties go to the
+            # first member (tb < ta is False), same as ``ta <= tb``.
+            second: Optional[np.ndarray] = tb < ta
+            dp = due[:n_pairs]
+            np.copyto(dp, pa)
+            np.copyto(dp, pb, where=second)
+            # The limit is always the *other* member's head, i.e. the
+            # larger of the two (on ties both equal the maximum).
+            np.maximum(ta, tb, out=limits[:n_pairs])
+            stricts[:n_pairs] = second
         else:
-            due = self._solo_sids
-            limits = np.full(n_solo, math.inf)
-            stricts = np.zeros(n_solo, dtype=bool)
-            first_l = ()
+            second = None
         res = arena.serve(due, limits, stricts)
+        if arena._store is not None:
+            return self._phase_a_store(res, due, limits, stricts, second, ctx)
+        first = ~second if second is not None else None
+        self._phase_a_rows(res, due, limits, stricts, first, ctx)
+        return None
+
+    def _phase_a_rows(self, res, due, limits, stricts, first, ctx) -> None:
+        """The scalar survivor loop finishing each serve, row by row.
+
+        Retained verbatim as the ``REPRO_NO_NODE_STORE=1`` oracle: the
+        store path of :meth:`_phase_a_store` must stay bit-identical to
+        this loop's decisions, bookings and lane grouping.
+        """
+        arena = self._arena
+        first_l = first.tolist() if first is not None else ()
         act = res["act"]
         has = res["has"]
         idxs = res["idx"]
@@ -821,6 +920,243 @@ class SharedScanExecutor:
             # Everything actionable minus the scalar rejections flushes to
             # the ledger at the arena flush point of this round.
             self._flush_pending = (res, rej, due)
+
+    def _phase_a_store(
+        self, res, due, limits, stricts, second, ctx
+    ) -> Optional[tuple]:
+        """Array-pass survivor handling over the global node store.
+
+        Replays :meth:`_phase_a_rows` with whole-round vector passes:
+        automatic keeps, weak point survivors (one vectorised exact
+        MINDIST), staged keep certificates and the leaf-finish probes all
+        resolve from store/arena column gathers, and the absorb lanes
+        come back as one argsort-sorted ``(keys, sids, nids, cuts)``
+        segment pack.  Python touches only the residual rows —
+        stale bounds, failed certificates, margin-band survivors — which
+        drop to the same scalar fallbacks as the oracle, plus the
+        forced-scalar tuner booking when no ledger is attached.  Every
+        decision is bit-identical to the row loop (the weak-point check
+        runs :func:`~repro.geometry.kernels.mindist_multi`, whose
+        ``maximum`` chain and hypot reproduce ``max`` / ``math.hypot``
+        exactly).
+        """
+        arena = self._arena
+        store = arena._store
+        _, _, _, probe = ctx
+        ledger = self._ledger
+        pairs = self._pairs
+        solos = self._solos
+        n_pairs = len(pairs)
+        act_np = res["act_np"]
+        slot_np = res["slot_np"]  # store ids in store mode
+        stamped_np = res["stamped_np"]
+        weak_np = res["weak_np"]
+        live_np = res["live_np"]
+        arena_now = arena._now
+        # Epoch-stale bounds are rare; a clean round skips the stamped
+        # masking (and the residual scan) entirely.
+        stamp_clean = bool(stamped_np.all())
+        act_stamped = act_np if stamp_clean else act_np & stamped_np
+        weak_rows = act_stamped & weak_np
+        #: Rows kept by the vector classification (grown below): the
+        #: weak subset of the stamped keeps clears via xor (it is a
+        #: subset, so this is exactly ``act & stamped & ~weak``).
+        keep = act_stamped ^ weak_rows
+        rej: List[int] = []
+        second_l = None
+
+        def member_of(j):
+            # Serve row -> (group, search); pairs first, then solos.
+            nonlocal second_l
+            if j < n_pairs:
+                row = pairs[j]
+                if second_l is None:
+                    second_l = second.tolist()
+                return row[0], row[2] if second_l[j] else row[1]
+            return solos[j - n_pairs]
+
+        due_list = limits_list = stricts_list = None
+
+        def fallback(j, g, s):
+            # Scalar continuation of a rejected serve, exactly like the
+            # oracle's: re-sync the owner clock (serve() has not moved
+            # it) and resume through the one-search path.
+            nonlocal due_list, limits_list, stricts_list
+            if due_list is None:
+                due_list = due.tolist()
+                limits_list = limits.tolist()
+                stricts_list = stricts.tolist()
+            rej.append(j)
+            arena_now[due_list[j]] = s.tuner.now
+            self._serve_nn_one(g, s, limits_list[j], stricts_list[j], ctx)
+
+        wj = np.flatnonzero(weak_rows)
+        if wj.size:
+            wsids = due[wj]
+            if self._n_point:
+                point = arena._pbool[wsids]
+                n_pt = int(point.sum())
+            else:
+                # No live point members -> every weak row is transitive;
+                # skip the split gathers.
+                point = None
+                n_pt = 0
+            if n_pt:
+                # Certified-weak point survivors: one exact vectorised
+                # MINDIST resolves the whole margin band (cf.
+                # _decide_keep's weak point branch; fast-eligible
+                # policies are trivial).
+                pj = wj if n_pt == wj.size else wj[point]
+                psids = wsids if n_pt == wj.size else wsids[point]
+                d = kernels.mindist_multi(
+                    np.column_stack((arena._qx[psids], arena._qy[psids])),
+                    store.mbr[slot_np[pj]],
+                )
+                ok = d <= arena._ub[psids]
+                if ok.all():
+                    keep[pj] = True
+                else:
+                    keep[pj[ok]] = True
+                    for j in pj[~ok].tolist():
+                        g, s = member_of(j)
+                        fallback(j, g, s)
+            if n_pt < wj.size:
+                # Weak transitive survivors: the staged keep certificate
+                # against the current bound proves most keeps; the rest
+                # batch one exact Lemma 1 pass.  The scalar oracle's
+                # centre/corner certificates (_certified_keep) are upper
+                # bounds on the exact value, so they can never flip the
+                # exact test's verdict — replaying only the exact bound
+                # (bit-identical per kernel contract) decides the same.
+                tj = wj if n_pt == 0 else wj[~point]
+                tsids = wsids if n_pt == 0 else wsids[~point]
+                ub_t = arena._ub[tsids]
+                cert = res["ub_np"][tj] <= ub_t
+                if cert.all():
+                    keep[tj] = True
+                else:
+                    # Weak rows enter with keep False, so scattering the
+                    # certificate verdicts directly marks the passes.
+                    keep[tj] = cert
+                    sub = ~cert
+                    rows = tj[sub]
+                    rsids = tsids[sub]
+                    rub = ub_t[sub]
+                    fb = res["lb_np"][rows] > rub
+                    if fb.any():
+                        # Stale-bound prunes are rare (a handful per
+                        # campaign); keep their gathers off the hot path.
+                        for j in rows[fb].tolist():
+                            g, s = member_of(j)
+                            fallback(j, g, s)
+                        ok2 = ~fb
+                        crows = rows[ok2]
+                        csids = rsids[ok2]
+                        cub = rub[ok2]
+                    else:
+                        crows, csids, cub = rows, rsids, rub
+                    if crows.size:
+                        tr = arena._trans[csids]
+                        exact = kernels.trans_lower_multi(
+                            tr[:, 0],
+                            tr[:, 1],
+                            store.mbr[slot_np[crows]],
+                            tr[:, 2],
+                            tr[:, 3],
+                        )
+                        good = exact <= cub
+                        if good.all():
+                            keep[crows] = True
+                        else:
+                            keep[crows[good]] = True
+                            for j in crows[~good].tolist():
+                                g, s = member_of(j)
+                                fallback(j, g, s)
+        if not stamp_clean and (resid := act_np ^ act_stamped).any():
+            # Rows whose queued bound is epoch-stale: batch-evaluate
+            # against the current metric, then prune / keep / decide
+            # exactly like the oracle's unstamped branch.
+            idx_np = res["idx_np"]
+            for j in np.flatnonzero(resid).tolist():
+                g, s = member_of(j)
+                f = s._frontier
+                lb = None
+                if f.lower_evaluator is not None:
+                    lb = arena._eval_stale_attached(
+                        f, idx_np[j], s._metric_epoch
+                    )
+                    if lb is not None and lb > s.upper_bound:
+                        fallback(j, g, s)
+                        continue
+                if lb is None and not s._decide_keep(
+                    store.nodes[slot_np[j]], None, False
+                ):
+                    fallback(j, g, s)
+                    continue
+                keep[j] = True
+
+        kept = np.flatnonzero(keep)
+        id_lanes: Optional[tuple] = None
+        if kept.size:
+            if ledger is None:
+                # Forced-scalar tuner oracle: book each kept download row
+                # by row, like the row loop (the ledger path defers all
+                # of this to the one-pass round flush).
+                arrivals = res["arrival_np"]
+                pages = res["page_np"]
+                for j in kept.tolist():
+                    s = member_of(j)[1]
+                    tuner = s.tuner
+                    if tuner.loss is None:
+                        arrival = float(arrivals[j])
+                        tuner.now = arrival + 1.0
+                        tuner.index_pages += 1
+                        if tuner.record_log:
+                            tuner.log.append(
+                                ("index", int(pages[j]), arrival, True)
+                            )
+                    else:
+                        tuner.download_index_page(int(pages[j]))
+                        arena_now[due[j]] = tuner.now
+            ksids = due[kept]
+            knids = slot_np[kept]
+            keys = store.lane_key[knids]
+            if self._n_point:
+                keys = keys | arena._pbit[ksids]
+            lv = live_np[kept]
+            if not lv.all():
+                # Drained rows: a kept leaf with an empty queue finishes
+                # at absorb time (leaf absorbs never push).
+                probe.extend(map(
+                    member_of,
+                    kept[store.leaf_bit[knids] & (lv == 0)].tolist(),
+                ))
+            # One stable argsort bins every kept row into its absorb
+            # lane; within a lane the rows keep serve order, matching the
+            # oracle's per-row appends.  The absorb pass walks the sorted
+            # arrays segment by segment (ascending key order — exactly
+            # the insertion order the per-lane dict used to have), so the
+            # hand-off is just the arrays plus the interior boundaries.
+            order = np.argsort(keys, kind="stable")
+            sk = keys[order]
+            id_lanes = (
+                sk,
+                ksids[order],
+                knids[order],
+                np.flatnonzero(sk[1:] != sk[:-1]).tolist(),
+            )
+        # Non-actionable rows whose queue the certified-prune consumption
+        # emptied are finished (cf. _phase_a_rows).  Gating on the empty
+        # queues (rare) rather than on ``act.all()`` (almost never true)
+        # keeps the common round to one cheap reduction.
+        dead = ~(act_np | res["has_np"])
+        if dead.any():
+            probe.extend(map(member_of, np.flatnonzero(
+                dead & (live_np == 0)
+            ).tolist()))
+        if ledger is not None:
+            self._flush_pending = (res, rej, due)
+        return id_lanes
 
     # ------------------------------------------------------------------
     # Phase A: per-search serves
@@ -1401,6 +1737,195 @@ class SharedScanExecutor:
                                 s._witness_page = best_child.page_id
                                 wit_arr[sid_l[j]] = best_child.page_id
 
+    def _absorb_nn_lanes_ids(self, id_lanes: tuple) -> None:
+        """Store-mode absorb: lanes arrive as one sorted segment pack.
+
+        ``id_lanes`` is phase A's ``(keys, sids, nids, cuts)`` — the
+        kept rows key-sorted by one stable argsort, with ``cuts`` the
+        interior segment boundaries (as ``sorted_keys[1:] != [:-1]``
+        positions); each segment is one absorb lane, walked here in
+        ascending key order.  Mirrors :meth:`_absorb_nn_lanes` decision
+        for decision — same kernels, same certified-estimate strategy,
+        same witness hand-off rules — but every geometry / page / count
+        gather is one fancy index into the node store or the combined
+        lane blocks, each lane's fan-outs stage through one
+        :meth:`FrontierArena.stage_lane_ids` call, and the ``_ub`` /
+        ``_wit`` arena mirrors update with masked scatters.  Python only
+        touches the rows whose search-object state actually changes.
+        """
+        min_lane = _MIN_LANE
+        deflate = _CERT_DEFLATE
+        arena = self._arena
+        store = arena._store
+        searches_all = arena._searches
+        ub_arr = arena._ub
+        wit_arr = arena._wit
+        all_keys, all_sids, all_nids, cuts = id_lanes
+        starts = [0]
+        for c in cuts:
+            starts.append(c + 1)
+        ends = starts[1:] + [all_keys.shape[0]]
+        for a, b in zip(starts, ends):
+            lane_key = int(all_keys[a])
+            sids = all_sids[a:b]
+            nids = all_nids[a:b]
+            is_point = lane_key & 1
+            is_leaf = lane_key & 2
+            n = lane_key >> 2
+            k = sids.shape[0]
+            if k < min_lane:
+                searches = [searches_all[sid] for sid in sids.tolist()]
+                nodes = [store.nodes[nid] for nid in nids.tolist()]
+                for s, node in zip(searches, nodes):
+                    if is_leaf:
+                        s._absorb_leaf(node)
+                    else:
+                        s._absorb_internal(node)
+                self._sync_lane(searches)
+                continue
+            lrows = store.lane_row[nids]
+            if is_leaf:
+                pts = self._lane_pts[n][lrows]
+                searches = [searches_all[sid] for sid in sids.tolist()]
+                if is_point:
+                    d = kernels.point_dists_multi(
+                        np.column_stack((arena._qx[sids], arena._qy[sids])),
+                        pts,
+                    )
+                    idx = np.argmin(d, axis=1)
+                    vals = d[np.arange(k), idx].tolist()
+                    for s, nid, i, v in zip(
+                        searches, nids.tolist(), idx.tolist(), vals
+                    ):
+                        s._absorb_leaf_shared(store.nodes[nid], i, v)
+                else:
+                    starts = np.column_stack(
+                        (arena._sx[sids], arena._sy[sids])
+                    )
+                    ends = np.column_stack((arena._ex[sids], arena._ey[sids]))
+                    d = kernels.trans_dists_raw(starts, pts, ends)
+                    for s, nid, m in zip(
+                        searches, nids.tolist(), d.min(axis=1).tolist()
+                    ):
+                        # Same deflated no-op proof as the object lane.
+                        if (
+                            m * deflate < s.best_dist
+                            or s.best_dist < s.upper_bound
+                        ):
+                            s._absorb_leaf(store.nodes[nid])
+                # One-scatter _sync_lane: the lane's sids are known, so
+                # the mirrors land with two fancy-index writes.
+                ub_arr[sids] = [s.upper_bound for s in searches]
+                wit_arr[sids] = [
+                    -1 if s._witness_page is None else s._witness_page
+                    for s in searches
+                ]
+                continue
+            mbrs = self._lane_mbrs[n][lrows]
+            cnts = None
+            if self._all_trees_backed:
+                all_backed = True
+            else:
+                cnts = self._lane_cnts[n][lrows]
+                all_backed = bool((cnts > 0).all())
+            node_pages = store.page[nids]
+            if is_point:
+                lower, guar = kernels.point_bounds_multi(
+                    np.column_stack((arena._qx[sids], arena._qy[sids])),
+                    mbrs,
+                )
+                if all_backed:
+                    backed = guar
+                else:
+                    backed = np.where(cnts > 0, guar, math.inf)
+                gi = np.argmin(backed, axis=1)
+                gv = backed[np.arange(k), gi]
+                arena.stage_lane_ids(sids, nids, n, lower, False)
+                was_w = wit_arr[sids] == node_pages
+                finite = np.isfinite(gv)
+                improve = finite & (gv < ub_arr[sids])
+                upd = improve | was_w
+                if upd.any() or not finite.all():
+                    wp = store.page[store.child0[nids] + gi]
+                    sel = upd & finite
+                    wit_arr[sids[sel]] = wp[sel]
+                    ub_arr[sids[improve]] = gv[improve]
+                    gv_l = gv.tolist()
+                    wp_l = wp.tolist()
+                    improve_l = improve.tolist()
+                    finite_l = finite.tolist()
+                    for j in np.flatnonzero(upd | ~finite).tolist():
+                        s = searches_all[sids[j]]
+                        if not finite_l[j]:
+                            # Every child subtree empty: no guarantee to
+                            # inherit (cf. _absorb_internal_shared).
+                            if was_w[j]:
+                                s.upper_bound = s.best_dist
+                                s._witness_page = None
+                                s._rescan_queue_bounds()
+                                arena.sync(s)
+                            continue
+                        s._witness_page = wp_l[j]
+                        if improve_l[j]:
+                            s.upper_bound = gv_l[j]
+            else:
+                starts = np.column_stack((arena._sx[sids], arena._sy[sids]))
+                ends = np.column_stack((arena._ex[sids], arena._ey[sids]))
+                weak, est, keep = kernels.trans_weak_bounds_multi(
+                    starts, mbrs, ends, deflate
+                )
+                gates = est.min(axis=1) * deflate
+                arena.stage_lane_ids(
+                    sids, nids, n, weak, True, keep * _CERT_INFLATE
+                )
+                need = (gates < ub_arr[sids]) | (
+                    wit_arr[sids] == node_pages
+                )
+                if not all_backed:
+                    need |= True
+                rows = np.flatnonzero(need)
+                if rows.size:
+                    z = kernels.trans_corner_minmax_multi(
+                        starts[rows], mbrs[rows], ends[rows]
+                    )
+                    if not all_backed:
+                        z = np.where(cnts[rows] > 0, z, math.inf)
+                    gi_z = np.argmin(z, axis=1)
+                    gz = z[np.arange(rows.size), gi_z]
+                    rsids = sids[rows]
+                    was_witness = wit_arr[rsids] == node_pages[rows]
+                    finite_z = np.isfinite(gz)
+                    improve_z = finite_z & (gz < ub_arr[rsids])
+                    handoff = finite_z & ~improve_z & was_witness
+                    void = ~finite_z & was_witness
+                    moved = improve_z | handoff
+                    if moved.any():
+                        wp_z = store.page[
+                            store.child0[nids[rows]] + gi_z
+                        ]
+                        ub_arr[rsids[improve_z]] = gz[improve_z]
+                        wit_arr[rsids[moved]] = wp_z[moved]
+                        gz_l = gz.tolist()
+                        wp_l = wp_z.tolist()
+                        improve_l = improve_z.tolist()
+                        for t in np.flatnonzero(moved).tolist():
+                            s = searches_all[rsids[t]]
+                            if improve_l[t]:
+                                s.upper_bound = gz_l[t]
+                            s._witness_page = wp_l[t]
+                    if void.any():
+                        for t in np.flatnonzero(void).tolist():
+                            sid = int(rsids[t])
+                            s = searches_all[sid]
+                            # Every child subtree empty: nothing backs a
+                            # guarantee (cf. _guarantee_scan_weak) — same
+                            # direct mirror writes as the object lane.
+                            s.upper_bound = s.best_dist
+                            s._witness_page = None
+                            s._rescan_queue_bounds()
+                            ub_arr[sid] = s.upper_bound
+                            wit_arr[sid] = -1
+
     def _lane_sids(self, searches) -> Optional[np.ndarray]:
         """The searches' arena ids, or ``None`` when any is unregistered."""
         try:
@@ -1724,11 +2249,20 @@ def execute_tnn_batch(
         _TNNJob(env, algorithm, hybrid, q, phase_s, phase_r, record_log)
         for q, phase_s, phase_r in queries
     ]
+    lane_blocks = (
+        combine_lane_blocks((env.s_tree, env.r_tree))
+        if kernels.enabled()
+        else None
+    )
     executor = SharedScanExecutor(
         all_trees_backed=tree_all_backed(env.s_tree)
         and tree_all_backed(env.r_tree),
-        lane_blocks=combine_lane_blocks((env.s_tree, env.r_tree))
-        if kernels.enabled()
+        lane_blocks=lane_blocks,
+        # The store binds the lane blocks' _lane_row stamps, so it must
+        # build after them; REPRO_NO_NODE_STORE=1 keeps the scalar row
+        # loop as the bit-identity oracle.
+        node_store=NodeStore.build((env.s_tree, env.r_tree))
+        if lane_blocks is not None and not node_store_disabled()
         else None,
     )
     for job in jobs:

@@ -107,6 +107,7 @@ __all__ = [
     "mindist_multi",
     "point_bounds_multi",
     "trans_bounds_multi",
+    "trans_lower_multi",
     "point_weak_bounds_multi",
     "trans_weak_bounds_multi",
     "point_dists_raw",
@@ -715,6 +716,103 @@ def trans_bounds_multi(
     direct = hypot(starts[:, 0] - ends[:, 0], starts[:, 1] - ends[:, 1])
     lower = np.where(case1, direct[:, None], best)
     return lower, upper
+
+
+def trans_lower_multi(
+    px: np.ndarray, py: np.ndarray, mbrs: np.ndarray, rx: np.ndarray,
+    ry: np.ndarray,
+) -> np.ndarray:
+    """Exact Lemma 1 lower bound, one ``(p_i, M_i, r_i)`` triple per row.
+
+    The lower-only sibling of :func:`trans_bounds_multi` for the
+    one-MBR-per-query shape: ``(k,)`` start/end components against a
+    ``(k, 4)`` MBR block, skipping the Lemma 3 lane and the fan-out
+    dimension.  This is the shared-scan serve's margin-band resolver —
+    the rows whose staged keep certificate failed batch their exact
+    scalar test (``BroadcastNNSearch._lower_bound``) into one call.
+    Bit-identical to ``min_trans_dist(p_i, M_i, r_i)`` row by row: the
+    corner lanes, the mirror candidates and the crossing tests replay
+    :func:`_trans_core` on ``(4, k)`` lanes with per-row endpoints.
+    """
+    xmin, ymin = mbrs[:, 0], mbrs[:, 1]
+    xmax, ymax = mbrs[:, 2], mbrs[:, 3]
+    cx = np.stack((xmin, xmax, xmax, xmin))
+    cy = np.stack((ymin, ymin, ymax, ymax))
+    ax, ay = cx, cy
+    bx, by = cx[_NEXT, :], cy[_NEXT, :]
+
+    with np.errstate(all="ignore"):
+        # Mirror r_i across each side's carrier line (case 2), replaying
+        # reflect_point's projection arithmetic per row.
+        t = (rx - ax) * _UX + (ry - ay) * _UY
+        projx = ax + t * _UX
+        projy = ay + t * _UY
+        mx = 2.0 * projx - rx
+        my = 2.0 * projy - ry
+    # One fused hypot batch: corner legs (lanes 0-7), mirror candidates
+    # (8-11) and the direct p_i -> r_i distance (12) — every element is
+    # still an isolated exact-hypot evaluation, so folding the lanes
+    # together only saves dispatches, never changes a bit.
+    d = hypot(
+        np.concatenate((px - cx, cx - rx, px - mx, (px - rx)[None, :])),
+        np.concatenate((py - cy, cy - ry, py - my, (py - ry)[None, :])),
+    )
+    cand = d[8:12]
+    direct = d[12]
+    corner_t = d[0:4] + d[4:8]  # dis(p_i, c) + dis(c, r_i), (4, k)
+
+    # Case 3 safety net: the vertex bends, always evaluated.
+    best = corner_t.min(axis=0)
+
+    # Batched crossing tests, exactly as in _trans_core: lanes 0-3 are
+    # (p_i, r_i) x side k, lanes 4-7 are (p_i, mirror_k) x side k.
+    qx = np.concatenate((np.broadcast_to(rx, cx.shape), mx))
+    qy = np.concatenate((np.broadcast_to(ry, cy.shape), my))
+    sax = np.concatenate((ax, ax))
+    say = np.concatenate((ay, ay))
+    sbx = np.concatenate((bx, bx))
+    sby = np.concatenate((by, by))
+    o_p = _orient(ax, ay, bx, by, px, py)  # shared by both halves
+    d1 = np.concatenate((o_p, o_p))
+    d2 = _orient(sax, say, sbx, sby, qx, qy)
+    # d3/d4 share the (p_i, q) segment: one orientation dispatch over the
+    # stacked endpoint lanes covers both.
+    d34 = _orient(
+        px, py,
+        np.concatenate((qx, qx)), np.concatenate((qy, qy)),
+        np.concatenate((sax, sbx)), np.concatenate((say, sby)),
+    )
+    d3, d4 = d34[0:8], d34[8:16]
+    crosses = (((d1 > 0) & (d2 < 0)) | ((d1 < 0) & (d2 > 0))) & (
+        ((d3 > 0) & (d4 < 0)) | ((d3 < 0) & (d4 > 0))
+    )
+    z1, z2, z3, z4 = d1 == 0, d2 == 0, d3 == 0, d4 == 0
+    if (z1 | z2 | z3 | z4).any():
+        # Grazing/collinear lanes: the scalar code's endpoint-touch tests.
+        crosses = crosses | (
+            (z1 & _on_segment(sax, say, sbx, sby, px, py))
+            | (z2 & _on_segment(sax, say, sbx, sby, qx, qy))
+            | (z3 & _on_segment(px, py, qx, qy, sax, say))
+            | (z4 & _on_segment(px, py, qx, qy, sbx, sby))
+        )
+
+    # Case 2 gates: non-degenerate side, p_i and r_i strictly on the same
+    # side of the carrier line, straightened segment crosses the side.
+    width_ok = xmax - xmin > 0.0
+    height_ok = ymax - ymin > 0.0
+    nondegen = np.stack((width_ok, height_ok, width_ok, height_ok))
+    o_r = d2[0:4]
+    same_side = ((o_p > 0) & (o_r > 0)) | ((o_p < 0) & (o_r < 0))
+    valid = nondegen & same_side & crosses[4:8]
+    best = np.minimum(best, np.where(valid, cand, math.inf).min(axis=0))
+
+    # Case 1: the straight line p_i -> r_i already touches the rectangle.
+    # Both endpoints share one containment dispatch over stacked lanes.
+    tx = np.stack((px, rx))
+    ty = np.stack((py, ry))
+    ins = (xmin <= tx) & (tx <= xmax) & (ymin <= ty) & (ty <= ymax)
+    case1 = ins[0] | ins[1] | crosses[0:4].any(axis=0)
+    return np.where(case1, direct, best)
 
 
 # ----------------------------------------------------------------------

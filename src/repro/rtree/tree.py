@@ -102,3 +102,6 @@ class RTree:
             # previous numbering; rebuilding the layout invalidates them.
             node._child_pages = None
             node._child_page_list = None
+        # The node store's page column binds the numbering too (its
+        # structural/geometry columns are layout-independent and stay).
+        self._store_pages = None

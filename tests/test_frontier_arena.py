@@ -261,3 +261,179 @@ class _FixedWorkload:
 
     def __len__(self):
         return len(self._q)
+
+
+# ----------------------------------------------------------------------
+# Binned phase A over the global node store vs the scalar row loop
+# ----------------------------------------------------------------------
+def _ab_queries(env, n, seed):
+    rng = random.Random(seed)
+    return [
+        (env.random_query_point(rng), *env.random_phases(rng))
+        for _ in range(n)
+    ]
+
+
+@pytest.mark.parametrize("capacity", [64, 512])
+@pytest.mark.parametrize("algo_cls", [HybridNN, DoubleNN])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_store_phase_a_matches_scalar_row_loop(
+    capacity, algo_cls, seed, monkeypatch
+):
+    """Random workloads: binned phase A == REPRO_NO_NODE_STORE row loop.
+
+    The store path's whole-round array passes (automatic keeps, staged
+    keep certificates, argsort-binned absorb lanes, leaf-finish probes)
+    must reproduce the retained scalar loop result for result — answers,
+    access times and tune-in counters all derive from the same per-row
+    decisions, so any divergence surfaces here.
+    """
+    env = TNNEnvironment.build(
+        sized_uniform(2000, seed=seed),
+        sized_uniform(2000, seed=seed + 50),
+        params=SystemParameters(page_capacity=capacity),
+    )
+    queries = _ab_queries(env, 40, seed + 100)
+    algo = algo_cls()
+    monkeypatch.delenv("REPRO_NO_NODE_STORE", raising=False)
+    with kernels.use_kernels(True):
+        store = execute_tnn_batch(env, algo, queries)
+    monkeypatch.setenv("REPRO_NO_NODE_STORE", "1")
+    with kernels.use_kernels(True):
+        oracle = execute_tnn_batch(env, algo, queries)
+    assert store == oracle
+
+
+def test_store_phase_a_coverage_spans_margin_paths(monkeypatch):
+    """The A/B sweep's workload really exercises the residual branches.
+
+    Guard against silently-green sweeps: this fixed-seed workload must
+    drive rows through the unstamped residual scan, the weak transitive
+    margin band with failing staged certificates, and the scalar
+    fallback rejections — while still matching the oracle.
+    """
+    import numpy as np
+
+    from repro.engine.shared_scan import SharedScanExecutor
+
+    counts = {"resid": 0, "cert_fail": 0, "fallback": 0}
+    orig_store = SharedScanExecutor._phase_a_store
+    orig_one = SharedScanExecutor._serve_nn_one
+
+    def spy_store(self, res, due, limits, stricts, second, ctx):
+        act = res["act_np"]
+        counts["resid"] += int((act & ~res["stamped_np"]).sum())
+        weak = act & res["stamped_np"] & res["weak_np"]
+        wj = np.flatnonzero(weak)
+        if wj.size:
+            counts["cert_fail"] += int(
+                (res["ub_np"][wj] > self._arena._ub[due[wj]]).sum()
+            )
+        return orig_store(self, res, due, limits, stricts, second, ctx)
+
+    def spy_one(self, *args, **kwargs):
+        counts["fallback"] += 1
+        return orig_one(self, *args, **kwargs)
+
+    env = TNNEnvironment.build(
+        sized_uniform(3000, seed=0),
+        sized_uniform(3000, seed=50),
+        params=SystemParameters(page_capacity=64),
+    )
+    queries = _ab_queries(env, 60, 0)
+    algo = HybridNN()
+    monkeypatch.delenv("REPRO_NO_NODE_STORE", raising=False)
+    monkeypatch.setattr(SharedScanExecutor, "_phase_a_store", spy_store)
+    monkeypatch.setattr(SharedScanExecutor, "_serve_nn_one", spy_one)
+    with kernels.use_kernels(True):
+        store = execute_tnn_batch(env, algo, queries)
+    monkeypatch.setattr(SharedScanExecutor, "_phase_a_store", orig_store)
+    monkeypatch.setattr(SharedScanExecutor, "_serve_nn_one", orig_one)
+    assert counts["resid"] > 0, "no unstamped residual rows exercised"
+    assert counts["cert_fail"] > 0, "no failing staged certificates"
+    assert counts["fallback"] > 0, "no scalar fallback rejections"
+    monkeypatch.setenv("REPRO_NO_NODE_STORE", "1")
+    with kernels.use_kernels(True):
+        oracle = execute_tnn_batch(env, algo, queries)
+    assert store == oracle
+
+
+def test_weak_point_margin_tests_agree():
+    """The two weak-point survivor tests are the same predicate.
+
+    The scalar row loop proves a certified-weak point survivor with an
+    inline ``hypot(max(...), max(...)) > ub`` prune; the store path
+    batches the same rows through ``kernels.mindist_multi(...) <= ub``.
+    Elementwise the verdicts must be complementary, including rows where
+    the exact MINDIST ties the bound (constructed below).
+    """
+    import math as _math
+
+    import numpy as np
+
+    rng = random.Random(97)
+    k = 400
+    qx = np.array([rng.uniform(-100, 100) for _ in range(k)])
+    qy = np.array([rng.uniform(-100, 100) for _ in range(k)])
+    x0 = np.array([rng.uniform(-100, 100) for _ in range(k)])
+    y0 = np.array([rng.uniform(-100, 100) for _ in range(k)])
+    mbrs = np.column_stack((
+        x0, y0,
+        x0 + [rng.uniform(0, 40) for _ in range(k)],
+        y0 + [rng.uniform(0, 40) for _ in range(k)],
+    ))
+    # Degenerate slivers: zero width / zero height / single point.
+    mbrs[0, 2] = mbrs[0, 0]
+    mbrs[1, 3] = mbrs[1, 1]
+    mbrs[2, 2:] = mbrs[2, :2]
+    d = kernels.mindist_multi(np.column_stack((qx, qy)), mbrs)
+    ubs = np.array([rng.uniform(0, 60) for _ in range(k)])
+    ubs[3] = d[3]  # exact tie: `<= ub` keeps, `> ub` must not prune
+    ubs[4] = _math.nextafter(d[4], 0.0)  # just below: both must prune
+    vec_keep = d <= ubs
+    for j in range(k):
+        scalar_prune = _math.hypot(
+            max(mbrs[j, 0] - qx[j], 0.0, qx[j] - mbrs[j, 2]),
+            max(mbrs[j, 1] - qy[j], 0.0, qy[j] - mbrs[j, 3]),
+        ) > ubs[j]
+        assert scalar_prune == (not vec_keep[j])
+
+
+def test_node_store_columns_and_invalidation():
+    """NodeStore columns mirror the trees; relayout drops the page cache.
+
+    Structural columns (lane keys, leaf bits, levels, MBR rows) are
+    layout-independent; the BFS page column binds the broadcast
+    numbering, so :meth:`RTree.assign_page_ids` must invalidate its
+    per-tree cache — the documented node-store invalidation contract.
+    """
+    import numpy as np
+
+    from repro.client.frontier import _tree_store_pages, _tree_store_struct
+
+    tree, _ = make_tuner(n=400, seed=13)
+    struct = _tree_store_struct(tree)
+    order, child0, levels, lane_key, mbr = struct
+    pages = _tree_store_pages(tree)
+    assert len(order) == tree.node_count()
+    for i, node in enumerate(order):
+        assert levels[i] == node.level
+        if node.is_leaf:
+            assert child0[i] == -1
+            assert lane_key[i] == (len(node.points) << 2) | 2
+        else:
+            assert lane_key[i] == len(node.children) << 2
+            assert order[child0[i]] is node.children[0]
+        assert (lane_key[i] & 2 != 0) == node.is_leaf
+        assert pages[i] == node.page_id
+        assert tuple(mbr[i]) == tuple(node.mbr)
+    # Renumbering the broadcast layout resets the page cache (and only
+    # it): the next build must observe the fresh numbering.
+    tree.assign_page_ids()
+    assert getattr(tree, "_store_pages", "missing") is None
+    assert tree._store_struct is struct
+    fresh = _tree_store_pages(tree)
+    assert np.array_equal(
+        fresh,
+        np.array([nd.page_id for nd in order]),
+    )

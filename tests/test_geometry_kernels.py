@@ -246,3 +246,46 @@ def test_use_kernels_context_restores_state():
     with kernels.use_kernels(not before):
         assert kernels.enabled() is (not before)
     assert kernels.enabled() is before
+
+
+def test_trans_lower_multi_matches_scalar_exactly():
+    """Per-row Lemma 1 lanes == ``min_trans_dist`` bit for bit.
+
+    ``trans_lower_multi`` resolves the shared-scan margin band, so it
+    must replay the scalar transitive lower bound exactly — including
+    degenerate sliver MBRs, endpoints inside the rectangle, and grazing
+    segments that touch a corner.
+    """
+    rng = random.Random(31)
+    rows = []
+    for _ in range(300):
+        rect = _random_rect(rng)
+        rows.append((_random_query(rng, rect), rect, _random_query(rng, rect)))
+    # Degenerate slivers and containment cases.
+    sliver_w = Rect(3.0, -2.0, 3.0, 9.0)
+    sliver_h = Rect(-5.0, 1.5, 8.0, 1.5)
+    box = Rect(0.0, 0.0, 10.0, 10.0)
+    rows += [
+        (Point(-4.0, 2.0), sliver_w, Point(11.0, 4.0)),
+        (Point(3.0, -7.0), sliver_h, Point(3.0, 12.0)),
+        (Point(4.0, 5.0), box, Point(22.0, 30.0)),   # p inside
+        (Point(-9.0, -9.0), box, Point(6.0, 6.0)),   # r inside
+        (Point(-5.0, 15.0), box, Point(15.0, -5.0)), # grazes the corner
+        (Point(-3.0, -3.0), box, Point(-1.0, -4.0)), # both outside, no cross
+    ]
+    px = np.array([p.x for p, _, _ in rows])
+    py = np.array([p.y for p, _, _ in rows])
+    rx = np.array([r.x for _, _, r in rows])
+    ry = np.array([r.y for _, _, r in rows])
+    mbrs = kernels.as_mbr_array([rect for _, rect, _ in rows])
+    lower = kernels.trans_lower_multi(px, py, mbrs, rx, ry)
+    assert lower.shape == (len(rows),)
+    for i, (p, rect, r) in enumerate(rows):
+        assert min_trans_dist(p, rect, r) == lower[i]
+    # Row-diagonal agreement with the fan-out kernel.
+    starts = np.column_stack((px, py))
+    ends = np.column_stack((rx, ry))
+    fan_lower, _ = kernels.trans_bounds_multi(
+        starts, np.ascontiguousarray(mbrs[:, None, :]), ends
+    )
+    assert np.array_equal(fan_lower[:, 0], lower)

@@ -453,3 +453,71 @@ def test_pop_until_prunes_and_respects_limit(env64):
     front.push_many(nodes, lbs, epoch=0)
     assert front.pop_until(5.0, 0, limit=-1.0) is None
     assert len(front) == len(nodes)
+
+
+# ----------------------------------------------------------------------
+# Binned phase A (node store) vs the scalar row-loop oracle
+# ----------------------------------------------------------------------
+def _store_vs_oracle(env, algo, queries, monkeypatch):
+    """Run the workload on both phase-A paths; return (store, oracle)."""
+    monkeypatch.delenv("REPRO_NO_NODE_STORE", raising=False)
+    with kernels.use_kernels(True):
+        store = execute_tnn_batch(env, algo, queries)
+    monkeypatch.setenv("REPRO_NO_NODE_STORE", "1")
+    try:
+        with kernels.use_kernels(True):
+            oracle = execute_tnn_batch(env, algo, queries)
+    finally:
+        monkeypatch.delenv("REPRO_NO_NODE_STORE", raising=False)
+    return store, oracle
+
+
+@pytest.mark.parametrize("loss_kwargs", [
+    {"name": "iid", "rate": 0.25, "seed": 11},
+    {"name": "ge", "bad_rate": 0.6, "p_good_bad": 0.1, "seed": 5},
+])
+@pytest.mark.parametrize("algo_cls", [DoubleNN, HybridNN])
+def test_store_oracle_identity_under_loss(algo_cls, loss_kwargs, monkeypatch):
+    """Lossy channels: retry rows re-book bit-identically on both paths.
+
+    Serve rows whose download fails walk the tuner retry loop; the store
+    path must re-sync the arena clocks past the retries exactly like the
+    scalar row loop (and like the per-query runs, which the loss-model
+    determinism ties to the same retry sequence).
+    """
+    from repro.broadcast import make_fault_model
+
+    kwargs = dict(loss_kwargs)
+    loss = make_fault_model(kwargs.pop("name"), **kwargs)
+    env = TNNEnvironment.build(
+        sized_uniform(1500, seed=21),
+        sized_uniform(1500, seed=22),
+        params=SystemParameters(page_capacity=64),
+        loss=loss,
+    )
+    queries = _random_queries(env, 30, seed=23)
+    store, oracle = _store_vs_oracle(env, algo_cls(), queries, monkeypatch)
+    assert store == oracle
+
+
+@pytest.mark.parametrize("lossy", [False, True])
+def test_store_oracle_identity_forced_scalar_tuners(lossy, monkeypatch):
+    """REPRO_SCALAR_TUNERS=1: the per-row download booking stays exact.
+
+    Without a ledger the store path books every kept row's clock, page
+    counter and reception log scalar, row by row — the same statements
+    the oracle loop runs, in the same kept order (and through the tuner
+    retry loop when the channel is lossy).
+    """
+    from repro.broadcast import PageLossModel
+
+    env = TNNEnvironment.build(
+        sized_uniform(1500, seed=24),
+        sized_uniform(1500, seed=25),
+        params=SystemParameters(page_capacity=64),
+        loss=PageLossModel(rate=0.25, seed=11) if lossy else None,
+    )
+    queries = _random_queries(env, 30, seed=26)
+    monkeypatch.setenv("REPRO_SCALAR_TUNERS", "1")
+    store, oracle = _store_vs_oracle(env, HybridNN(), queries, monkeypatch)
+    assert store == oracle
